@@ -1,0 +1,77 @@
+//! Adaptive reflexes for IoBTs (paper §IV, Fig. 3).
+//!
+//! The four adaptation mechanisms the paper sketches, implemented
+//! concretely:
+//!
+//! * [`invariant`] — self-stabilizing invariant monitors with corrective
+//!   actions, run to a fixed point (and detecting non-convergent monitor
+//!   interactions).
+//! * [`game`] — command-by-intent as a potential game: agent objective
+//!   functions whose selfish best-response dynamics provably converge to
+//!   an equilibrium staffing the commander's objectives.
+//! * [`modality`] — the sensing-modality switching reflex with hysteresis
+//!   (visual → seismic when smoke or jamming blinds the cameras).
+//! * [`alloc`] — adaptive edge-resource allocation that tracks hotspots
+//!   and caps DoS regions.
+//! * [`control`] — a PI admission controller with anti-windup, the
+//!   adaptive-control face of self-aware adaptation.
+//! * [`selfaware`] — the unifying goal/model/action abstraction (§IV-A's
+//!   "unifying theory of self-aware adaptation") with instrumented
+//!   assessment metrics.
+//! * [`safety`] — §VI's actuation interlocks: human authorization for
+//!   weapon-like effects and occupancy-based withholding, with an audit
+//!   log.
+//! * [`estimation`] — resilient state estimation: median-fusion tracking
+//!   that bounds minority sensor contamination (§III's secure
+//!   state-estimation bullet).
+//!
+//! # Examples
+//!
+//! ```
+//! use iobt_adapt::prelude::*;
+//!
+//! // Commander's intent decomposed into three weighted objectives;
+//! // twelve autonomous agents self-organize without coordination.
+//! let game = IntentGame::new(vec![6.0, 3.0, 1.0]);
+//! let eq = game.best_response(12, 42);
+//! assert!(eq.converged);
+//! assert!(game.is_nash(&eq.assignment));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod control;
+pub mod estimation;
+pub mod game;
+pub mod invariant;
+pub mod modality;
+pub mod safety;
+pub mod selfaware;
+
+pub use alloc::{
+    hotspot_trace, mm1_latency_ms, simulate, water_fill, AllocationPolicy, AllocationRun,
+    SATURATION_PENALTY_MS,
+};
+pub use control::{PiController, QueuePlant};
+pub use estimation::{track, AlphaBetaFilter, FusionRule, TrackingRun};
+pub use game::{Equilibrium, IntentGame};
+pub use invariant::{InvariantMonitor, StabilizationReport, Stabilizer};
+pub use modality::{ModalitySwitcher, SwitchPolicy};
+pub use safety::{ActuationController, ActuationDecision, AuditEntry, HumanAuthorization};
+pub use selfaware::{AdaptationLoop, AdaptationMetrics, LoadBandService, SelfAware};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::{
+        hotspot_trace, simulate, AllocationPolicy, AllocationRun, Equilibrium, IntentGame,
+        InvariantMonitor, ModalitySwitcher, PiController, QueuePlant, StabilizationReport,
+        Stabilizer, SwitchPolicy,
+    };
+    pub use crate::estimation::{track, AlphaBetaFilter, FusionRule, TrackingRun};
+    pub use crate::safety::{
+        ActuationController, ActuationDecision, AuditEntry, HumanAuthorization,
+    };
+    pub use crate::selfaware::{AdaptationLoop, AdaptationMetrics, LoadBandService, SelfAware};
+}

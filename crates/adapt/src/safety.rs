@@ -1,0 +1,244 @@
+//! Actuation safety: human authority and occupancy interlocks.
+//!
+//! §VI: "One prime example of a human decision in a military context is
+//! the decision to fire a weapon. … smarter ammunition used in disaster
+//! response might be authorized to impact only a specific category of
+//! things … Demolition charges may use (or communicate with) sensors and
+//! computational elements to withhold from activation where humans are
+//! present, thereby reducing unintended loss of life."
+//!
+//! The [`ActuationController`] enforces exactly that: actuators flagged
+//! [`requires_human_authorization`](iobt_types::ActuatorKind::requires_human_authorization)
+//! fire only with a live human authorization token, and *any* actuation is
+//! withheld while the zone's occupancy belief — fed by occupancy sensors
+//! and decaying over time — exceeds a threshold. Every decision is
+//! appended to an audit log (liability, §VI's legal concern).
+
+use std::collections::HashMap;
+
+use iobt_types::{ActuatorKind, NodeId};
+
+/// A time-limited human authorization for one actuator kind in one zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HumanAuthorization {
+    /// The human (or command post) granting authority.
+    pub authorizer: NodeId,
+    /// Actuator kind authorized.
+    pub actuator: ActuatorKind,
+    /// Zone the authorization covers.
+    pub zone: u32,
+    /// Expiry time, seconds.
+    pub expires_at_s: f64,
+}
+
+/// Outcome of an actuation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActuationDecision {
+    /// Cleared to fire.
+    Approved,
+    /// Withheld: the zone's occupancy belief is above threshold.
+    WithheldOccupied,
+    /// Denied: the actuator needs a human authorization that is missing
+    /// or expired.
+    DeniedNoAuthorization,
+}
+
+/// One audit-log entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditEntry {
+    /// Request time, seconds.
+    pub at_s: f64,
+    /// Requesting node.
+    pub requester: NodeId,
+    /// Actuator kind requested.
+    pub actuator: ActuatorKind,
+    /// Zone requested.
+    pub zone: u32,
+    /// The decision taken.
+    pub decision: ActuationDecision,
+}
+
+/// Enforces the §VI safety rules for a set of zones.
+///
+/// ```
+/// # use iobt_adapt::safety::{ActuationController, ActuationDecision};
+/// # use iobt_types::{ActuatorKind, NodeId};
+/// let mut gate = ActuationController::new(0.3, 60.0);
+/// // Route markers need no human in the loop; demolition does.
+/// assert_eq!(
+///     gate.request(NodeId::new(1), ActuatorKind::Marker, 0, 0.0),
+///     ActuationDecision::Approved
+/// );
+/// assert_eq!(
+///     gate.request(NodeId::new(1), ActuatorKind::Demolition, 0, 0.0),
+///     ActuationDecision::DeniedNoAuthorization
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActuationController {
+    occupancy_threshold: f64,
+    occupancy_tau_s: f64,
+    /// Per-zone `(last_detection_s, belief_at_detection)`.
+    occupancy: HashMap<u32, (f64, f64)>,
+    authorizations: Vec<HumanAuthorization>,
+    audit: Vec<AuditEntry>,
+}
+
+impl ActuationController {
+    /// Creates a controller: actuation is withheld while a zone's
+    /// occupancy belief exceeds `occupancy_threshold`; beliefs decay with
+    /// time constant `occupancy_tau_s`.
+    pub fn new(occupancy_threshold: f64, occupancy_tau_s: f64) -> Self {
+        ActuationController {
+            occupancy_threshold: occupancy_threshold.clamp(0.0, 1.0),
+            occupancy_tau_s: occupancy_tau_s.max(1e-9),
+            occupancy: HashMap::new(),
+            authorizations: Vec::new(),
+            audit: Vec::new(),
+        }
+    }
+
+    /// Feeds an occupancy detection for `zone` with confidence in
+    /// `[0, 1]` at time `now_s`. Beliefs merge by maximum (one confident
+    /// detection is enough to withhold).
+    pub fn report_occupancy(&mut self, zone: u32, confidence: f64, now_s: f64) {
+        let confidence = confidence.clamp(0.0, 1.0);
+        let current = self.occupancy_belief(zone, now_s);
+        self.occupancy
+            .insert(zone, (now_s, current.max(confidence)));
+    }
+
+    /// Current occupancy belief for a zone (decayed).
+    pub fn occupancy_belief(&self, zone: u32, now_s: f64) -> f64 {
+        match self.occupancy.get(&zone) {
+            Some(&(t, b)) => b * (-(now_s - t).max(0.0) / self.occupancy_tau_s).exp(),
+            None => 0.0,
+        }
+    }
+
+    /// Registers a human authorization.
+    pub fn grant(&mut self, authorization: HumanAuthorization) {
+        self.authorizations.push(authorization);
+    }
+
+    /// Handles an actuation request; logs and returns the decision.
+    pub fn request(
+        &mut self,
+        requester: NodeId,
+        actuator: ActuatorKind,
+        zone: u32,
+        now_s: f64,
+    ) -> ActuationDecision {
+        let decision = if self.occupancy_belief(zone, now_s) > self.occupancy_threshold {
+            // The occupancy interlock overrides even authorized fires.
+            ActuationDecision::WithheldOccupied
+        } else if actuator.requires_human_authorization()
+            && !self.authorizations.iter().any(|a| {
+                a.actuator == actuator && a.zone == zone && a.expires_at_s >= now_s
+            })
+        {
+            ActuationDecision::DeniedNoAuthorization
+        } else {
+            ActuationDecision::Approved
+        };
+        self.audit.push(AuditEntry {
+            at_s: now_s,
+            requester,
+            actuator,
+            zone,
+            decision,
+        });
+        decision
+    }
+
+    /// The full audit log, in request order.
+    pub fn audit_log(&self) -> &[AuditEntry] {
+        &self.audit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> ActuationController {
+        ActuationController::new(0.3, 60.0)
+    }
+
+    #[test]
+    fn markers_fire_without_authorization() {
+        let mut c = controller();
+        let d = c.request(NodeId::new(1), ActuatorKind::Marker, 0, 10.0);
+        assert_eq!(d, ActuationDecision::Approved);
+    }
+
+    #[test]
+    fn demolition_requires_live_human_authorization() {
+        let mut c = controller();
+        let d = c.request(NodeId::new(1), ActuatorKind::Demolition, 0, 10.0);
+        assert_eq!(d, ActuationDecision::DeniedNoAuthorization);
+        c.grant(HumanAuthorization {
+            authorizer: NodeId::new(99),
+            actuator: ActuatorKind::Demolition,
+            zone: 0,
+            expires_at_s: 100.0,
+        });
+        let d = c.request(NodeId::new(1), ActuatorKind::Demolition, 0, 50.0);
+        assert_eq!(d, ActuationDecision::Approved);
+        // Expired token is no token.
+        let d = c.request(NodeId::new(1), ActuatorKind::Demolition, 0, 200.0);
+        assert_eq!(d, ActuationDecision::DeniedNoAuthorization);
+    }
+
+    #[test]
+    fn authorization_is_zone_scoped() {
+        let mut c = controller();
+        c.grant(HumanAuthorization {
+            authorizer: NodeId::new(99),
+            actuator: ActuatorKind::Demolition,
+            zone: 7,
+            expires_at_s: 100.0,
+        });
+        let other_zone = c.request(NodeId::new(1), ActuatorKind::Demolition, 8, 10.0);
+        assert_eq!(other_zone, ActuationDecision::DeniedNoAuthorization);
+    }
+
+    #[test]
+    fn occupancy_withholds_even_authorized_fires() {
+        let mut c = controller();
+        c.grant(HumanAuthorization {
+            authorizer: NodeId::new(99),
+            actuator: ActuatorKind::Demolition,
+            zone: 0,
+            expires_at_s: 1_000.0,
+        });
+        c.report_occupancy(0, 0.9, 10.0);
+        let d = c.request(NodeId::new(1), ActuatorKind::Demolition, 0, 11.0);
+        assert_eq!(d, ActuationDecision::WithheldOccupied);
+        // Belief decays: after ~3 time constants the zone clears.
+        let d = c.request(NodeId::new(1), ActuatorKind::Demolition, 0, 11.0 + 200.0);
+        assert_eq!(d, ActuationDecision::Approved);
+    }
+
+    #[test]
+    fn occupancy_belief_merges_by_max_and_decays() {
+        let mut c = controller();
+        c.report_occupancy(3, 0.5, 0.0);
+        c.report_occupancy(3, 0.2, 1.0); // weaker detection must not lower belief
+        assert!(c.occupancy_belief(3, 1.0) > 0.45);
+        assert!(c.occupancy_belief(3, 500.0) < 0.01);
+        assert_eq!(c.occupancy_belief(99, 0.0), 0.0);
+    }
+
+    #[test]
+    fn every_request_is_audited() {
+        let mut c = controller();
+        c.request(NodeId::new(1), ActuatorKind::Marker, 0, 1.0);
+        c.request(NodeId::new(2), ActuatorKind::Demolition, 0, 2.0);
+        let log = c.audit_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].decision, ActuationDecision::Approved);
+        assert_eq!(log[1].decision, ActuationDecision::DeniedNoAuthorization);
+        assert_eq!(log[1].requester, NodeId::new(2));
+    }
+}

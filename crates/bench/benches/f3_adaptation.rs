@@ -1,0 +1,136 @@
+//! Experiment `f3_adaptation` (paper Fig. 3, §IV): adaptive, self-aware
+//! behaviour — best-response convergence of intent decomposition, the
+//! modality-switching reflex, and self-stabilization effort.
+//!
+//! Paper claims: agent-objective design makes battlefield interactions
+//! "converge to an equilibrium in which the desired objectives are met"
+//! (fast, without explicit coordination), and reflexes switch modalities
+//! "when smoke or other phenomena render visual tracking unreliable".
+
+use iobt_adapt::{
+    track, FusionRule, IntentGame, InvariantMonitor, ModalitySwitcher, Stabilizer, SwitchPolicy,
+};
+use iobt_bench::{f3, pm, Table};
+use iobt_types::SensorKind;
+
+fn convergence_table() -> Table {
+    let mut table = Table::new(
+        "f3_adaptation_convergence",
+        "Best-response convergence of intent decomposition vs fleet size",
+        &["agents", "tasks", "sweeps", "moves", "nash"],
+    );
+    for &(agents, tasks) in &[(10usize, 3usize), (100, 5), (1_000, 8), (5_000, 10)] {
+        let weights: Vec<f64> = (1..=tasks).map(|t| t as f64).collect();
+        let game = IntentGame::new(weights);
+        let mut sweeps = Vec::new();
+        let mut moves = Vec::new();
+        let mut all_nash = true;
+        for seed in 0..5u64 {
+            let eq = game.best_response(agents, seed);
+            sweeps.push(eq.sweeps as f64);
+            moves.push(eq.moves as f64);
+            all_nash &= eq.converged && game.is_nash(&eq.assignment);
+        }
+        table.row(vec![
+            agents.to_string(),
+            tasks.to_string(),
+            pm(&sweeps),
+            pm(&moves),
+            all_nash.to_string(),
+        ]);
+    }
+    table
+}
+
+fn reflex_table() -> Table {
+    let mut table = Table::new(
+        "f3_adaptation_reflex",
+        "Modality-switching reflex: smoke event at step 50 of 200",
+        &["policy margin", "switched by step", "switches total", "final modality"],
+    );
+    for &margin in &[0.05, 0.15, 0.3] {
+        let mut s = ModalitySwitcher::new(
+            &[SensorKind::Visual, SensorKind::Seismic],
+            SwitchPolicy {
+                switch_margin: margin,
+                ..SwitchPolicy::default()
+            },
+        );
+        let mut switched_at: Option<usize> = None;
+        for step in 0..200 {
+            // Visual healthy until smoke at 50, then collapses; seismic
+            // steady at 0.8 with small deterministic wobble.
+            let visual = if step < 50 { 0.95 } else { 0.05 };
+            let wobble = if step % 2 == 0 { 0.02 } else { -0.02 };
+            s.observe(SensorKind::Visual, visual);
+            s.observe(SensorKind::Seismic, 0.8 + wobble);
+            if switched_at.is_none() && s.active() == Some(SensorKind::Seismic) {
+                switched_at = Some(step);
+            }
+        }
+        table.row(vec![
+            f3(margin),
+            switched_at.map_or("never".to_string(), |s| s.to_string()),
+            s.switches().to_string(),
+            s.active().map_or("none".to_string(), |k| k.to_string()),
+        ]);
+    }
+    table
+}
+
+fn stabilization_table() -> Table {
+    let mut table = Table::new(
+        "f3_adaptation_stabilization",
+        "Self-stabilization effort vs displacement from the invariant set",
+        &["initial deficit", "rounds", "corrections", "stable"],
+    );
+    for &deficit in &[1i32, 10, 100, 1_000] {
+        let stabilizer: Stabilizer<i32> = Stabilizer::new().monitor(InvariantMonitor::new(
+            "replicas at target",
+            |s: &i32| *s >= 0,
+            |s: &mut i32| *s += 1,
+        ));
+        let mut state = -deficit;
+        let report = stabilizer.stabilize(&mut state, 10_000);
+        table.row(vec![
+            deficit.to_string(),
+            report.rounds.to_string(),
+            report.corrections.to_string(),
+            report.stable.to_string(),
+        ]);
+    }
+    table
+}
+
+fn estimation_table() -> Table {
+    let mut table = Table::new(
+        "f3_resilient_estimation",
+        "Tracking RMSE with contaminated sensors (9 sensors, bias 100 units)",
+        &["compromised", "mean fusion rmse", "median fusion rmse"],
+    );
+    let truth: Vec<f64> = (0..200).map(|t| t as f64 * 2.0).collect();
+    for &bad in &[0usize, 2, 4, 5] {
+        let mean = track(&truth, 9, bad, 100.0, FusionRule::Mean);
+        let median = track(&truth, 9, bad, 100.0, FusionRule::Median);
+        table.row(vec![
+            format!("{bad}/9"),
+            f3(mean.rmse),
+            f3(median.rmse),
+        ]);
+    }
+    table
+}
+
+fn main() {
+    convergence_table().finish();
+    reflex_table().finish();
+    stabilization_table().finish();
+    estimation_table().finish();
+    println!(
+        "\nShape check: sweeps grow sublinearly with fleet size; wider hysteresis \
+         margins delay (but do not prevent) the smoke-triggered switch; \
+         stabilization effort is linear in the displacement; median-fusion \
+         tracking is unmoved by any sensor minority and breaks exactly at \
+         the 5/9 majority — the classic breakdown point."
+    );
+}

@@ -1,0 +1,215 @@
+//! Experiment `f4_learning_services` (paper Fig. 4, §V): intelligent
+//! battlefield services under adversarial pressure.
+//!
+//! Part A — social-sensing truth discovery: claim accuracy vs fraction of
+//! adversarial sources, EM fact-finder vs weighted vote vs majority vote.
+//! Paper claim: "analytics must deal with conflicting and deceptive data"
+//! — the estimation-theoretic approach degrades gracefully where naive
+//! voting collapses.
+//!
+//! Part B — Byzantine-resilient distributed learning: final accuracy vs
+//! number of compromised workers for each aggregation rule under a
+//! sign-flip attack. Paper claim: learning must "tolerate a wide array of
+//! failures and adversarial compromises of learning nodes".
+
+use iobt_bench::{pm, Table};
+use iobt_learning::{
+    logistic_dataset, partition, poison_labels, train_federated, Aggregator, ByzantineAttack,
+    Dataset, FederatedConfig,
+};
+use iobt_truth::{discover, majority_vote, weighted_vote, EmConfig, ScenarioBuilder};
+
+fn truth_table() -> Table {
+    let mut table = Table::new(
+        "f4_truth_discovery",
+        "Claim accuracy vs adversarial source fraction (60 sources, 200 claims)",
+        &["adversarial %", "EM", "weighted vote", "majority vote"],
+    );
+    for &adv in &[0.0, 0.1, 0.2, 0.3, 0.4] {
+        let mut em_acc = Vec::new();
+        let mut wv_acc = Vec::new();
+        let mut mv_acc = Vec::new();
+        for seed in 0..5u64 {
+            let s = ScenarioBuilder::new(60, 200)
+                .observe_prob(0.3)
+                .adversarial_fraction(adv)
+                .build(seed);
+            let est = discover(&s.reports, s.num_sources, s.num_claims, EmConfig::default());
+            em_acc.push(s.score_claims(&est.claim_values()));
+            let (wv, _) = weighted_vote(&s.reports, s.num_sources, s.num_claims, 10);
+            wv_acc.push(s.score_claims(&wv));
+            mv_acc.push(s.score_claims(&majority_vote(&s.reports, s.num_claims)));
+        }
+        table.row(vec![
+            format!("{:.0}", adv * 100.0),
+            pm(&em_acc),
+            pm(&wv_acc),
+            pm(&mv_acc),
+        ]);
+    }
+    table
+}
+
+fn byzantine_table() -> Table {
+    let mut table = Table::new(
+        "f4_byzantine_learning",
+        "Federated accuracy vs #attackers of 12 workers (sign-flip x10)",
+        &["attackers", "mean", "median", "trimmed(3)", "krum"],
+    );
+    let aggregators = [
+        Aggregator::Mean,
+        Aggregator::Median,
+        Aggregator::TrimmedMean { trim: 3 },
+        Aggregator::Krum { f: 3 },
+    ];
+    for &attackers in &[0usize, 1, 2, 3, 4] {
+        let mut cells = vec![attackers.to_string()];
+        for agg in aggregators {
+            let mut accs = Vec::new();
+            for seed in 0..3u64 {
+                let d = logistic_dataset(1_500, 6, 5.0, seed);
+                let (train, test) = d.examples.split_at(1_200);
+                let ds = Dataset {
+                    examples: train.to_vec(),
+                    dim: 6,
+                    true_weights: d.true_weights.clone(),
+                };
+                let shards = partition(&ds, 12, 0.3, seed + 100);
+                let run = train_federated(
+                    6,
+                    &shards,
+                    test,
+                    &FederatedConfig {
+                        aggregator: agg,
+                        attack: (attackers > 0)
+                            .then_some(ByzantineAttack::SignFlip { scale: 10.0 }),
+                        num_attackers: attackers,
+                        rounds: 40,
+                        seed,
+                        ..FederatedConfig::default()
+                    },
+                );
+                accs.push(run.final_accuracy());
+            }
+            cells.push(pm(&accs));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+fn collusion_table() -> Table {
+    let mut table = Table::new(
+        "f4_collusion_learning",
+        "Stealthy collusion attack (z=1.5, 3 of 12 workers)",
+        &["aggregator", "clean accuracy", "attacked accuracy", "degradation"],
+    );
+    for agg in [
+        Aggregator::Mean,
+        Aggregator::Median,
+        Aggregator::TrimmedMean { trim: 3 },
+        Aggregator::Krum { f: 3 },
+    ] {
+        let mut clean = Vec::new();
+        let mut attacked = Vec::new();
+        for seed in 0..3u64 {
+            let d = logistic_dataset(1_500, 6, 5.0, seed + 50);
+            let (train, test) = d.examples.split_at(1_200);
+            let ds = Dataset {
+                examples: train.to_vec(),
+                dim: 6,
+                true_weights: d.true_weights.clone(),
+            };
+            let shards = partition(&ds, 12, 0.3, seed + 150);
+            let base = FederatedConfig {
+                aggregator: agg,
+                rounds: 40,
+                seed,
+                ..FederatedConfig::default()
+            };
+            clean.push(train_federated(6, &shards, test, &base).final_accuracy());
+            attacked.push(
+                train_federated(
+                    6,
+                    &shards,
+                    test,
+                    &FederatedConfig {
+                        attack: Some(ByzantineAttack::Collusion { z: 1.5 }),
+                        num_attackers: 3,
+                        ..base
+                    },
+                )
+                .final_accuracy(),
+            );
+        }
+        let (cm, _) = iobt_bench::mean_std(&clean);
+        let (am, _) = iobt_bench::mean_std(&attacked);
+        table.row(vec![
+            agg.to_string(),
+            pm(&clean),
+            pm(&attacked),
+            format!("{:+.3}", am - cm),
+        ]);
+    }
+    table
+}
+
+fn poisoning_table() -> Table {
+    let mut table = Table::new(
+        "f4_label_poisoning",
+        "Data-layer attack: 4 of 12 workers train on label-flipped shards",
+        &["flip prob", "mean", "median", "krum"],
+    );
+    for &flip in &[0.0, 0.5, 1.0] {
+        let mut cells = vec![format!("{flip:.1}")];
+        for agg in [Aggregator::Mean, Aggregator::Median, Aggregator::Krum { f: 4 }] {
+            let mut accs = Vec::new();
+            for seed in 0..3u64 {
+                let d = logistic_dataset(1_500, 6, 5.0, seed + 200);
+                let (train, test) = d.examples.split_at(1_200);
+                let ds = Dataset {
+                    examples: train.to_vec(),
+                    dim: 6,
+                    true_weights: d.true_weights.clone(),
+                };
+                let mut shards = partition(&ds, 12, 0.3, seed + 300);
+                // Poison the LAST four shards: the compromised workers
+                // compute honest gradients over corrupted data, so the
+                // attack lives below the aggregation layer.
+                for shard in shards.iter_mut().skip(8) {
+                    poison_labels(shard, flip, seed + 400);
+                }
+                let run = train_federated(
+                    6,
+                    &shards,
+                    test,
+                    &FederatedConfig {
+                        aggregator: agg,
+                        rounds: 40,
+                        seed,
+                        ..FederatedConfig::default()
+                    },
+                );
+                accs.push(run.final_accuracy());
+            }
+            cells.push(pm(&accs));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+fn main() {
+    truth_table().finish();
+    byzantine_table().finish();
+    collusion_table().finish();
+    poisoning_table().finish();
+    println!(
+        "\nShape check: EM stays high while majority voting decays with the \
+         adversarial fraction; mean aggregation collapses under sign-flip while \
+         Krum/median/trimmed-mean hold; stealthy collusion degrades everyone \
+         mildly (its design goal is evading robust aggregators); label \
+         poisoning degrades gradually and robust aggregation only partially \
+         helps — the attack lives below the aggregation layer."
+    );
+}

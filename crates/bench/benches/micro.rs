@@ -1,0 +1,130 @@
+//! Criterion microbenchmarks for the hot kernels of every subsystem.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use iobt_learning::{gossip_mix, krum, MixingTopology};
+use iobt_netsim::{Channel, Clutter, Terrain};
+use iobt_synthesis::{CompositionProblem, Solver};
+use iobt_tomography::{MeasurementSystem, Topology};
+use iobt_truth::{discover, EmConfig, ScenarioBuilder};
+use iobt_types::catalog::PopulationBuilder;
+use iobt_types::{
+    Mission, MissionId, MissionKind, NodeSpec, Point, RadioKind, Rect, SensorKind,
+};
+
+fn bench_path_loss(c: &mut Criterion) {
+    let channel = Channel::new(Terrain::random_urban(Rect::square(2_000.0), 20, 20, 1));
+    let points: Vec<(Point, Point)> = (0..256)
+        .map(|i| {
+            (
+                Point::new((i * 7 % 2_000) as f64, (i * 13 % 2_000) as f64),
+                Point::new((i * 29 % 2_000) as f64, (i * 31 % 2_000) as f64),
+            )
+        })
+        .collect();
+    c.bench_function("channel/mean_delivery_probability_256_links", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(from, to) in &points {
+                acc += channel.mean_delivery_probability(from, to, RadioKind::Wifi);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    use iobt_netsim::{ConnectivityGraph, GraphNode};
+    let catalog = PopulationBuilder::new(Rect::square(2_000.0)).count(500).build(3);
+    let nodes: Vec<GraphNode> = catalog
+        .iter()
+        .map(|n| GraphNode {
+            id: n.id(),
+            position: n.position(),
+            radios: n.capabilities().radios().iter().map(|r| r.kind()).collect(),
+            alive: true,
+        })
+        .collect();
+    let channel = Channel::new(Terrain::uniform(Rect::square(2_000.0), Clutter::Suburban));
+    c.bench_function("graph/build_500_nodes", |b| {
+        b.iter(|| black_box(ConnectivityGraph::build(&nodes, &channel)))
+    });
+}
+
+fn bench_truth_em(c: &mut Criterion) {
+    let s = ScenarioBuilder::new(50, 200).observe_prob(0.3).build(1);
+    c.bench_function("truth/em_50x200", |b| {
+        b.iter(|| {
+            black_box(discover(
+                &s.reports,
+                s.num_sources,
+                s.num_claims,
+                EmConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_krum(c: &mut Criterion) {
+    let grads: Vec<Vec<f64>> = (0..30)
+        .map(|i| (0..100).map(|j| ((i * j) % 17) as f64 * 0.1).collect())
+        .collect();
+    c.bench_function("learning/krum_30x100", |b| {
+        b.iter(|| black_box(krum(&grads, 5).clone()))
+    });
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let values: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64; 32]).collect();
+    let edges = MixingTopology::Random { degree: 4 }.edges(64, 0, 1);
+    c.bench_function("learning/gossip_mix_64x32", |b| {
+        b.iter_batched(
+            || values.clone(),
+            |mut v| {
+                gossip_mix(&mut v, &edges);
+                black_box(v)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_greedy_composition(c: &mut Criterion) {
+    let catalog = PopulationBuilder::new(Rect::square(2_000.0)).count(1_000).build(5);
+    let specs: Vec<NodeSpec> = catalog.iter().cloned().collect();
+    let mission = Mission::builder(MissionId::new(1), MissionKind::Surveillance)
+        .area(Rect::square(2_000.0))
+        .require_modality(SensorKind::Visual)
+        .coverage_fraction(0.9)
+        .min_trust(0.3)
+        .build();
+    let problem = CompositionProblem::from_mission(&mission, &specs, 8);
+    c.bench_function("synthesis/greedy_1000_candidates", |b| {
+        b.iter(|| black_box(Solver::Greedy.solve(&problem)))
+    });
+}
+
+fn bench_tomography_identifiability(c: &mut Criterion) {
+    let g = Topology::random_connected(30, 20, 2);
+    let monitors: Vec<usize> = (0..30).step_by(4).collect();
+    c.bench_function("tomography/identifiability_30_nodes", |b| {
+        b.iter(|| {
+            let sys = MeasurementSystem::build(&g, &monitors);
+            black_box(sys.identifiable_fraction())
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_path_loss,
+        bench_graph_build,
+        bench_truth_em,
+        bench_krum,
+        bench_gossip,
+        bench_greedy_composition,
+        bench_tomography_identifiability
+);
+criterion_main!(micro);

@@ -1,0 +1,82 @@
+//! Experiment `t1_discovery` (paper §III-A): red/gray/blue classification
+//! from side-channel emissions vs observation window and collection noise.
+//!
+//! Paper claim: "algorithms for discovery of gray/red nodes using side
+//! channel emanations" are feasible but must contend with intermittent,
+//! noisy observation — longer windows and cleaner collection should
+//! monotonically improve precision/recall.
+
+use iobt_bench::{f3, Table};
+use iobt_discovery::{evaluate, EmissionModel, LogisticClassifier, LogisticConfig, NaiveBayes};
+use iobt_types::Affiliation;
+
+fn main() {
+    let mut table = Table::new(
+        "t1_discovery",
+        "Affiliation classification vs observation window and noise",
+        &[
+            "window s",
+            "noise",
+            "model",
+            "accuracy",
+            "red precision",
+            "red recall",
+            "macro F1",
+        ],
+    );
+    for &window in &[10.0, 60.0, 300.0] {
+        for &noise in &[1.0, 3.0] {
+            let mut model = EmissionModel::new(42).with_window_s(window).with_noise(noise);
+            let train = model.labelled_dataset(400);
+            let test = model.labelled_dataset(200);
+            let nb = NaiveBayes::fit(&train).expect("balanced data");
+            let lr = LogisticClassifier::fit(&train, LogisticConfig::default())
+                .expect("balanced data");
+            for (name, confusion) in [
+                ("naive-bayes", evaluate(&nb, &test)),
+                ("logistic", evaluate(&lr, &test)),
+            ] {
+                table.row(vec![
+                    format!("{window:.0}"),
+                    format!("{noise:.0}"),
+                    name.to_string(),
+                    f3(confusion.accuracy()),
+                    f3(confusion.precision(Affiliation::Red)),
+                    f3(confusion.recall(Affiliation::Red)),
+                    f3(confusion.macro_f1()),
+                ]);
+            }
+        }
+    }
+    table.finish();
+
+    // Spoofing ablation: red camouflaging as gray.
+    let mut spoof = Table::new(
+        "t1_discovery_spoofing",
+        "Red recall vs spoofing probability (60 s window, unit noise)",
+        &["spoof prob", "red recall", "red precision"],
+    );
+    let mut model = EmissionModel::new(43);
+    let train = model.labelled_dataset(400);
+    let nb = NaiveBayes::fit(&train).expect("balanced data");
+    for &p in &[0.0, 0.2, 0.4, 0.6, 0.8] {
+        let mut confusion = iobt_discovery::ConfusionMatrix::new();
+        for _ in 0..400 {
+            use iobt_discovery::AffiliationClassifier;
+            let obs = model.observe_with_spoofing(Affiliation::Red, p);
+            confusion.record(Affiliation::Red, nb.classify(&obs));
+            let gray_obs = model.observe_with_spoofing(Affiliation::Gray, 0.0);
+            confusion.record(Affiliation::Gray, nb.classify(&gray_obs));
+        }
+        spoof.row(vec![
+            f3(p),
+            f3(confusion.recall(Affiliation::Red)),
+            f3(confusion.precision(Affiliation::Red)),
+        ]);
+    }
+    spoof.finish();
+    println!(
+        "\nShape check: accuracy and macro-F1 rise with window length, fall \
+         with noise; spoofing trades red recall down while precision holds."
+    );
+}

@@ -1,0 +1,96 @@
+//! Experiment `t4_tomography` (paper §V-A, refs \[19\]–\[22\]): inferring
+//! network health without direct component observation.
+//!
+//! Part A — identifiable-link fraction vs number of monitors, per
+//! placement strategy. Part B — failure-localization precision/recall vs
+//! number of simultaneous failures.
+
+use iobt_bench::{f3, pm, Table};
+use iobt_tomography::{
+    degree_placement, greedy_placement, localize_failures, random_placement, sample_metrics,
+    MeasurementSystem, Topology,
+};
+
+fn identifiability_table() -> Table {
+    let mut table = Table::new(
+        "t4_identifiability",
+        "Identifiable-link fraction vs #monitors (40-node random graphs)",
+        &["monitors", "random", "degree", "greedy", "rmse on identifiable (greedy)"],
+    );
+    for &k in &[2usize, 4, 6, 8, 12] {
+        let mut rand_frac = Vec::new();
+        let mut deg_frac = Vec::new();
+        let mut greedy_frac = Vec::new();
+        let mut rmse = Vec::new();
+        for seed in 0..3u64 {
+            let g = Topology::random_connected(40, 25, seed);
+            let rp = random_placement(&g, k, seed + 10);
+            rand_frac.push(MeasurementSystem::build(&g, &rp).identifiable_fraction());
+            let dp = degree_placement(&g, k);
+            deg_frac.push(MeasurementSystem::build(&g, &dp).identifiable_fraction());
+            let gp = greedy_placement(&g, k);
+            let sys = MeasurementSystem::build(&g, &gp);
+            greedy_frac.push(sys.identifiable_fraction());
+            let truth = sample_metrics(&g, 1.0, 20.0, seed);
+            rmse.push(sys.infer(&truth, 0.0, 0).identifiable_rmse());
+        }
+        table.row(vec![
+            k.to_string(),
+            pm(&rand_frac),
+            pm(&deg_frac),
+            pm(&greedy_frac),
+            pm(&rmse),
+        ]);
+    }
+    table
+}
+
+fn localization_table() -> Table {
+    let mut table = Table::new(
+        "t4_failure_localization",
+        "Boolean failure localization on a 6x6 grid (monitors = all border nodes)",
+        &["#failures", "precision", "recall", "unexplained paths"],
+    );
+    let g = Topology::grid(6, 6);
+    let border: Vec<usize> = (0..36)
+        .filter(|&v| {
+            let (c, r) = (v % 6, v / 6);
+            c == 0 || c == 5 || r == 0 || r == 5
+        })
+        .collect();
+    for &fails in &[1usize, 2, 3, 5] {
+        let mut precision = Vec::new();
+        let mut recall = Vec::new();
+        let mut unexplained = Vec::new();
+        for seed in 0..5u64 {
+            // Deterministic pseudo-random failure set.
+            let failed: Vec<usize> = (0..fails)
+                .map(|i| (seed as usize * 17 + i * 23) % g.edge_count())
+                .collect();
+            let mut failed_unique = failed.clone();
+            failed_unique.sort_unstable();
+            failed_unique.dedup();
+            let loc = localize_failures(&g, &border, &failed_unique);
+            precision.push(loc.precision(&failed_unique));
+            recall.push(loc.recall(&failed_unique));
+            unexplained.push(loc.unexplained_paths as f64);
+        }
+        table.row(vec![
+            fails.to_string(),
+            pm(&precision),
+            pm(&recall),
+            f3(unexplained.iter().sum::<f64>() / unexplained.len() as f64),
+        ]);
+    }
+    table
+}
+
+fn main() {
+    identifiability_table().finish();
+    localization_table().finish();
+    println!(
+        "\nShape check: identifiability grows monotonically with monitor \
+         count and greedy ≥ degree ≥ random; localization precision/recall \
+         degrade gracefully as simultaneous failures increase."
+    );
+}

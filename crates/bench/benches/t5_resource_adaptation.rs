@@ -1,0 +1,60 @@
+//! Experiment `t5_resource_adaptation` (paper §IV-B): edge-resource
+//! allocation under moving hotspots and a DoS flood.
+//!
+//! Paper claim: allocation must "dynamically reallocate … to handle
+//! rapidly changing situations", "scale … to match workloads that exhibit
+//! high spatial and temporal variability", and "prevent any subset of IoBT
+//! devices (including attackers) from saturating" shared resources.
+//! Ablation: static split vs demand-proportional (tracks hotspots but is
+//! stealable by a flood) vs max-min water-filling (contains the flood).
+
+use iobt_adapt::{hotspot_trace, simulate, AllocationPolicy};
+use iobt_bench::{f1, f3, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "t5_resource_adaptation",
+        "Latency under hotspot + DoS (8 regions, 60 epochs, capacity 300 req/s)",
+        &[
+            "workload",
+            "policy",
+            "mean ms",
+            "p50 ms",
+            "p99 ms",
+            "saturated %",
+        ],
+    );
+    let capacity = 300.0;
+    let workloads: Vec<(&str, Vec<Vec<f64>>)> = vec![
+        ("hotspot", hotspot_trace(8, 60, 12.0, 90.0, None, 0, 0.0)),
+        (
+            "hotspot+dos",
+            hotspot_trace(8, 60, 12.0, 90.0, Some(0), 20, 600.0),
+        ),
+    ];
+    let policies = [
+        AllocationPolicy::Static,
+        AllocationPolicy::Proportional,
+        AllocationPolicy::MaxMin { headroom: 0.2 },
+    ];
+    for (name, trace) in &workloads {
+        for policy in policies {
+            let run = simulate(policy, capacity, trace);
+            table.row(vec![
+                name.to_string(),
+                policy.to_string(),
+                f1(run.mean_ms()),
+                f1(run.quantile_ms(0.5)),
+                f1(run.quantile_ms(0.99)),
+                f3(run.saturation_fraction * 100.0),
+            ]);
+        }
+    }
+    table.finish();
+    println!(
+        "\nShape check: both reactive policies beat static on the moving \
+         hotspot; under DoS, proportional lets the flood steal the pool \
+         (victims saturate) while max-min confines saturation to the \
+         attacker's own region."
+    );
+}

@@ -1,0 +1,67 @@
+//! Experiment `t6_learning_cost` (paper §V-B, refs \[28\]–\[33\]): the
+//! accuracy-vs-communication frontier of topology activation policies for
+//! decentralized learning.
+//!
+//! Paper claim: "one might activate different network topologies based on
+//! the trade-off between network learning and communication", jointly
+//! optimizing "learning cost and decision making accuracy". The adaptive
+//! policy should sit near dense accuracy at a fraction of the bytes.
+
+use iobt_bench::{pm, Table};
+use iobt_learning::{cost_aware_sgd, logistic_dataset, partition, ActivationPolicy, Dataset};
+
+fn main() {
+    let mut table = Table::new(
+        "t6_learning_cost",
+        "Accuracy vs communication (16 nodes, 15 rounds, fully label-skewed shards)",
+        &[
+            "policy",
+            "avg-model accuracy",
+            "worst-node accuracy",
+            "kB on wire",
+            "dense rounds",
+        ],
+    );
+    let policies = [
+        ActivationPolicy::AlwaysDense,
+        ActivationPolicy::Periodic { period: 4 },
+        ActivationPolicy::Adaptive { threshold: 0.05 },
+        ActivationPolicy::AlwaysSparse,
+    ];
+    for policy in policies {
+        let mut accs = Vec::new();
+        let mut worst = Vec::new();
+        let mut kbs = Vec::new();
+        let mut dense = Vec::new();
+        for seed in 0..3u64 {
+            let d = logistic_dataset(1_600, 6, 5.0, seed);
+            let (train, test) = d.examples.split_at(1_200);
+            let ds = Dataset {
+                examples: train.to_vec(),
+                dim: 6,
+                true_weights: d.true_weights.clone(),
+            };
+            // Extreme label skew + a short horizon: mixing speed decides
+            // whether stragglers escape their biased shards.
+            let shards = partition(&ds, 16, 1.0, seed + 7);
+            let run = cost_aware_sgd(6, &shards, test, policy, 15, 0.5, seed);
+            accs.push(run.final_accuracy);
+            worst.push(run.min_node_accuracy);
+            kbs.push(run.bytes as f64 / 1_024.0);
+            dense.push(run.dense_rounds as f64);
+        }
+        table.row(vec![
+            policy.to_string(),
+            pm(&accs),
+            pm(&worst),
+            pm(&kbs),
+            pm(&dense),
+        ]);
+    }
+    table.finish();
+    println!(
+        "\nShape check: the average model is robust, but the worst node's \
+         accuracy collapses under sparse mixing on skewed shards; dense \
+         fixes it at maximal bytes, periodic/adaptive trace the frontier."
+    );
+}

@@ -1,0 +1,75 @@
+//! The IoBT runtime facade (paper Fig. 1): discovery → recruitment →
+//! assured synthesis → adaptive execution, end to end over the battlefield
+//! simulator, with the learning services available alongside.
+//!
+//! * [`scenario`] — builders for the operations the paper motivates
+//!   (urban evacuation, persistent surveillance, disaster relief).
+//! * [`runtime`] — [`run_mission`]: the full pipeline with per-window
+//!   utility tracing, disruption injection, and the repair reflex.
+//! * [`tasking`] — arbitration of one asset pool across multiple
+//!   concurrent missions by priority (§II's competing networks).
+//! * [`humans`] — human-asset characterization: truth-discovery output
+//!   becomes trust-ledger evidence (§III-A human assets).
+//! * [`diagnostics`] — tomography run against the simulated network:
+//!   localizing dead nodes from monitor observations only (§V-A).
+//! * [`behaviors`] — the simulator behaviours (sensor reporters, command
+//!   sink) the runtime deploys.
+//!
+//! The individual subsystems are re-exported for direct access:
+//! [`discovery`], [`synthesis`], [`adapt`], [`truth`], [`tomography`],
+//! [`learning`], [`netsim`], [`types`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use iobt_core::prelude::*;
+//!
+//! let scenario = persistent_surveillance(200, 42);
+//! let report = run_mission(&scenario, &RunConfig::default());
+//! println!(
+//!     "recruited {} assets, mean utility {:.2}, {} repairs",
+//!     report.recruited,
+//!     report.mean_utility(),
+//!     report.repairs
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behaviors;
+pub mod diagnostics;
+pub mod humans;
+pub mod runtime;
+pub mod tasking;
+pub mod scenario;
+
+pub use behaviors::{new_report_log, CommandSink, DeliveredReport, ReportLog, SensorReporter};
+pub use diagnostics::{diagnose_failures, DiagnosisReport, NetworkModel};
+pub use humans::{calibrate_human_trust, CalibrationSummary};
+pub use runtime::{run_mission, MissionReport, RunConfig, WindowStat};
+pub use tasking::{allocate_missions, MissionAllocation, TaskingPlan};
+pub use scenario::{
+    disaster_relief, persistent_surveillance, urban_evacuation, Disruption, Scenario,
+    COMMAND_POST_ID,
+};
+
+pub use iobt_adapt as adapt;
+pub use iobt_discovery as discovery;
+pub use iobt_learning as learning;
+pub use iobt_netsim as netsim;
+pub use iobt_synthesis as synthesis;
+pub use iobt_tomography as tomography;
+pub use iobt_truth as truth;
+pub use iobt_types as types;
+
+/// Convenience re-exports for examples and integration tests.
+pub mod prelude {
+    pub use crate::runtime::{run_mission, MissionReport, RunConfig, WindowStat};
+    pub use crate::scenario::{
+        disaster_relief, persistent_surveillance, urban_evacuation, Disruption, Scenario,
+    };
+    pub use crate::tasking::{allocate_missions, MissionAllocation, TaskingPlan};
+    pub use crate::humans::{calibrate_human_trust, CalibrationSummary};
+    pub use crate::diagnostics::{diagnose_failures, DiagnosisReport, NetworkModel};
+}

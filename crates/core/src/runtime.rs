@@ -1,0 +1,393 @@
+//! The mission runtime: discovery → recruitment → synthesis → adaptive
+//! execution, end to end over the simulator (paper Fig. 1).
+
+use std::collections::HashSet;
+
+use iobt_discovery::{
+    recruit, AffiliationClassifier, DiscoveryTracker, EmissionModel, NaiveBayes, RecruitPolicy,
+    TrackerConfig,
+};
+use iobt_netsim::{SimDuration, Simulator};
+use iobt_synthesis::{assess, failure_probability, repair, AssuranceReport, CompositionProblem, CompositionResult, Solver};
+use iobt_types::{NodeId, NodeSpec, TrustLedger};
+
+use crate::behaviors::{new_report_log, CommandSink, SensorReporter};
+use crate::scenario::{Disruption, Scenario};
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Total mission duration.
+    pub duration: SimDuration,
+    /// Utility sampling window.
+    pub window: SimDuration,
+    /// Sensor report period.
+    pub report_period: SimDuration,
+    /// Whether the runtime repairs the composition when utility drops
+    /// (the paper's adaptive reflexes; `false` gives the static baseline).
+    pub adaptive: bool,
+    /// Utility threshold that triggers a repair.
+    pub repair_threshold: f64,
+    /// Coverage grid resolution (cells per side).
+    pub grid: usize,
+    /// Composition solver.
+    pub solver: Solver,
+    /// Drop recruited assets that cannot reach the command post over the
+    /// initial connectivity graph (§III-B network composition: selecting a
+    /// sensor that cannot report is wasted coverage).
+    pub require_reachability: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            duration: SimDuration::from_secs_f64(120.0),
+            window: SimDuration::from_secs_f64(10.0),
+            report_period: SimDuration::from_secs_f64(2.0),
+            adaptive: true,
+            repair_threshold: 0.7,
+            grid: 6,
+            solver: Solver::Greedy,
+            require_reachability: true,
+        }
+    }
+}
+
+/// Utility measured over one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStat {
+    /// Window start, seconds.
+    pub start_s: f64,
+    /// Nodes expected to report (current selection size).
+    pub expected: usize,
+    /// Distinct selected nodes whose reports arrived.
+    pub reporting: usize,
+    /// `reporting / expected` (1.0 when nothing was expected).
+    pub utility: f64,
+}
+
+/// Full mission outcome.
+#[derive(Debug, Clone)]
+pub struct MissionReport {
+    /// Assets admitted by recruitment.
+    pub recruited: usize,
+    /// Assets rejected as suspected red.
+    pub rejected_red: usize,
+    /// Recruited assets dropped because they could not reach the command
+    /// post (only counted when `require_reachability` is on).
+    pub unreachable: usize,
+    /// Fraction of admitted assets that are truly red (ground truth).
+    pub infiltration_rate: f64,
+    /// The initial composition.
+    pub composition: CompositionResult,
+    /// Assurance prediction for the initial composition: probability of
+    /// retaining ≥ 90% of the deployed coverage under trust-derived
+    /// independent failures.
+    pub assurance: AssuranceReport,
+    /// Per-window utility trace.
+    pub windows: Vec<WindowStat>,
+    /// Repairs performed during execution.
+    pub repairs: usize,
+    /// Network delivery ratio across the run.
+    pub delivery_ratio: f64,
+    /// Mean end-to-end report latency in milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+impl MissionReport {
+    /// Mean utility across windows.
+    pub fn mean_utility(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows.iter().map(|w| w.utility).sum::<f64>() / self.windows.len() as f64
+    }
+
+    /// Worst window utility.
+    pub fn min_utility(&self) -> f64 {
+        self.windows
+            .iter()
+            .map(|w| w.utility)
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+
+    /// Mean utility over windows starting at or after `t_s` — used to
+    /// measure post-disruption recovery.
+    pub fn utility_after(&self, t_s: f64) -> f64 {
+        let tail: Vec<f64> = self
+            .windows
+            .iter()
+            .filter(|w| w.start_s >= t_s)
+            .map(|w| w.utility)
+            .collect();
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        }
+    }
+}
+
+/// Runs the full pipeline on a scenario.
+pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
+    // ---- Phase 1: discovery (side-channel classification + tracking) ----
+    let mut emissions = EmissionModel::new(scenario.seed ^ 0xD15C);
+    let train = emissions.labelled_dataset(300);
+    let classifier = NaiveBayes::fit(&train).expect("balanced training set");
+    let mut tracker = DiscoveryTracker::new(TrackerConfig::default());
+    let mut ledger = TrustLedger::new();
+    for node in scenario.catalog.iter() {
+        // Red emitters camouflage as gray 10% of the time.
+        let obs = emissions.observe_with_spoofing(node.affiliation(), 0.1);
+        let posterior = classifier.posterior(&obs);
+        tracker.observe(node.id(), 0.0, node.position(), posterior);
+        // Second sighting sharpens most estimates (continuous discovery).
+        let obs2 = emissions.observe_with_spoofing(node.affiliation(), 0.1);
+        tracker.observe(node.id(), 1.0, node.position(), classifier.posterior(&obs2));
+        let est = tracker
+            .estimate(node.id())
+            .expect("just observed")
+            .affiliation();
+        ledger.enroll(node.id(), est);
+    }
+
+    // ---- Phase 2: recruitment ----
+    let pool = recruit(
+        &scenario.catalog,
+        &tracker,
+        &ledger,
+        &RecruitPolicy::default(),
+        2.0,
+        TrackerConfig::default().presence_tau_s,
+    );
+
+    // ---- Phase 3: synthesis + assurance ----
+    let mut specs: Vec<NodeSpec> = pool.admitted.iter().map(|a| a.spec.clone()).collect();
+    let mut unreachable = 0usize;
+    if config.require_reachability {
+        // Build the initial connectivity graph once and keep only assets
+        // with a route to the command post.
+        let mut probe_sim = Simulator::builder(scenario.catalog.clone())
+            .terrain(scenario.terrain.clone())
+            .seed(scenario.seed)
+            .build();
+        let graph = probe_sim.connectivity();
+        let before = specs.len();
+        specs.retain(|spec| graph.route(spec.id(), scenario.command_post).is_some());
+        unreachable = before - specs.len();
+    }
+    let problem = CompositionProblem::from_mission(&scenario.mission, &specs, config.grid);
+    let composition = config.solver.solve(&problem);
+    let failure_probs: Vec<f64> = composition
+        .selected
+        .iter()
+        .map(|&i| failure_probability(problem.candidates[i].trust, 0.05, 0.3))
+        .collect();
+    // Assurance is quantified against what was actually deployed: success
+    // means retaining >= 90% of the composition's achieved coverage under
+    // failures. (The mission's own target may be infeasible for the
+    // population, which would make the probability degenerately zero.)
+    let mut assurance_problem = problem.clone();
+    assurance_problem.required_fraction = composition.coverage * 0.9;
+    let assurance = assess(
+        &assurance_problem,
+        &composition.selected,
+        &failure_probs,
+        2_000,
+        scenario.seed ^ 0xA55E,
+    );
+
+    // ---- Phase 4: adaptive execution over the simulator ----
+    let mut builder = Simulator::builder(scenario.catalog.clone())
+        .terrain(scenario.terrain.clone())
+        .seed(scenario.seed);
+    for j in &scenario.jammers {
+        builder = builder.jammer(*j);
+    }
+    let mut sim = builder.build();
+    for d in &scenario.disruptions {
+        match *d {
+            Disruption::JammerOn { at, index } => sim.schedule_jammer(at, index, true),
+            Disruption::NodeLoss { at, node } => sim.schedule_node_down(at, node),
+        }
+    }
+    let log = new_report_log();
+    sim.set_behavior(
+        scenario.command_post,
+        Box::new(CommandSink::new(log.clone())),
+    );
+    let mut selection = composition.selected.clone();
+    let mut active_reporters: HashSet<NodeId> = HashSet::new();
+    let mut current = composition.clone();
+    attach_reporters(
+        &mut sim,
+        &problem,
+        &selection,
+        &mut active_reporters,
+        scenario,
+        config,
+    );
+
+    let mut windows = Vec::new();
+    let mut repairs = 0usize;
+    let total_windows =
+        (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as usize;
+    let mut failed_ever: HashSet<NodeId> = HashSet::new();
+    for w in 0..total_windows {
+        let start_s = sim.now().as_secs_f64();
+        let mark = log.borrow().len();
+        sim.run_for(config.window);
+        let delivered: HashSet<NodeId> = log.borrow()[mark..].iter().map(|r| r.from).collect();
+        let expected = selection.len();
+        let reporting = selection
+            .iter()
+            .filter(|&&i| delivered.contains(&problem.candidates[i].id))
+            .count();
+        let utility = if expected == 0 {
+            1.0
+        } else {
+            reporting as f64 / expected as f64
+        };
+        windows.push(WindowStat {
+            start_s,
+            expected,
+            reporting,
+            utility,
+        });
+        // Reflex: if too few selected assets are heard from, treat the
+        // silent ones as lost and re-cover their pairs from spares.
+        if config.adaptive && utility < config.repair_threshold && w + 1 < total_windows {
+            for &i in &selection {
+                let id = problem.candidates[i].id;
+                if !delivered.contains(&id) {
+                    failed_ever.insert(id);
+                }
+            }
+            let repaired = repair(&problem, &current, &failed_ever);
+            if repaired.selected != selection {
+                repairs += 1;
+                selection = repaired.selected.clone();
+                current = CompositionResult {
+                    selected: repaired.selected,
+                    coverage: repaired.coverage,
+                    cost: problem.cost(&selection),
+                    satisfied: repaired.satisfied,
+                    elapsed_ms: repaired.elapsed_ms,
+                };
+                attach_reporters(
+                    &mut sim,
+                    &problem,
+                    &selection,
+                    &mut active_reporters,
+                    scenario,
+                    config,
+                );
+            }
+        }
+    }
+    let stats = sim.stats();
+    MissionReport {
+        recruited: pool.admitted.len(),
+        rejected_red: pool.rejected_red.len(),
+        unreachable,
+        infiltration_rate: pool.infiltration_rate(),
+        composition,
+        assurance,
+        windows,
+        repairs,
+        delivery_ratio: stats.delivery_ratio(),
+        mean_latency_ms: stats.latency_ms.mean(),
+    }
+}
+
+fn attach_reporters(
+    sim: &mut Simulator,
+    problem: &CompositionProblem,
+    selection: &[usize],
+    active: &mut HashSet<NodeId>,
+    scenario: &Scenario,
+    config: &RunConfig,
+) {
+    for &i in selection {
+        let id = problem.candidates[i].id;
+        if active.insert(id) {
+            sim.set_behavior(
+                id,
+                Box::new(SensorReporter::new(
+                    scenario.command_post,
+                    config.report_period,
+                    128,
+                )),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{persistent_surveillance, urban_evacuation};
+
+    fn quick_config() -> RunConfig {
+        RunConfig {
+            duration: SimDuration::from_secs_f64(60.0),
+            window: SimDuration::from_secs_f64(10.0),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_pipeline_produces_a_coherent_report() {
+        let scenario = persistent_surveillance(120, 5);
+        let report = run_mission(&scenario, &quick_config());
+        assert!(report.recruited > 0, "someone must be recruited");
+        assert!(report.composition.coverage > 0.0);
+        assert_eq!(report.windows.len(), 6);
+        assert!(report.mean_utility() > 0.0, "reports must flow");
+        assert!((0.0..=1.0).contains(&report.infiltration_rate));
+        assert!(report.assurance.expected_coverage > 0.0);
+    }
+
+    #[test]
+    fn adaptive_runtime_repairs_after_attrition() {
+        let scenario = persistent_surveillance(150, 7);
+        let adaptive = run_mission(&scenario, &quick_config());
+        let static_run = run_mission(
+            &scenario,
+            &RunConfig {
+                adaptive: false,
+                ..quick_config()
+            },
+        );
+        // The adaptive run may repair; the static one never does.
+        assert_eq!(static_run.repairs, 0);
+        assert!(
+            adaptive.utility_after(50.0) >= static_run.utility_after(50.0) - 0.1,
+            "adaptive {} vs static {}",
+            adaptive.utility_after(50.0),
+            static_run.utility_after(50.0)
+        );
+    }
+
+    #[test]
+    fn jamming_scenario_runs_to_completion() {
+        let scenario = urban_evacuation(100, 3);
+        let report = run_mission(&scenario, &quick_config());
+        assert_eq!(report.windows.len(), 6);
+        // The jammer fires at t=60 which is the end of this short run, so
+        // utility should be healthy throughout.
+        assert!(report.mean_utility() > 0.3, "{}", report.mean_utility());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let scenario = persistent_surveillance(80, 11);
+        let cfg = quick_config();
+        let a = run_mission(&scenario, &cfg);
+        let b = run_mission(&scenario, &cfg);
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.recruited, b.recruited);
+    }
+}

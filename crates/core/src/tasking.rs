@@ -1,0 +1,208 @@
+//! Multi-mission asset allocation.
+//!
+//! §II: "there will likely be many networks operating simultaneously,
+//! possibly competing for resources. … Tasks are not expected to start or
+//! end simultaneously, and new tasks may emerge as others are being
+//! executed." This module arbitrates one shared asset pool across several
+//! concurrent missions: missions are served in descending
+//! [`Priority`](iobt_types::Priority) order (ties by id), each composing
+//! from the assets the higher-priority missions left behind.
+
+use std::collections::HashSet;
+
+use iobt_synthesis::{CompositionProblem, CompositionResult, Solver};
+use iobt_types::{Mission, NodeId, NodeSpec};
+
+/// Allocation outcome for one mission.
+#[derive(Debug, Clone)]
+pub struct MissionAllocation {
+    /// The mission served.
+    pub mission: Mission,
+    /// Node ids granted to this mission.
+    pub granted: Vec<NodeId>,
+    /// The composition result over the remaining pool.
+    pub composition: CompositionResult,
+    /// Coverage this mission would have achieved with the *full* pool —
+    /// the contention cost is `standalone_coverage - composition.coverage`.
+    pub standalone_coverage: f64,
+}
+
+/// Result of arbitrating the pool.
+#[derive(Debug, Clone)]
+pub struct TaskingPlan {
+    /// Per-mission allocations, in the order they were served.
+    pub allocations: Vec<MissionAllocation>,
+    /// Assets left unassigned.
+    pub spare: usize,
+}
+
+impl TaskingPlan {
+    /// Total coverage shortfall caused by contention, summed over
+    /// missions.
+    pub fn contention_cost(&self) -> f64 {
+        self.allocations
+            .iter()
+            .map(|a| (a.standalone_coverage - a.composition.coverage).max(0.0))
+            .sum()
+    }
+}
+
+/// Serves `missions` from a shared pool of `specs`, highest priority
+/// first (ties broken by ascending mission id, so the plan is
+/// deterministic). Each asset is granted to at most one mission.
+pub fn allocate_missions(
+    specs: &[NodeSpec],
+    missions: &[Mission],
+    grid: usize,
+    solver: Solver,
+) -> TaskingPlan {
+    let mut order: Vec<&Mission> = missions.iter().collect();
+    order.sort_by(|a, b| {
+        b.priority()
+            .cmp(&a.priority())
+            .then(a.id().raw().cmp(&b.id().raw()))
+    });
+    let mut taken: HashSet<NodeId> = HashSet::new();
+    let mut allocations = Vec::with_capacity(order.len());
+    for mission in order {
+        // Standalone upper bound over the full pool.
+        let standalone_problem = CompositionProblem::from_mission(mission, specs, grid);
+        let standalone = solver.solve(&standalone_problem);
+        // Actual allocation over what is left.
+        let remaining: Vec<NodeSpec> = specs
+            .iter()
+            .filter(|s| !taken.contains(&s.id()))
+            .cloned()
+            .collect();
+        let problem = CompositionProblem::from_mission(mission, &remaining, grid);
+        let composition = solver.solve(&problem);
+        let granted: Vec<NodeId> = composition
+            .selected
+            .iter()
+            .map(|&i| problem.candidates[i].id)
+            .collect();
+        taken.extend(granted.iter().copied());
+        allocations.push(MissionAllocation {
+            mission: mission.clone(),
+            granted,
+            composition,
+            standalone_coverage: standalone.coverage,
+        });
+    }
+    TaskingPlan {
+        spare: specs.len().saturating_sub(taken.len()),
+        allocations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iobt_types::{
+        Affiliation, EnergyBudget, MissionId, MissionKind, Point, Priority, Rect, Sensor,
+        SensorKind,
+    };
+
+    fn sensor_node(id: u64, x: f64, y: f64, range: f64) -> NodeSpec {
+        NodeSpec::builder(NodeId::new(id))
+            .affiliation(Affiliation::Blue)
+            .position(Point::new(x, y))
+            .sensor(Sensor::new(SensorKind::Visual, range, 0.9))
+            .energy(EnergyBudget::unlimited())
+            .build()
+    }
+
+    fn mission(id: u64, priority: Priority) -> Mission {
+        Mission::builder(MissionId::new(id), MissionKind::Surveillance)
+            .area(Rect::square(200.0))
+            .require_modality(SensorKind::Visual)
+            .coverage_fraction(1.0)
+            .priority(priority)
+            .build()
+    }
+
+    #[test]
+    fn critical_mission_wins_the_contested_asset() {
+        // One dominating central node, one weaker spare.
+        let specs = vec![
+            sensor_node(1, 100.0, 100.0, 250.0),
+            sensor_node(2, 100.0, 100.0, 160.0),
+        ];
+        let plan = allocate_missions(
+            &specs,
+            &[
+                mission(10, Priority::Low),
+                mission(11, Priority::Critical),
+            ],
+            3,
+            Solver::Greedy,
+        );
+        // Critical is served first despite being listed second.
+        assert_eq!(plan.allocations[0].mission.id().raw(), 11);
+        assert!(plan.allocations[0].granted.contains(&NodeId::new(1)));
+        // Low-priority mission gets the leftover.
+        assert!(!plan.allocations[1].granted.contains(&NodeId::new(1)));
+        // Nothing is double-assigned.
+        let all: Vec<NodeId> = plan
+            .allocations
+            .iter()
+            .flat_map(|a| a.granted.clone())
+            .collect();
+        let unique: HashSet<NodeId> = all.iter().copied().collect();
+        assert_eq!(all.len(), unique.len());
+    }
+
+    #[test]
+    fn contention_cost_is_zero_with_plentiful_assets() {
+        let specs: Vec<NodeSpec> = (0..8)
+            .map(|i| sensor_node(i, 100.0, 100.0, 250.0))
+            .collect();
+        let plan = allocate_missions(
+            &specs,
+            &[mission(1, Priority::Normal), mission(2, Priority::Normal)],
+            3,
+            Solver::Greedy,
+        );
+        assert!(plan.contention_cost() < 1e-9);
+        assert!(plan.allocations.iter().all(|a| a.composition.satisfied));
+        assert!(plan.spare > 0);
+    }
+
+    #[test]
+    fn starved_low_priority_mission_reports_the_shortfall() {
+        let specs = vec![sensor_node(1, 100.0, 100.0, 250.0)];
+        let plan = allocate_missions(
+            &specs,
+            &[mission(1, Priority::Critical), mission(2, Priority::Low)],
+            3,
+            Solver::Greedy,
+        );
+        let low = &plan.allocations[1];
+        assert!(!low.composition.satisfied);
+        assert!(low.standalone_coverage > low.composition.coverage);
+        assert!(plan.contention_cost() > 0.9);
+    }
+
+    #[test]
+    fn equal_priority_ties_break_by_mission_id() {
+        let specs = vec![sensor_node(1, 100.0, 100.0, 250.0)];
+        let plan = allocate_missions(
+            &specs,
+            &[mission(5, Priority::Normal), mission(3, Priority::Normal)],
+            3,
+            Solver::Greedy,
+        );
+        assert_eq!(plan.allocations[0].mission.id().raw(), 3);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let plan = allocate_missions(&[], &[mission(1, Priority::Normal)], 3, Solver::Greedy);
+        assert_eq!(plan.allocations.len(), 1);
+        assert!(plan.allocations[0].granted.is_empty());
+        assert_eq!(plan.spare, 0);
+        let plan = allocate_missions(&[sensor_node(1, 0.0, 0.0, 10.0)], &[], 3, Solver::Greedy);
+        assert!(plan.allocations.is_empty());
+        assert_eq!(plan.spare, 1);
+    }
+}

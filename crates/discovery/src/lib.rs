@@ -1,0 +1,55 @@
+//! Asset discovery and recruitment for the IoBT (paper §III-A).
+//!
+//! The pipeline: a spectrum monitor observes [side-channel emission
+//! features](features) of unknown nodes; from-scratch
+//! [classifiers](classifier) estimate blue/red/gray affiliation; [active
+//! probing](probe) characterizes availability and compute class of
+//! intermittently-connected assets; the [tracker] fuses repeated
+//! observations into per-asset estimates under mobility; and
+//! [recruitment](mod@recruit) joins all evidence with the trust ledger to admit
+//! assets into the pool that the synthesis engine composes from.
+//!
+//! # Examples
+//!
+//! ```
+//! use iobt_discovery::prelude::*;
+//! use iobt_types::Affiliation;
+//!
+//! // Train a side-channel classifier on synthetic emission captures.
+//! let mut emissions = EmissionModel::new(42);
+//! let train = emissions.labelled_dataset(200);
+//! let nb = NaiveBayes::fit(&train).expect("all classes present");
+//!
+//! // Classify a fresh observation of a red emitter.
+//! let obs = emissions.observe(Affiliation::Red);
+//! let posterior = nb.posterior(&obs);
+//! assert!((posterior.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod features;
+pub mod metrics;
+pub mod probe;
+pub mod recruit;
+pub mod tracker;
+
+pub use classifier::{
+    evaluate, AffiliationClassifier, LogisticClassifier, LogisticConfig, NaiveBayes,
+};
+pub use features::{EmissionFeatures, EmissionModel, FEATURE_DIM};
+pub use metrics::ConfusionMatrix;
+pub use probe::{ProbeProfile, ProbeRecord, ProbeTarget, Prober};
+pub use recruit::{recruit, recruit_with_probes, RecruitPolicy, RecruitedAsset, RecruitmentPool};
+pub use tracker::{AssetEstimate, DiscoveryTracker, TrackerConfig};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::{
+        evaluate, recruit, recruit_with_probes, AffiliationClassifier, AssetEstimate, ConfusionMatrix,
+        DiscoveryTracker, EmissionFeatures, EmissionModel, LogisticClassifier, LogisticConfig,
+        NaiveBayes, ProbeTarget, Prober, RecruitPolicy, RecruitmentPool, TrackerConfig,
+    };
+}

@@ -1,0 +1,182 @@
+//! Classification metrics: confusion matrices, precision/recall/F1.
+
+use std::fmt;
+
+use iobt_types::Affiliation;
+
+/// A 3×3 confusion matrix over affiliations (rows = truth, cols = predicted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    counts: [[u64; 3]; 3],
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one (truth, prediction) pair.
+    pub fn record(&mut self, truth: Affiliation, predicted: Affiliation) {
+        self.counts[truth.index()][predicted.index()] += 1;
+    }
+
+    /// Count of samples with the given truth and prediction.
+    pub fn count(&self, truth: Affiliation, predicted: Affiliation) -> u64 {
+        self.counts[truth.index()][predicted.index()]
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy, or `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..3).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision for one class: `TP / (TP + FP)`, or `0.0` with no
+    /// positive predictions.
+    pub fn precision(&self, class: Affiliation) -> f64 {
+        let c = class.index();
+        let tp = self.counts[c][c];
+        let predicted: u64 = (0..3).map(|r| self.counts[r][c]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall for one class: `TP / (TP + FN)`, or `0.0` with no true
+    /// samples of the class.
+    pub fn recall(&self, class: Affiliation) -> f64 {
+        let c = class.index();
+        let tp = self.counts[c][c];
+        let actual: u64 = self.counts[c].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 score for one class (harmonic mean of precision and recall).
+    pub fn f1(&self, class: Affiliation) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 across the three classes.
+    pub fn macro_f1(&self) -> f64 {
+        Affiliation::ALL.iter().map(|&c| self.f1(c)).sum::<f64>() / 3.0
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        for r in 0..3 {
+            for c in 0..3 {
+                self.counts[r][c] += other.counts[r][c];
+            }
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "truth\\pred   blue    red   gray")?;
+        for truth in Affiliation::ALL {
+            write!(f, "{:<10}", truth.to_string())?;
+            for pred in Affiliation::ALL {
+                write!(f, " {:>6}", self.count(truth, pred))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "accuracy={:.3} macroF1={:.3}", self.accuracy(), self.macro_f1())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_matrix() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new();
+        for class in Affiliation::ALL {
+            for _ in 0..10 {
+                m.record(class, class);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn perfect_classifier_has_unit_metrics() {
+        let m = diag_matrix();
+        assert_eq!(m.accuracy(), 1.0);
+        for class in Affiliation::ALL {
+            assert_eq!(m.precision(class), 1.0);
+            assert_eq!(m.recall(class), 1.0);
+            assert_eq!(m.f1(class), 1.0);
+        }
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_zeroed() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(Affiliation::Red), 0.0);
+        assert_eq!(m.recall(Affiliation::Red), 0.0);
+        assert_eq!(m.f1(Affiliation::Red), 0.0);
+    }
+
+    #[test]
+    fn precision_and_recall_differ_under_asymmetric_errors() {
+        let mut m = ConfusionMatrix::new();
+        // 8 red classified red, 2 red classified gray,
+        // 5 gray classified red (false alarms), 5 gray correct.
+        for _ in 0..8 {
+            m.record(Affiliation::Red, Affiliation::Red);
+        }
+        for _ in 0..2 {
+            m.record(Affiliation::Red, Affiliation::Gray);
+        }
+        for _ in 0..5 {
+            m.record(Affiliation::Gray, Affiliation::Red);
+        }
+        for _ in 0..5 {
+            m.record(Affiliation::Gray, Affiliation::Gray);
+        }
+        assert!((m.recall(Affiliation::Red) - 0.8).abs() < 1e-12);
+        assert!((m.precision(Affiliation::Red) - 8.0 / 13.0).abs() < 1e-12);
+        assert!(m.f1(Affiliation::Red) > 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = diag_matrix();
+        let b = diag_matrix();
+        a.merge(&b);
+        assert_eq!(a.total(), 60);
+        assert_eq!(a.count(Affiliation::Blue, Affiliation::Blue), 20);
+    }
+
+    #[test]
+    fn display_contains_class_names() {
+        let s = diag_matrix().to_string();
+        assert!(s.contains("blue"));
+        assert!(s.contains("accuracy"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Active probing of intermittently-connected cyberphysical assets.
+//!
+//! §III-A: mobile wireless assets "may be intermittently connected, so may
+//! not consistently respond to probes or emit traffic". The [`Prober`]
+//! issues probe rounds against nodes with duty-cycled availability and
+//! builds per-node [`ProbeProfile`]s (availability, latency fingerprint)
+//! that feed capability characterization.
+
+use std::collections::BTreeMap;
+
+use iobt_types::{ComputeClass, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ground-truth responsiveness of one probed node (the simulator side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeTarget {
+    /// Node identity.
+    pub id: NodeId,
+    /// Probability the node is awake for any given probe, in `[0, 1]`.
+    pub availability: f64,
+    /// True compute class (drives response latency).
+    pub compute: ComputeClass,
+}
+
+impl ProbeTarget {
+    /// Creates a target, clamping availability into `[0, 1]`.
+    pub fn new(id: NodeId, availability: f64, compute: ComputeClass) -> Self {
+        ProbeTarget {
+            id,
+            availability: availability.clamp(0.0, 1.0),
+            compute,
+        }
+    }
+}
+
+/// One probe outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeRecord {
+    /// Node probed.
+    pub id: NodeId,
+    /// Whether a response arrived.
+    pub responded: bool,
+    /// Response latency in milliseconds (meaningful only when `responded`).
+    pub latency_ms: f64,
+}
+
+/// Accumulated observations about one node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProbeProfile {
+    probes: u64,
+    responses: u64,
+    latency_sum_ms: f64,
+    latency_sq_sum_ms: f64,
+}
+
+impl ProbeProfile {
+    /// Number of probes issued.
+    pub const fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Estimated availability (response fraction), or `0.0` when unprobed.
+    pub fn availability(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.responses as f64 / self.probes as f64
+        }
+    }
+
+    /// Mean response latency in ms, or `None` without any response.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        if self.responses == 0 {
+            None
+        } else {
+            Some(self.latency_sum_ms / self.responses as f64)
+        }
+    }
+
+    /// Infers the compute class from the latency fingerprint: faster
+    /// machines answer probes quicker. Returns `None` without responses.
+    pub fn inferred_compute(&self) -> Option<ComputeClass> {
+        let latency = self.mean_latency_ms()?;
+        Some(match latency {
+            l if l < 2.0 => ComputeClass::EdgeCloud,
+            l if l < 8.0 => ComputeClass::EdgeServer,
+            l if l < 40.0 => ComputeClass::Embedded,
+            _ => ComputeClass::Disposable,
+        })
+    }
+
+    fn record(&mut self, r: ProbeRecord) {
+        self.probes += 1;
+        if r.responded {
+            self.responses += 1;
+            self.latency_sum_ms += r.latency_ms;
+            self.latency_sq_sum_ms += r.latency_ms * r.latency_ms;
+        }
+    }
+}
+
+/// Issues probe rounds and accumulates [`ProbeProfile`]s.
+#[derive(Debug)]
+pub struct Prober {
+    rng: StdRng,
+    profiles: BTreeMap<NodeId, ProbeProfile>,
+}
+
+/// Nominal probe-response latency by compute class, in ms.
+fn base_latency_ms(compute: ComputeClass) -> f64 {
+    match compute {
+        ComputeClass::EdgeCloud => 1.0,
+        ComputeClass::EdgeServer => 5.0,
+        ComputeClass::Embedded => 20.0,
+        ComputeClass::Disposable => 80.0,
+    }
+}
+
+impl Prober {
+    /// Creates a prober with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Prober {
+            rng: StdRng::seed_from_u64(seed),
+            profiles: BTreeMap::new(),
+        }
+    }
+
+    /// Probes every target once, returning this round's records and
+    /// folding them into the profiles.
+    pub fn probe_round(&mut self, targets: &[ProbeTarget]) -> Vec<ProbeRecord> {
+        let mut records = Vec::with_capacity(targets.len());
+        for t in targets {
+            let responded = self.rng.gen::<f64>() < t.availability;
+            let latency_ms = if responded {
+                let base = base_latency_ms(t.compute);
+                // Multiplicative jitter in [0.7, 1.6).
+                base * self.rng.gen_range(0.7..1.6)
+            } else {
+                0.0
+            };
+            let record = ProbeRecord {
+                id: t.id,
+                responded,
+                latency_ms,
+            };
+            self.profiles.entry(t.id).or_default().record(record);
+            records.push(record);
+        }
+        records
+    }
+
+    /// Runs `rounds` probe rounds.
+    pub fn probe_rounds(&mut self, targets: &[ProbeTarget], rounds: usize) {
+        for _ in 0..rounds {
+            self.probe_round(targets);
+        }
+    }
+
+    /// Profile of one node, if it has ever been probed.
+    pub fn profile(&self, id: NodeId) -> Option<&ProbeProfile> {
+        self.profiles.get(&id)
+    }
+
+    /// Nodes whose estimated availability clears `threshold`, ascending id.
+    pub fn available_nodes(&self, threshold: f64) -> Vec<NodeId> {
+        self.profiles
+            .iter()
+            .filter(|(_, p)| p.availability() >= threshold)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets() -> Vec<ProbeTarget> {
+        vec![
+            ProbeTarget::new(NodeId::new(1), 0.95, ComputeClass::EdgeCloud),
+            ProbeTarget::new(NodeId::new(2), 0.5, ComputeClass::Embedded),
+            ProbeTarget::new(NodeId::new(3), 0.05, ComputeClass::Disposable),
+        ]
+    }
+
+    #[test]
+    fn availability_estimates_converge() {
+        let mut p = Prober::new(1);
+        p.probe_rounds(&targets(), 400);
+        let est1 = p.profile(NodeId::new(1)).unwrap().availability();
+        let est2 = p.profile(NodeId::new(2)).unwrap().availability();
+        let est3 = p.profile(NodeId::new(3)).unwrap().availability();
+        assert!((est1 - 0.95).abs() < 0.06, "{est1}");
+        assert!((est2 - 0.5).abs() < 0.08, "{est2}");
+        assert!((est3 - 0.05).abs() < 0.05, "{est3}");
+    }
+
+    #[test]
+    fn compute_class_is_inferred_from_latency() {
+        let mut p = Prober::new(2);
+        p.probe_rounds(&targets(), 200);
+        assert_eq!(
+            p.profile(NodeId::new(1)).unwrap().inferred_compute(),
+            Some(ComputeClass::EdgeCloud)
+        );
+        assert_eq!(
+            p.profile(NodeId::new(2)).unwrap().inferred_compute(),
+            Some(ComputeClass::Embedded)
+        );
+    }
+
+    #[test]
+    fn unresponsive_nodes_have_no_latency_estimate() {
+        let t = [ProbeTarget::new(NodeId::new(9), 0.0, ComputeClass::Embedded)];
+        let mut p = Prober::new(3);
+        p.probe_rounds(&t, 50);
+        let profile = p.profile(NodeId::new(9)).unwrap();
+        assert_eq!(profile.availability(), 0.0);
+        assert_eq!(profile.mean_latency_ms(), None);
+        assert_eq!(profile.inferred_compute(), None);
+    }
+
+    #[test]
+    fn available_nodes_filters_by_threshold() {
+        let mut p = Prober::new(4);
+        p.probe_rounds(&targets(), 300);
+        let available = p.available_nodes(0.4);
+        assert!(available.contains(&NodeId::new(1)));
+        assert!(available.contains(&NodeId::new(2)));
+        assert!(!available.contains(&NodeId::new(3)));
+    }
+
+    #[test]
+    fn probing_is_deterministic_per_seed() {
+        let mut a = Prober::new(7);
+        let mut b = Prober::new(7);
+        let ra = a.probe_round(&targets());
+        let rb = b.probe_round(&targets());
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn clamped_availability() {
+        let t = ProbeTarget::new(NodeId::new(1), 1.7, ComputeClass::Embedded);
+        assert_eq!(t.availability, 1.0);
+    }
+}

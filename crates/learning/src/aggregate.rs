@@ -1,0 +1,283 @@
+//! Byzantine-resilient gradient aggregation.
+//!
+//! §V-B: "new theories and algorithms are needed that … tolerate a wide
+//! array of failures and adversarial compromises of learning nodes."
+//! Implemented aggregators: plain [`mean`] (the fragile baseline),
+//! [`coordinate_median`], [`trimmed_mean`], and [`krum`] (Blanchard et
+//! al.'s distance-based selection).
+
+use std::fmt;
+
+/// An aggregation rule over worker gradient vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregator {
+    /// Arithmetic mean (no Byzantine tolerance).
+    Mean,
+    /// Coordinate-wise median.
+    Median,
+    /// Coordinate-wise mean after trimming the `trim` largest and smallest
+    /// values per coordinate.
+    TrimmedMean {
+        /// Number of values trimmed from each tail, per coordinate.
+        trim: usize,
+    },
+    /// Krum: selects the vector minimizing the summed squared distance to
+    /// its `n - f - 2` nearest neighbors.
+    Krum {
+        /// Assumed upper bound on the number of Byzantine workers.
+        f: usize,
+    },
+}
+
+impl fmt::Display for Aggregator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregator::Mean => write!(f, "mean"),
+            Aggregator::Median => write!(f, "median"),
+            Aggregator::TrimmedMean { trim } => write!(f, "trimmed-mean({trim})"),
+            Aggregator::Krum { f: fb } => write!(f, "krum(f={fb})"),
+        }
+    }
+}
+
+impl Aggregator {
+    /// Aggregates the gradient vectors. All vectors must share one
+    /// dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grads` is empty or dimensions are inconsistent.
+    pub fn aggregate(&self, grads: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!grads.is_empty(), "need at least one gradient");
+        let dim = grads[0].len();
+        assert!(
+            grads.iter().all(|g| g.len() == dim),
+            "gradient dimensions must match"
+        );
+        match *self {
+            Aggregator::Mean => mean(grads),
+            Aggregator::Median => coordinate_median(grads),
+            Aggregator::TrimmedMean { trim } => trimmed_mean(grads, trim),
+            Aggregator::Krum { f } => krum(grads, f).clone(),
+        }
+    }
+}
+
+/// Arithmetic mean of the vectors.
+///
+/// # Panics
+///
+/// Panics when `grads` is empty.
+pub fn mean(grads: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!grads.is_empty(), "need at least one gradient");
+    let dim = grads[0].len();
+    let mut out = vec![0.0; dim];
+    for g in grads {
+        for (o, v) in out.iter_mut().zip(g) {
+            *o += v;
+        }
+    }
+    let n = grads.len() as f64;
+    for o in &mut out {
+        *o /= n;
+    }
+    out
+}
+
+/// Coordinate-wise median (lower median for even counts).
+///
+/// # Panics
+///
+/// Panics when `grads` is empty.
+pub fn coordinate_median(grads: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!grads.is_empty(), "need at least one gradient");
+    let dim = grads[0].len();
+    let mut out = vec![0.0; dim];
+    let mut column = vec![0.0; grads.len()];
+    for (c, o) in out.iter_mut().enumerate() {
+        for (i, g) in grads.iter().enumerate() {
+            column[i] = g[c];
+        }
+        column.sort_by(f64::total_cmp);
+        *o = column[(column.len() - 1) / 2];
+    }
+    out
+}
+
+/// Coordinate-wise trimmed mean, removing `trim` values from each tail.
+/// When `2 * trim >= n`, falls back to the coordinate median.
+///
+/// # Panics
+///
+/// Panics when `grads` is empty.
+pub fn trimmed_mean(grads: &[Vec<f64>], trim: usize) -> Vec<f64> {
+    assert!(!grads.is_empty(), "need at least one gradient");
+    let n = grads.len();
+    if 2 * trim >= n {
+        return coordinate_median(grads);
+    }
+    let dim = grads[0].len();
+    let mut out = vec![0.0; dim];
+    let mut column = vec![0.0; n];
+    for (c, o) in out.iter_mut().enumerate() {
+        for (i, g) in grads.iter().enumerate() {
+            column[i] = g[c];
+        }
+        column.sort_by(f64::total_cmp);
+        let kept = &column[trim..n - trim];
+        *o = kept.iter().sum::<f64>() / kept.len() as f64;
+    }
+    out
+}
+
+/// Krum selection: returns a reference to the vector with the smallest
+/// summed squared distance to its `n - f - 2` nearest neighbors (clamped
+/// to at least 1 neighbor). Ties resolve to the lower index.
+///
+/// # Panics
+///
+/// Panics when `grads` is empty.
+pub fn krum(grads: &[Vec<f64>], f: usize) -> &Vec<f64> {
+    assert!(!grads.is_empty(), "need at least one gradient");
+    let n = grads.len();
+    if n == 1 {
+        return &grads[0];
+    }
+    let neighbors = n.saturating_sub(f + 2).max(1);
+    let mut best_idx = 0;
+    let mut best_score = f64::INFINITY;
+    for i in 0..n {
+        let mut dists: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| squared_distance(&grads[i], &grads[j]))
+            .collect();
+        dists.sort_by(f64::total_cmp);
+        let score: f64 = dists.iter().take(neighbors).sum();
+        if score < best_score {
+            best_score = score;
+            best_idx = i;
+        }
+    }
+    &grads[best_idx]
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn honest_cluster(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![1.0 + 0.01 * i as f64, -2.0 - 0.01 * i as f64])
+            .collect()
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let g = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(mean(&g), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn median_ignores_one_wild_outlier() {
+        let mut g = honest_cluster(4);
+        g.push(vec![1e9, -1e9]);
+        let m = coordinate_median(&g);
+        assert!(m[0] < 2.0 && m[0] > 0.5);
+        assert!(m[1] > -3.0 && m[1] < -1.0);
+    }
+
+    #[test]
+    fn trimmed_mean_removes_tails() {
+        let mut g = honest_cluster(5);
+        g.push(vec![1e6, 1e6]);
+        g.push(vec![-1e6, -1e6]);
+        let t = trimmed_mean(&g, 1);
+        assert!((t[0] - 1.02).abs() < 0.05, "{t:?}");
+    }
+
+    #[test]
+    fn trimmed_mean_falls_back_to_median() {
+        let g = honest_cluster(3);
+        assert_eq!(trimmed_mean(&g, 2), coordinate_median(&g));
+    }
+
+    #[test]
+    fn krum_picks_an_honest_vector_under_attack() {
+        let mut g = honest_cluster(7);
+        g.push(vec![500.0, 500.0]);
+        g.push(vec![-500.0, 500.0]);
+        let selected = krum(&g, 2);
+        assert!(selected[0] < 2.0, "krum must select from the cluster: {selected:?}");
+    }
+
+    #[test]
+    fn mean_is_destroyed_by_one_attacker_but_krum_is_not() {
+        let mut g = honest_cluster(9);
+        g.push(vec![1e8, 1e8]);
+        let m = mean(&g);
+        let k = krum(&g, 1).clone();
+        assert!(m[0] > 1e6, "mean is hijacked");
+        assert!(k[0] < 2.0, "krum survives");
+    }
+
+    #[test]
+    fn aggregator_enum_dispatch() {
+        let g = honest_cluster(5);
+        for agg in [
+            Aggregator::Mean,
+            Aggregator::Median,
+            Aggregator::TrimmedMean { trim: 1 },
+            Aggregator::Krum { f: 1 },
+        ] {
+            let out = agg.aggregate(&g);
+            assert_eq!(out.len(), 2);
+            assert!(out[0].is_finite());
+            let _ = agg.to_string();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_input_panics() {
+        mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn ragged_input_panics() {
+        Aggregator::Mean.aggregate(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    proptest! {
+        #[test]
+        fn median_and_trimmed_bounded_by_extremes(
+            grads in proptest::collection::vec(
+                proptest::collection::vec(-100.0..100.0f64, 3), 1..12),
+            trim in 0usize..3,
+        ) {
+            let med = coordinate_median(&grads);
+            let tm = trimmed_mean(&grads, trim);
+            for c in 0..3 {
+                let lo = grads.iter().map(|g| g[c]).fold(f64::INFINITY, f64::min);
+                let hi = grads.iter().map(|g| g[c]).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(med[c] >= lo - 1e-9 && med[c] <= hi + 1e-9);
+                prop_assert!(tm[c] >= lo - 1e-9 && tm[c] <= hi + 1e-9);
+            }
+        }
+
+        #[test]
+        fn krum_returns_member(
+            grads in proptest::collection::vec(
+                proptest::collection::vec(-10.0..10.0f64, 2), 1..10),
+            f in 0usize..3,
+        ) {
+            let k = krum(&grads, f);
+            prop_assert!(grads.iter().any(|g| g == k));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Continual, context-conditioned learning.
+//!
+//! §V-B: "in systems that learn blindly without proper contextualization,
+//! new information can often erase previously learned knowledge …
+//! 'appropriate behavior' must be contextualized." We reproduce the
+//! catastrophic-forgetting phenomenon with a sequential task stream and
+//! show that a context-keyed model bank retains earlier tasks.
+
+use std::collections::BTreeMap;
+
+use crate::data::{logistic_dataset, Dataset, Example};
+use crate::model::LogisticModel;
+
+/// A stream of learning tasks, one per context.
+#[derive(Debug, Clone)]
+pub struct TaskStream {
+    tasks: Vec<Dataset>,
+    dim: usize,
+}
+
+impl TaskStream {
+    /// Generates `num_tasks` tasks with independent ground-truth weights
+    /// (so they genuinely conflict), each with `n` examples of dimension
+    /// `dim`.
+    pub fn generate(num_tasks: usize, n: usize, dim: usize, seed: u64) -> Self {
+        let tasks = (0..num_tasks)
+            .map(|t| logistic_dataset(n, dim, 6.0, seed.wrapping_add(1_000 * t as u64 + 1)))
+            .collect();
+        TaskStream { tasks, dim }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Training split (first 80%) of task `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range.
+    pub fn train_split(&self, t: usize) -> &[Example] {
+        let ex = &self.tasks[t].examples;
+        &ex[..ex.len() * 4 / 5]
+    }
+
+    /// Test split (last 20%) of task `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range.
+    pub fn test_split(&self, t: usize) -> &[Example] {
+        let ex = &self.tasks[t].examples;
+        &ex[ex.len() * 4 / 5..]
+    }
+}
+
+/// Accuracy on every task after sequential training, plus summary
+/// forgetting metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinualResult {
+    /// Final accuracy per task.
+    pub final_accuracy: Vec<f64>,
+    /// Accuracy on each task measured immediately after training on it.
+    pub accuracy_when_learned: Vec<f64>,
+}
+
+impl ContinualResult {
+    /// Mean drop from just-learned accuracy to final accuracy — the
+    /// forgetting measure (0 = no forgetting).
+    pub fn mean_forgetting(&self) -> f64 {
+        if self.final_accuracy.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .accuracy_when_learned
+            .iter()
+            .zip(&self.final_accuracy)
+            .map(|(then, now)| (then - now).max(0.0))
+            .sum();
+        total / self.final_accuracy.len() as f64
+    }
+
+    /// Mean final accuracy across tasks.
+    pub fn mean_final_accuracy(&self) -> f64 {
+        if self.final_accuracy.is_empty() {
+            return 0.0;
+        }
+        self.final_accuracy.iter().sum::<f64>() / self.final_accuracy.len() as f64
+    }
+}
+
+/// Trains one blind model through the task stream in order — the
+/// forgetting-prone baseline.
+pub fn train_blind(stream: &TaskStream, lr: f64, epochs: usize) -> ContinualResult {
+    let mut model = LogisticModel::new(stream.dim);
+    let mut accuracy_when_learned = Vec::with_capacity(stream.len());
+    for t in 0..stream.len() {
+        model.train_centralized(stream.train_split(t), lr, epochs, 32);
+        accuracy_when_learned.push(model.accuracy(stream.test_split(t)));
+    }
+    let final_accuracy = (0..stream.len())
+        .map(|t| model.accuracy(stream.test_split(t)))
+        .collect();
+    ContinualResult {
+        final_accuracy,
+        accuracy_when_learned,
+    }
+}
+
+/// Trains a context-keyed model bank: each context gets its own model,
+/// selected by context id at train and test time — no interference.
+pub fn train_contextual(stream: &TaskStream, lr: f64, epochs: usize) -> ContinualResult {
+    let mut bank: BTreeMap<usize, LogisticModel> = BTreeMap::new();
+    let mut accuracy_when_learned = Vec::with_capacity(stream.len());
+    for t in 0..stream.len() {
+        let model = bank
+            .entry(t)
+            .or_insert_with(|| LogisticModel::new(stream.dim));
+        model.train_centralized(stream.train_split(t), lr, epochs, 32);
+        accuracy_when_learned.push(model.accuracy(stream.test_split(t)));
+    }
+    let final_accuracy = (0..stream.len())
+        .map(|t| bank[&t].accuracy(stream.test_split(t)))
+        .collect();
+    ContinualResult {
+        final_accuracy,
+        accuracy_when_learned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blind_training_forgets_earlier_tasks() {
+        let stream = TaskStream::generate(4, 600, 6, 1);
+        let blind = train_blind(&stream, 0.3, 15);
+        // Learned well at the time…
+        assert!(blind.accuracy_when_learned.iter().all(|&a| a > 0.8));
+        // …but earlier tasks degrade by the end.
+        assert!(
+            blind.mean_forgetting() > 0.1,
+            "expected forgetting, got {}",
+            blind.mean_forgetting()
+        );
+        // The last task is still fresh.
+        assert!(blind.final_accuracy.last().unwrap() > &0.8);
+    }
+
+    #[test]
+    fn contextual_training_retains_all_tasks() {
+        let stream = TaskStream::generate(4, 600, 6, 1);
+        let ctx = train_contextual(&stream, 0.3, 15);
+        assert!(ctx.mean_forgetting() < 0.02, "{}", ctx.mean_forgetting());
+        assert!(ctx.mean_final_accuracy() > 0.85);
+    }
+
+    #[test]
+    fn contextual_beats_blind_on_retention() {
+        let stream = TaskStream::generate(3, 500, 5, 2);
+        let blind = train_blind(&stream, 0.3, 15);
+        let ctx = train_contextual(&stream, 0.3, 15);
+        assert!(ctx.mean_final_accuracy() > blind.mean_final_accuracy());
+    }
+
+    #[test]
+    fn splits_partition_each_task() {
+        let stream = TaskStream::generate(2, 100, 3, 3);
+        assert_eq!(stream.train_split(0).len(), 80);
+        assert_eq!(stream.test_split(0).len(), 20);
+        assert!(!stream.is_empty());
+        assert_eq!(stream.len(), 2);
+    }
+
+    #[test]
+    fn empty_result_metrics_are_zero() {
+        let r = ContinualResult {
+            final_accuracy: vec![],
+            accuracy_when_learned: vec![],
+        };
+        assert_eq!(r.mean_forgetting(), 0.0);
+        assert_eq!(r.mean_final_accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Communication-cost-aware topology activation.
+//!
+//! §V-B / refs \[28\]–\[33\]: "one might activate different network topologies
+//! based on the trade-off between network learning and communication …
+//! jointly optimize both learning cost and decision making accuracy."
+//! An [`ActivationPolicy`] decides, per round, which mixing topology
+//! decentralized SGD uses; the experiment `t6_learning_cost` sweeps the
+//! policies and reports the accuracy-vs-bytes frontier.
+
+use crate::data::Example;
+use crate::gossip::{consensus_error, gossip_mix, MixingTopology};
+use crate::model::LogisticModel;
+
+/// Chooses the mixing topology for each round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActivationPolicy {
+    /// Always the complete graph (max accuracy, max cost).
+    AlwaysDense,
+    /// Always the ring (min cost, slow mixing).
+    AlwaysSparse,
+    /// Complete graph every `period`-th round, ring otherwise.
+    Periodic {
+        /// Dense-round period (≥ 1).
+        period: usize,
+    },
+    /// Dense while the consensus error exceeds `threshold`, sparse after —
+    /// pay for fast mixing only while nodes still disagree.
+    Adaptive {
+        /// Consensus-error switchover threshold.
+        threshold: f64,
+    },
+}
+
+impl std::fmt::Display for ActivationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActivationPolicy::AlwaysDense => write!(f, "always-dense"),
+            ActivationPolicy::AlwaysSparse => write!(f, "always-sparse"),
+            ActivationPolicy::Periodic { period } => write!(f, "periodic({period})"),
+            ActivationPolicy::Adaptive { threshold } => write!(f, "adaptive(τ={threshold})"),
+        }
+    }
+}
+
+impl ActivationPolicy {
+    fn select(&self, round: usize, consensus: f64) -> MixingTopology {
+        match *self {
+            ActivationPolicy::AlwaysDense => MixingTopology::Complete,
+            ActivationPolicy::AlwaysSparse => MixingTopology::Ring,
+            ActivationPolicy::Periodic { period } => {
+                if round.is_multiple_of(period.max(1)) {
+                    MixingTopology::Complete
+                } else {
+                    MixingTopology::Ring
+                }
+            }
+            ActivationPolicy::Adaptive { threshold } => {
+                if consensus > threshold {
+                    MixingTopology::Complete
+                } else {
+                    MixingTopology::Ring
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a cost-aware decentralized run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostAwareRun {
+    /// Test accuracy of the average model after the final round.
+    pub final_accuracy: f64,
+    /// Worst single node's test accuracy — exposes consensus failure:
+    /// under slow mixing and non-IID shards, stragglers overfit their
+    /// local data even when the network average looks fine.
+    pub min_node_accuracy: f64,
+    /// Total undirected exchanges across all rounds.
+    pub messages: u64,
+    /// Estimated bytes on the wire (`messages × parameter bytes`).
+    pub bytes: u64,
+    /// Rounds in which the dense topology was active.
+    pub dense_rounds: usize,
+}
+
+/// Runs decentralized SGD under an activation policy.
+///
+/// # Panics
+///
+/// Panics when `shards` is empty.
+pub fn cost_aware_sgd(
+    dim: usize,
+    shards: &[Vec<Example>],
+    test: &[Example],
+    policy: ActivationPolicy,
+    rounds: usize,
+    lr: f64,
+    seed: u64,
+) -> CostAwareRun {
+    assert!(!shards.is_empty(), "need at least one node");
+    let n = shards.len();
+    let mut params: Vec<Vec<f64>> = vec![LogisticModel::new(dim).to_params(); n];
+    let mut messages = 0u64;
+    let mut dense_rounds = 0usize;
+    let mut consensus = f64::INFINITY;
+    for round in 0..rounds {
+        for (p, shard) in params.iter_mut().zip(shards) {
+            if shard.is_empty() {
+                continue;
+            }
+            let mut model = LogisticModel::from_params(p);
+            let grad = model.gradient(shard);
+            model.apply_gradient(&grad, lr);
+            *p = model.to_params();
+        }
+        let topology = policy.select(round, consensus);
+        if topology == MixingTopology::Complete {
+            dense_rounds += 1;
+        }
+        let edges = topology.edges(n, round as u64, seed);
+        messages += edges.len() as u64;
+        gossip_mix(&mut params, &edges);
+        consensus = consensus_error(&params);
+    }
+    let avg = crate::aggregate::mean(&params);
+    let param_bytes = ((dim + 1) * std::mem::size_of::<f64>()) as u64;
+    let min_node_accuracy = params
+        .iter()
+        .map(|p| LogisticModel::from_params(p).accuracy(test))
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0);
+    CostAwareRun {
+        final_accuracy: LogisticModel::from_params(&avg).accuracy(test),
+        min_node_accuracy,
+        messages,
+        // Each undirected exchange moves both parameter vectors.
+        bytes: messages * 2 * param_bytes,
+        dense_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{logistic_dataset, partition, Dataset};
+
+    fn shards_and_test() -> (Vec<Vec<Example>>, Vec<Example>) {
+        let d = logistic_dataset(900, 4, 5.0, 1);
+        let (train, test) = d.examples.split_at(700);
+        let ds = Dataset {
+            examples: train.to_vec(),
+            dim: 4,
+            true_weights: d.true_weights.clone(),
+        };
+        (partition(&ds, 8, 0.5, 2), test.to_vec())
+    }
+
+    #[test]
+    fn dense_costs_more_than_sparse() {
+        let (shards, test) = shards_and_test();
+        let dense = cost_aware_sgd(4, &shards, &test, ActivationPolicy::AlwaysDense, 20, 0.5, 3);
+        let sparse = cost_aware_sgd(4, &shards, &test, ActivationPolicy::AlwaysSparse, 20, 0.5, 3);
+        assert!(dense.bytes > sparse.bytes * 2);
+        assert_eq!(dense.dense_rounds, 20);
+        assert_eq!(sparse.dense_rounds, 0);
+        assert!(dense.final_accuracy >= sparse.final_accuracy - 0.05);
+        assert!(
+            dense.min_node_accuracy >= sparse.min_node_accuracy - 0.05,
+            "dense mixing keeps stragglers close: {} vs {}",
+            dense.min_node_accuracy,
+            sparse.min_node_accuracy
+        );
+    }
+
+    #[test]
+    fn adaptive_spends_fewer_bytes_than_dense_with_similar_accuracy() {
+        let (shards, test) = shards_and_test();
+        let dense = cost_aware_sgd(4, &shards, &test, ActivationPolicy::AlwaysDense, 40, 0.5, 3);
+        let adaptive = cost_aware_sgd(
+            4,
+            &shards,
+            &test,
+            ActivationPolicy::Adaptive { threshold: 0.05 },
+            40,
+            0.5,
+            3,
+        );
+        assert!(adaptive.bytes < dense.bytes, "{} vs {}", adaptive.bytes, dense.bytes);
+        assert!(
+            adaptive.final_accuracy > dense.final_accuracy - 0.08,
+            "adaptive {} vs dense {}",
+            adaptive.final_accuracy,
+            dense.final_accuracy
+        );
+        assert!(adaptive.dense_rounds < 40);
+    }
+
+    #[test]
+    fn periodic_interpolates_cost() {
+        let (shards, test) = shards_and_test();
+        let p2 = cost_aware_sgd(
+            4,
+            &shards,
+            &test,
+            ActivationPolicy::Periodic { period: 2 },
+            20,
+            0.5,
+            3,
+        );
+        let sparse = cost_aware_sgd(4, &shards, &test, ActivationPolicy::AlwaysSparse, 20, 0.5, 3);
+        let dense = cost_aware_sgd(4, &shards, &test, ActivationPolicy::AlwaysDense, 20, 0.5, 3);
+        assert!(p2.bytes > sparse.bytes);
+        assert!(p2.bytes < dense.bytes);
+        assert_eq!(p2.dense_rounds, 10);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ActivationPolicy::AlwaysDense.to_string(), "always-dense");
+        assert_eq!(
+            ActivationPolicy::Periodic { period: 3 }.to_string(),
+            "periodic(3)"
+        );
+    }
+}

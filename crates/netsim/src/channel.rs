@@ -1,0 +1,252 @@
+//! Wireless channel model: path loss, shadowing, jamming, and loss rates.
+//!
+//! The model is a standard log-distance path-loss law with log-normal
+//! shadowing, a thermal noise floor, and additive jamming interference.
+//! Per-hop delivery probability is a logistic function of SINR, which
+//! reproduces the qualitative S-curve of real packet-error-rate data
+//! without modelling any particular modulation.
+
+use iobt_types::{Point, RadioKind};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::terrain::Terrain;
+
+/// Reference path loss at 1 m, in dB (2.4 GHz-class radios).
+pub const REFERENCE_LOSS_DB: f64 = 40.0;
+/// Thermal noise floor in dBm.
+pub const NOISE_FLOOR_DBM: f64 = -100.0;
+/// SINR at which delivery probability is 50%.
+pub const SINR_MIDPOINT_DB: f64 = 10.0;
+/// Slope of the delivery-probability logistic, in dB.
+pub const SINR_SLOPE_DB: f64 = 2.0;
+
+/// Converts watts to dBm. Returns `-inf` dBm for non-positive power.
+pub fn watts_to_dbm(watts: f64) -> f64 {
+    if watts <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * (watts * 1_000.0).log10()
+    }
+}
+
+/// Converts dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// A hostile RF emitter raising the noise floor around it (§IV-B: "a
+/// wireless jamming attack").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Jammer {
+    /// Where the jammer sits.
+    pub position: Point,
+    /// Radiated power in watts.
+    pub power_w: f64,
+    /// Whether the jammer is currently emitting.
+    pub active: bool,
+}
+
+impl Jammer {
+    /// Creates an active jammer. Negative power clamps to zero.
+    pub fn new(position: Point, power_w: f64) -> Self {
+        Jammer {
+            position,
+            power_w: power_w.max(0.0),
+            active: true,
+        }
+    }
+}
+
+/// The channel model used by the simulator for every transmission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    terrain: Terrain,
+    jammers: Vec<Jammer>,
+}
+
+impl Channel {
+    /// Creates a channel over the given terrain with no jammers.
+    pub fn new(terrain: Terrain) -> Self {
+        Channel {
+            terrain,
+            jammers: Vec::new(),
+        }
+    }
+
+    /// The underlying terrain.
+    pub const fn terrain(&self) -> &Terrain {
+        &self.terrain
+    }
+
+    /// Adds a jammer, returning its index for later toggling.
+    pub fn add_jammer(&mut self, jammer: Jammer) -> usize {
+        self.jammers.push(jammer);
+        self.jammers.len() - 1
+    }
+
+    /// Enables/disables a jammer by index. Out-of-range indices are ignored.
+    pub fn set_jammer_active(&mut self, index: usize, active: bool) {
+        if let Some(j) = self.jammers.get_mut(index) {
+            j.active = active;
+        }
+    }
+
+    /// Currently registered jammers.
+    pub fn jammers(&self) -> &[Jammer] {
+        &self.jammers
+    }
+
+    /// Deterministic (no-shadowing) path loss between two points in dB.
+    pub fn path_loss_db(&self, from: Point, to: Point) -> f64 {
+        let d = from.distance_to(to).max(1.0);
+        let n = self.terrain.clutter_between(from, to).path_loss_exponent();
+        REFERENCE_LOSS_DB + 10.0 * n * d.log10()
+    }
+
+    /// Received power at `to` for a transmitter of `tx_power_w` at `from`,
+    /// in dBm, before shadowing.
+    pub fn received_power_dbm(&self, from: Point, to: Point, tx_power_w: f64) -> f64 {
+        watts_to_dbm(tx_power_w) - self.path_loss_db(from, to)
+    }
+
+    /// Total interference-plus-noise at a receiver, in dBm: thermal floor
+    /// plus the power received from every active jammer.
+    pub fn noise_dbm(&self, at: Point) -> f64 {
+        let mut total_mw = dbm_to_mw(NOISE_FLOOR_DBM);
+        for j in &self.jammers {
+            if j.active && j.power_w > 0.0 {
+                total_mw += dbm_to_mw(self.received_power_dbm(j.position, at, j.power_w));
+            }
+        }
+        10.0 * total_mw.log10()
+    }
+
+    /// Mean SINR of a link in dB, before shadowing.
+    pub fn sinr_db(&self, from: Point, to: Point, radio: RadioKind) -> f64 {
+        self.received_power_dbm(from, to, radio.tx_power_w()) - self.noise_dbm(to)
+    }
+
+    /// Single-transmission delivery probability on a link, sampling
+    /// log-normal shadowing from `rng`. Deterministic given the RNG state.
+    pub fn delivery_probability<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        from: Point,
+        to: Point,
+        radio: RadioKind,
+    ) -> f64 {
+        let sigma = self.terrain.clutter_between(from, to).shadowing_sigma_db();
+        // Box-Muller-free: rand_distr is available but a simple sum of
+        // uniforms (Irwin-Hall, n=12) gives a good normal with exactly one
+        // RNG word per uniform and no rejection loop.
+        let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+        let sinr = self.sinr_db(from, to, radio) + z * sigma;
+        logistic((sinr - SINR_MIDPOINT_DB) / SINR_SLOPE_DB)
+    }
+
+    /// Expected (shadowing-averaged) delivery probability; used for link
+    /// weights in routing so routes do not flap with every sample.
+    pub fn mean_delivery_probability(&self, from: Point, to: Point, radio: RadioKind) -> f64 {
+        logistic((self.sinr_db(from, to, radio) - SINR_MIDPOINT_DB) / SINR_SLOPE_DB)
+    }
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Channel::new(Terrain::default())
+    }
+}
+
+fn logistic(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terrain::Clutter;
+    use iobt_types::Rect;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn open_channel() -> Channel {
+        Channel::new(Terrain::uniform(Rect::square(10_000.0), Clutter::Open))
+    }
+
+    #[test]
+    fn dbm_conversions() {
+        assert!((watts_to_dbm(1.0) - 30.0).abs() < 1e-9);
+        assert!((watts_to_dbm(0.001) - 0.0).abs() < 1e-9);
+        assert_eq!(watts_to_dbm(0.0), f64::NEG_INFINITY);
+        assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_loss_grows_with_distance() {
+        let ch = open_channel();
+        let a = Point::new(0.0, 0.0);
+        let near = ch.path_loss_db(a, Point::new(10.0, 0.0));
+        let far = ch.path_loss_db(a, Point::new(1_000.0, 0.0));
+        assert!(far > near);
+        // Sub-meter distances clamp to the reference distance.
+        assert!((ch.path_loss_db(a, Point::new(0.5, 0.0)) - REFERENCE_LOSS_DB).abs() < 1e-9);
+    }
+
+    #[test]
+    fn urban_is_lossier_than_open() {
+        let open = open_channel();
+        let urban = Channel::new(Terrain::uniform(Rect::square(10_000.0), Clutter::Urban));
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(200.0, 0.0);
+        assert!(urban.path_loss_db(a, b) > open.path_loss_db(a, b));
+    }
+
+    #[test]
+    fn jammer_raises_noise_and_kills_nearby_links() {
+        let mut ch = open_channel();
+        let rx = Point::new(100.0, 0.0);
+        let tx = Point::new(0.0, 0.0);
+        let clean = ch.sinr_db(tx, rx, RadioKind::Wifi);
+        let idx = ch.add_jammer(Jammer::new(Point::new(110.0, 0.0), 10.0));
+        let jammed = ch.sinr_db(tx, rx, RadioKind::Wifi);
+        assert!(jammed < clean - 20.0, "jamming should crush SINR");
+        ch.set_jammer_active(idx, false);
+        let restored = ch.sinr_db(tx, rx, RadioKind::Wifi);
+        assert!((restored - clean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delivery_probability_monotone_in_distance() {
+        let ch = open_channel();
+        let tx = Point::new(0.0, 0.0);
+        let near = ch.mean_delivery_probability(tx, Point::new(20.0, 0.0), RadioKind::Wifi);
+        let far = ch.mean_delivery_probability(tx, Point::new(400.0, 0.0), RadioKind::Wifi);
+        assert!(near > 0.9, "short open-field wifi link should be reliable: {near}");
+        assert!(far < near);
+    }
+
+    #[test]
+    fn sampled_probability_in_unit_interval_and_deterministic() {
+        let ch = open_channel();
+        let mut rng1 = StdRng::seed_from_u64(3);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        for i in 0..100 {
+            let to = Point::new(10.0 + i as f64 * 5.0, 0.0);
+            let p1 = ch.delivery_probability(&mut rng1, Point::ORIGIN, to, RadioKind::Wifi);
+            let p2 = ch.delivery_probability(&mut rng2, Point::ORIGIN, to, RadioKind::Wifi);
+            assert!((0.0..=1.0).contains(&p1));
+            assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn tactical_uhf_outranges_bluetooth() {
+        let ch = open_channel();
+        let tx = Point::ORIGIN;
+        let rx = Point::new(500.0, 0.0);
+        let uhf = ch.mean_delivery_probability(tx, rx, RadioKind::TacticalUhf);
+        let bt = ch.mean_delivery_probability(tx, rx, RadioKind::Bluetooth);
+        assert!(uhf > bt);
+    }
+}

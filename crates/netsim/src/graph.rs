@@ -1,0 +1,447 @@
+//! Connectivity graphs and routing over the current radio environment.
+//!
+//! The simulator periodically snapshots which node pairs can hear each
+//! other (shared radio technology, acceptable mean delivery probability)
+//! into a [`ConnectivityGraph`], then routes messages along the most
+//! reliable path (Dijkstra on `-ln p` weights, so path weight is the
+//! negative log of end-to-end delivery probability).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use iobt_types::{NodeId, Point, RadioKind};
+
+use crate::channel::Channel;
+
+/// Quality of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Mean single-transmission delivery probability in `(0, 1]`.
+    pub delivery_prob: f64,
+    /// Radio technology the link uses.
+    pub radio: RadioKind,
+    /// Link distance in meters.
+    pub distance_m: f64,
+}
+
+/// A node as seen by the graph builder.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// Node identifier.
+    pub id: NodeId,
+    /// Current position.
+    pub position: Point,
+    /// Radio technologies the node carries.
+    pub radios: Vec<RadioKind>,
+    /// Whether the node is up (dead nodes keep their slot but get no links).
+    pub alive: bool,
+}
+
+/// Snapshot of who can talk to whom.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectivityGraph {
+    ids: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    adj: Vec<Vec<(usize, LinkQuality)>>,
+}
+
+/// Minimum mean delivery probability for a link to exist at all.
+pub const MIN_LINK_QUALITY: f64 = 0.05;
+
+/// Links are only considered between nodes closer than this, keeping graph
+/// construction near-linear via spatial hashing. Satcom-style infinite-range
+/// radios are modelled as reachback, not mesh links.
+pub const MAX_LINK_RANGE_M: f64 = 6_000.0;
+
+impl ConnectivityGraph {
+    /// Builds the graph from node states and the channel model.
+    ///
+    /// Uses a uniform spatial grid so only nearby pairs are tested; cost is
+    /// `O(n + pairs-within-range)` rather than `O(n^2)`.
+    pub fn build(nodes: &[GraphNode], channel: &Channel) -> Self {
+        let n = nodes.len();
+        let ids: Vec<NodeId> = nodes.iter().map(|g| g.id).collect();
+        let index: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let mut adj: Vec<Vec<(usize, LinkQuality)>> = vec![Vec::new(); n];
+
+        // Spatial hash with cell side MAX_LINK_RANGE_M.
+        let cell = MAX_LINK_RANGE_M;
+        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, node) in nodes.iter().enumerate() {
+            if !node.alive || node.radios.is_empty() {
+                continue;
+            }
+            let key = (
+                (node.position.x / cell).floor() as i64,
+                (node.position.y / cell).floor() as i64,
+            );
+            buckets.entry(key).or_default().push(i);
+        }
+        for (&(bx, by), members) in &buckets {
+            for &i in members {
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        let Some(others) = buckets.get(&(bx + dx, by + dy)) else {
+                            continue;
+                        };
+                        for &j in others {
+                            if j <= i && (dx, dy) == (0, 0) {
+                                continue; // handle each in-bucket pair once
+                            }
+                            if (dx, dy) != (0, 0) && j == i {
+                                continue;
+                            }
+                            if let Some(link) = best_link(&nodes[i], &nodes[j], channel) {
+                                adj[i].push((j, link));
+                                adj[j].push((i, link));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Deduplicate (cross-bucket pairs are visited from both buckets) and
+        // sort for deterministic iteration.
+        for (i, list) in adj.iter_mut().enumerate() {
+            list.sort_by_key(|(j, _)| *j);
+            list.dedup_by_key(|(j, _)| *j);
+            debug_assert!(list.iter().all(|(j, _)| *j != i));
+        }
+        ConnectivityGraph { ids, index, adj }
+    }
+
+    /// Number of nodes (including dead ones, which have no links).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Neighbors of a node, with link qualities. Empty for unknown ids.
+    pub fn neighbors(&self, id: NodeId) -> Vec<(NodeId, LinkQuality)> {
+        match self.index.get(&id) {
+            Some(&i) => self.adj[i]
+                .iter()
+                .map(|&(j, q)| (self.ids[j], q))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The most reliable route from `src` to `dst` as a node sequence
+    /// (inclusive of both endpoints), or `None` when unreachable.
+    ///
+    /// Reliability is the product of per-hop delivery probabilities;
+    /// Dijkstra runs on `-ln p` weights.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let &s = self.index.get(&src)?;
+        let &d = self.index.get(&dst)?;
+        if s == d {
+            return Some(vec![src]);
+        }
+        let n = self.ids.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[s] = 0.0;
+        heap.push(HeapEntry { cost: 0.0, node: s });
+        while let Some(HeapEntry { cost, node }) = heap.pop() {
+            if cost > dist[node] {
+                continue;
+            }
+            if node == d {
+                break;
+            }
+            for &(next, q) in &self.adj[node] {
+                let w = -(q.delivery_prob.max(1e-12)).ln();
+                let nd = cost + w;
+                if nd < dist[next] {
+                    dist[next] = nd;
+                    prev[next] = node;
+                    heap.push(HeapEntry { cost: nd, node: next });
+                }
+            }
+        }
+        if dist[d].is_infinite() {
+            return None;
+        }
+        let mut path = vec![d];
+        let mut cur = d;
+        while cur != s {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path.into_iter().map(|i| self.ids[i]).collect())
+    }
+
+    /// Link quality between two adjacent nodes, if a link exists.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<LinkQuality> {
+        let &i = self.index.get(&a)?;
+        let &j = self.index.get(&b)?;
+        self.adj[i].iter().find(|(k, _)| *k == j).map(|(_, q)| *q)
+    }
+
+    /// Connected components as sorted id lists, largest first.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.ids.len();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut comp = Vec::new();
+            seen[start] = true;
+            while let Some(i) = stack.pop() {
+                comp.push(self.ids[i]);
+                for &(j, _) in &self.adj[i] {
+                    if !seen[j] {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+            comp.sort();
+            components.push(comp);
+        }
+        components.sort_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
+        components
+    }
+
+    /// Whether every node with at least one link can reach every other
+    /// (isolated/dead nodes are ignored).
+    pub fn connected_core(&self) -> bool {
+        let linked: Vec<usize> = (0..self.ids.len())
+            .filter(|&i| !self.adj[i].is_empty())
+            .collect();
+        if linked.len() <= 1 {
+            return true;
+        }
+        self.components()
+            .iter()
+            .filter(|c| c.len() > 1)
+            .count()
+            <= 1
+    }
+}
+
+fn best_link(a: &GraphNode, b: &GraphNode, channel: &Channel) -> Option<LinkQuality> {
+    if !a.alive || !b.alive {
+        return None;
+    }
+    let distance_m = a.position.distance_to(b.position);
+    if distance_m > MAX_LINK_RANGE_M {
+        return None;
+    }
+    let mut best: Option<LinkQuality> = None;
+    for &ra in &a.radios {
+        if !b.radios.contains(&ra) {
+            continue;
+        }
+        if distance_m > ra.nominal_range_m() {
+            continue;
+        }
+        let p = channel.mean_delivery_probability(a.position, b.position, ra);
+        if p < MIN_LINK_QUALITY {
+            continue;
+        }
+        let candidate = LinkQuality {
+            delivery_prob: p,
+            radio: ra,
+            distance_m,
+        };
+        best = match best {
+            Some(cur) if cur.delivery_prob >= p => Some(cur),
+            _ => Some(candidate),
+        };
+    }
+    best
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost; tie-break on node index for determinism.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terrain::{Clutter, Terrain};
+    use iobt_types::Rect;
+
+    fn node(id: u64, x: f64, y: f64, radios: &[RadioKind]) -> GraphNode {
+        GraphNode {
+            id: NodeId::new(id),
+            position: Point::new(x, y),
+            radios: radios.to_vec(),
+            alive: true,
+        }
+    }
+
+    fn open_channel() -> Channel {
+        Channel::new(Terrain::uniform(Rect::square(20_000.0), Clutter::Open))
+    }
+
+    #[test]
+    fn chain_topology_routes_end_to_end() {
+        let nodes: Vec<GraphNode> = (0..5)
+            .map(|i| node(i, i as f64 * 80.0, 0.0, &[RadioKind::Wifi]))
+            .collect();
+        let g = ConnectivityGraph::build(&nodes, &open_channel());
+        let route = g.route(NodeId::new(0), NodeId::new(4)).unwrap();
+        assert_eq!(route.first(), Some(&NodeId::new(0)));
+        assert_eq!(route.last(), Some(&NodeId::new(4)));
+        assert!(route.len() >= 2);
+        assert!(g.connected_core());
+    }
+
+    #[test]
+    fn incompatible_radios_do_not_link() {
+        let nodes = vec![
+            node(0, 0.0, 0.0, &[RadioKind::Wifi]),
+            node(1, 10.0, 0.0, &[RadioKind::Bluetooth]),
+        ];
+        let g = ConnectivityGraph::build(&nodes, &open_channel());
+        assert_eq!(g.link_count(), 0);
+        assert!(g.route(NodeId::new(0), NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn dead_nodes_get_no_links() {
+        let mut nodes = vec![
+            node(0, 0.0, 0.0, &[RadioKind::Wifi]),
+            node(1, 50.0, 0.0, &[RadioKind::Wifi]),
+        ];
+        nodes[1].alive = false;
+        let g = ConnectivityGraph::build(&nodes, &open_channel());
+        assert_eq!(g.link_count(), 0);
+    }
+
+    #[test]
+    fn out_of_range_pairs_do_not_link() {
+        let nodes = vec![
+            node(0, 0.0, 0.0, &[RadioKind::Bluetooth]),
+            node(1, 100.0, 0.0, &[RadioKind::Bluetooth]), // beyond 25 m nominal
+        ];
+        let g = ConnectivityGraph::build(&nodes, &open_channel());
+        assert_eq!(g.link_count(), 0);
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let nodes = vec![node(0, 0.0, 0.0, &[RadioKind::Wifi])];
+        let g = ConnectivityGraph::build(&nodes, &open_channel());
+        assert_eq!(
+            g.route(NodeId::new(0), NodeId::new(0)),
+            Some(vec![NodeId::new(0)])
+        );
+    }
+
+    #[test]
+    fn components_split_across_gap() {
+        let nodes = vec![
+            node(0, 0.0, 0.0, &[RadioKind::Wifi]),
+            node(1, 60.0, 0.0, &[RadioKind::Wifi]),
+            node(2, 5_000.0, 0.0, &[RadioKind::Wifi]),
+            node(3, 5_060.0, 0.0, &[RadioKind::Wifi]),
+        ];
+        let g = ConnectivityGraph::build(&nodes, &open_channel());
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 2);
+        assert!(!g.connected_core());
+        assert!(g.route(NodeId::new(0), NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn route_prefers_reliable_paths() {
+        // 0 -- 1 -- 2 short hops vs 0 -- 2 long direct: the two-hop path
+        // multiplies two near-1 probabilities and beats the lossy direct hop.
+        let nodes = vec![
+            node(0, 0.0, 0.0, &[RadioKind::TacticalUhf]),
+            node(1, 500.0, 0.0, &[RadioKind::TacticalUhf]),
+            node(2, 1_000.0, 0.0, &[RadioKind::TacticalUhf]),
+        ];
+        let ch = open_channel();
+        let g = ConnectivityGraph::build(&nodes, &ch);
+        let direct = ch.mean_delivery_probability(
+            Point::new(0.0, 0.0),
+            Point::new(1_000.0, 0.0),
+            RadioKind::TacticalUhf,
+        );
+        let hop = ch.mean_delivery_probability(
+            Point::new(0.0, 0.0),
+            Point::new(500.0, 0.0),
+            RadioKind::TacticalUhf,
+        );
+        if hop * hop > direct {
+            let route = g.route(NodeId::new(0), NodeId::new(2)).unwrap();
+            assert_eq!(route.len(), 3, "should relay via node 1");
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let nodes: Vec<GraphNode> = (0..10)
+            .map(|i| node(i, (i % 5) as f64 * 60.0, (i / 5) as f64 * 60.0, &[RadioKind::Wifi]))
+            .collect();
+        let g = ConnectivityGraph::build(&nodes, &open_channel());
+        for i in 0..10u64 {
+            for (j, _) in g.neighbors(NodeId::new(i)) {
+                assert!(
+                    g.neighbors(j).iter().any(|(k, _)| *k == NodeId::new(i)),
+                    "link {i} -> {j} must be symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_hashing_matches_bruteforce_linkcount() {
+        // Grid of nodes spanning multiple buckets: every adjacent pair in
+        // range must be found exactly once.
+        let nodes: Vec<GraphNode> = (0..40)
+            .map(|i| node(i, (i as f64) * 90.0, 0.0, &[RadioKind::Wifi]))
+            .collect();
+        let ch = open_channel();
+        let g = ConnectivityGraph::build(&nodes, &ch);
+        let mut expected = 0;
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if best_link(&nodes[i], &nodes[j], &ch).is_some() {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(g.link_count(), expected);
+    }
+}

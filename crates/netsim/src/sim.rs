@@ -1,0 +1,1022 @@
+//! The discrete-event simulator.
+//!
+//! [`Simulator`] owns a population of nodes (from an
+//! [`iobt_types::NodeCatalog`]), a [`Channel`] (terrain + jammers), per-node
+//! [mobility](crate::mobility), energy accounting, and a deterministic event
+//! queue. Application logic is plugged in as [`Behavior`] implementations;
+//! behaviours talk to the world exclusively through a [`Context`].
+//!
+//! # Examples
+//!
+//! A ping-pong pair:
+//!
+//! ```
+//! use iobt_netsim::prelude::*;
+//! use iobt_types::prelude::*;
+//!
+//! struct Ping;
+//! impl Behavior for Ping {
+//!     fn on_start(&mut self, ctx: &mut Context<'_>) {
+//!         ctx.send(NodeId::new(1), 0, b"ping".to_vec());
+//!     }
+//! }
+//!
+//! # fn main() {
+//! let mut catalog = NodeCatalog::new();
+//! for i in 0..2 {
+//!     catalog.insert(
+//!         NodeSpec::builder(NodeId::new(i))
+//!             .affiliation(Affiliation::Blue)
+//!             .position(Point::new(i as f64 * 50.0, 0.0))
+//!             .radio(Radio::new(RadioKind::Wifi))
+//!             .energy(EnergyBudget::new(1_000.0))
+//!             .build(),
+//!     ).unwrap();
+//! }
+//! let mut sim = Simulator::builder(catalog).seed(7).build();
+//! sim.set_behavior(NodeId::new(0), Box::new(Ping));
+//! sim.run_for(SimDuration::from_millis(500));
+//! assert_eq!(sim.stats().sent, 1);
+//! # }
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, HashMap};
+
+use iobt_types::{EnergyBudget, NodeCatalog, NodeId, Point, RadioKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::channel::{Channel, Jammer};
+use crate::graph::{ConnectivityGraph, GraphNode, LinkQuality};
+use crate::message::Message;
+use crate::mobility::{MobilityModel, MobilityState};
+use crate::stats::NetStats;
+use crate::terrain::Terrain;
+use crate::time::{SimDuration, SimTime};
+
+/// Application logic attached to a node.
+///
+/// All methods have empty defaults so behaviours implement only what they
+/// need. Behaviours must not assume wall-clock time or OS randomness; use
+/// [`Context::now`] and [`Context::gen_f64`] so runs stay reproducible.
+pub trait Behavior {
+    /// Called once when the simulation starts (or when the behaviour is
+    /// attached to an already-running simulation).
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_>, msg: &Message) {
+        let _ = (ctx, msg);
+    }
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+}
+
+/// A periodic duty cycle: the node is awake for the first
+/// `awake_fraction` of every `period`, offset by `phase` (§III-A:
+/// intermittently-connected assets "may not consistently respond to
+/// probes or emit traffic").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepSchedule {
+    period: SimDuration,
+    awake_fraction: f64,
+    phase: SimDuration,
+}
+
+impl SleepSchedule {
+    /// Creates a schedule. `awake_fraction` is clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `period` is zero.
+    pub fn new(period: SimDuration, awake_fraction: f64, phase: SimDuration) -> Self {
+        assert!(period.as_micros() > 0, "period must be nonzero");
+        SleepSchedule {
+            period,
+            awake_fraction: awake_fraction.clamp(0.0, 1.0),
+            phase,
+        }
+    }
+
+    /// Whether the node is awake at instant `t`.
+    pub fn is_awake(&self, t: SimTime) -> bool {
+        let pos = (t.as_micros().wrapping_add(self.phase.as_micros())) % self.period.as_micros();
+        (pos as f64) < self.awake_fraction * self.period.as_micros() as f64
+    }
+}
+
+/// Per-node runtime state.
+#[derive(Debug)]
+struct NodeRuntime {
+    id: NodeId,
+    radios: Vec<RadioKind>,
+    tx_power_w: f64,
+    mobility: MobilityState,
+    energy: EnergyBudget,
+    alive: bool,
+    sleep: Option<SleepSchedule>,
+}
+
+#[derive(Debug)]
+enum Event {
+    Deliver(Message),
+    Timer { node: NodeId, token: u64 },
+    MobilityTick,
+    NodeDown(NodeId),
+    NodeUp(NodeId),
+    SetJammer { index: usize, active: bool },
+}
+
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Everything behaviours can observe and do. Obtained only inside
+/// [`Behavior`] callbacks.
+pub struct Context<'a> {
+    core: &'a mut Core,
+    node: NodeId,
+}
+
+impl<'a> Context<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The node this behaviour runs on.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current position of this node.
+    pub fn position(&self) -> Point {
+        self.core.nodes[&self.node].mobility.position()
+    }
+
+    /// Remaining energy fraction of this node in `[0, 1]`.
+    pub fn energy_fraction(&self) -> f64 {
+        self.core.nodes[&self.node].energy.fraction_remaining()
+    }
+
+    /// Ids of nodes this node currently has a direct link to.
+    pub fn neighbors(&mut self) -> Vec<NodeId> {
+        self.core
+            .graph()
+            .neighbors(self.node)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Sends a unicast message; the network routes it over the current
+    /// connectivity graph with per-hop losses, retries, latency, and energy
+    /// accounting. Delivery (or drop) happens asynchronously.
+    pub fn send(&mut self, dst: NodeId, kind: u32, payload: Vec<u8>) {
+        let msg = Message::new(self.node, dst, kind, payload).stamped(self.core.now);
+        self.core.transmit(msg);
+    }
+
+    /// Sends the same payload to every current one-hop neighbor.
+    pub fn broadcast(&mut self, kind: u32, payload: Vec<u8>) {
+        for n in self.neighbors() {
+            self.send(n, kind, payload.clone());
+        }
+    }
+
+    /// Schedules [`Behavior::on_timer`] after `delay` with an opaque token.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.core.now + delay;
+        self.core.push(at, Event::Timer { node: self.node, token });
+    }
+
+    /// Uniform random sample in `[0, 1)` from the simulation RNG.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.core.rng.gen()
+    }
+
+    /// Uniform random integer in `[0, bound)` from the simulation RNG.
+    /// Returns 0 when `bound` is 0.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.core.rng.gen_range(0..bound)
+        }
+    }
+}
+
+/// Simulator configuration and construction.
+#[derive(Debug)]
+pub struct SimulatorBuilder {
+    catalog: NodeCatalog,
+    terrain: Terrain,
+    jammers: Vec<Jammer>,
+    mobility: HashMap<NodeId, MobilityModel>,
+    sleep: HashMap<NodeId, SleepSchedule>,
+    seed: u64,
+    mobility_step: SimDuration,
+    retries: u32,
+    idle_drain_w: f64,
+}
+
+impl SimulatorBuilder {
+    /// Sets the terrain (default: 1 km × 1 km open ground).
+    pub fn terrain(mut self, terrain: Terrain) -> Self {
+        self.terrain = terrain;
+        self
+    }
+
+    /// Adds a jammer present from the start (toggle later via
+    /// [`Simulator::schedule_jammer`]).
+    pub fn jammer(mut self, jammer: Jammer) -> Self {
+        self.jammers.push(jammer);
+        self
+    }
+
+    /// Assigns a mobility model to one node (default: static).
+    pub fn mobility(mut self, node: NodeId, model: MobilityModel) -> Self {
+        self.mobility.insert(node, model);
+        self
+    }
+
+    /// Assigns a duty-cycle sleep schedule to one node (default: always
+    /// awake). Sleeping nodes neither receive nor transmit and take no
+    /// relay role while asleep.
+    pub fn sleep_schedule(mut self, node: NodeId, schedule: SleepSchedule) -> Self {
+        self.sleep.insert(node, schedule);
+        self
+    }
+
+    /// Seeds the simulation RNG (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Interval between mobility/connectivity updates (default 1 s).
+    pub fn mobility_step(mut self, step: SimDuration) -> Self {
+        self.mobility_step = step;
+        self
+    }
+
+    /// Per-hop MAC retries (default 3; total attempts = retries + 1).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Idle power draw per node in watts (default 0.01 W).
+    pub fn idle_drain_w(mut self, watts: f64) -> Self {
+        self.idle_drain_w = watts.max(0.0);
+        self
+    }
+
+    /// Builds the simulator. Behaviours are attached afterwards with
+    /// [`Simulator::set_behavior`].
+    pub fn build(self) -> Simulator {
+        let mut channel = Channel::new(self.terrain);
+        for j in self.jammers {
+            channel.add_jammer(j);
+        }
+        let mut nodes = BTreeMap::new();
+        for spec in self.catalog.iter() {
+            let model = self
+                .mobility
+                .get(&spec.id())
+                .cloned()
+                .unwrap_or(MobilityModel::Static);
+            let tx_power_w = spec
+                .capabilities()
+                .radios()
+                .iter()
+                .map(|r| r.kind().tx_power_w())
+                .fold(0.0, f64::max);
+            nodes.insert(
+                spec.id(),
+                NodeRuntime {
+                    id: spec.id(),
+                    radios: spec.capabilities().radios().iter().map(|r| r.kind()).collect(),
+                    tx_power_w,
+                    mobility: MobilityState::new(model, spec.position()),
+                    energy: spec.energy(),
+                    alive: true,
+                    sleep: self.sleep.get(&spec.id()).copied(),
+                },
+            );
+        }
+        let mut core = Core {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes,
+            channel,
+            rng: StdRng::seed_from_u64(self.seed),
+            stats: NetStats::new(),
+            graph: None,
+            retries: self.retries,
+            mobility_step: self.mobility_step,
+            idle_drain_w: self.idle_drain_w,
+        };
+        core.push(SimTime::ZERO + self.mobility_step, Event::MobilityTick);
+        Simulator {
+            core,
+            behaviors: HashMap::new(),
+            started: Vec::new(),
+        }
+    }
+}
+
+/// Internal mutable world state shared with behaviour contexts.
+struct Core {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Queued>>,
+    nodes: BTreeMap<NodeId, NodeRuntime>,
+    channel: Channel,
+    rng: StdRng,
+    stats: NetStats,
+    graph: Option<ConnectivityGraph>,
+    retries: u32,
+    mobility_step: SimDuration,
+    idle_drain_w: f64,
+}
+
+impl Core {
+    fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { at, seq, event }));
+    }
+
+    /// Whether the node is up *and* awake right now.
+    fn is_active(&self, node: NodeId) -> bool {
+        self.nodes
+            .get(&node)
+            .map(|n| {
+                n.alive
+                    && !n.energy.is_depleted()
+                    && n.sleep.is_none_or(|s| s.is_awake(self.now))
+            })
+            .unwrap_or(false)
+    }
+
+    fn graph(&mut self) -> &ConnectivityGraph {
+        if self.graph.is_none() {
+            let now = self.now;
+            let nodes: Vec<GraphNode> = self
+                .nodes
+                .values()
+                .map(|n| GraphNode {
+                    id: n.id,
+                    position: n.mobility.position(),
+                    radios: n.radios.clone(),
+                    alive: n.alive
+                        && !n.energy.is_depleted()
+                        && n.sleep.is_none_or(|s| s.is_awake(now)),
+                })
+                .collect();
+            self.graph = Some(ConnectivityGraph::build(&nodes, &self.channel));
+        }
+        self.graph.as_ref().expect("just built")
+    }
+
+    /// Simulates a unicast transmission hop by hop and schedules delivery
+    /// or records the drop.
+    fn transmit(&mut self, msg: Message) {
+        self.stats.sent += 1;
+        let src_alive = self
+            .nodes
+            .get(&msg.src())
+            .map(|n| n.alive && !n.energy.is_depleted())
+            .unwrap_or(false);
+        let dst_alive = self
+            .nodes
+            .get(&msg.dst())
+            .map(|n| n.alive && !n.energy.is_depleted())
+            .unwrap_or(false);
+        if !src_alive || !dst_alive {
+            self.stats.dropped += 1;
+            self.stats.dropped_dead += 1;
+            return;
+        }
+        if !self.is_active(msg.src()) || !self.is_active(msg.dst()) {
+            // Alive but inside a sleep phase of the duty cycle.
+            self.stats.dropped += 1;
+            self.stats.dropped_asleep += 1;
+            return;
+        }
+        let Some(route) = self.graph().route(msg.src(), msg.dst()) else {
+            self.stats.dropped += 1;
+            self.stats.dropped_no_route += 1;
+            return;
+        };
+        let size_bits = msg.size_bits();
+        let mut latency = SimDuration::ZERO;
+        let mut success = true;
+        for hop in route.windows(2) {
+            let (from, to) = (hop[0], hop[1]);
+            let Some(link) = self.graph().link(from, to) else {
+                success = false;
+                break;
+            };
+            let (hop_ok, attempts) = self.attempt_hop(from, to, link);
+            let tx_time_s = size_bits as f64 / (link.radio.bandwidth_kbps() * 1_000.0);
+            // Propagation is negligible at these ranges; queueing and MAC
+            // backoff are folded into a per-attempt random service time.
+            let backoff_s: f64 = self.rng.gen_range(0.0005..0.003);
+            latency = latency
+                + SimDuration::from_secs_f64(attempts as f64 * (tx_time_s + backoff_s));
+            // Energy: transmitter pays per attempt, receiver pays once.
+            let tx_energy = self.nodes[&from].tx_power_w * tx_time_s * attempts as f64;
+            self.drain(from, tx_energy);
+            self.drain(to, 0.5 * link.radio.tx_power_w() * tx_time_s);
+            if !hop_ok {
+                success = false;
+                break;
+            }
+        }
+        if success {
+            let at = self.now + latency;
+            self.push(at, Event::Deliver(msg));
+        } else {
+            self.stats.dropped += 1;
+            self.stats.dropped_channel += 1;
+        }
+    }
+
+    /// Tries a hop up to `retries + 1` times; returns success and the
+    /// number of attempts consumed.
+    fn attempt_hop(&mut self, from: NodeId, to: NodeId, link: LinkQuality) -> (bool, u32) {
+        let from_pos = self.nodes[&from].mobility.position();
+        let to_pos = self.nodes[&to].mobility.position();
+        for attempt in 1..=(self.retries + 1) {
+            let p = self
+                .channel
+                .delivery_probability(&mut self.rng, from_pos, to_pos, link.radio);
+            if self.rng.gen::<f64>() < p {
+                return (true, attempt);
+            }
+        }
+        (false, self.retries + 1)
+    }
+
+    fn drain(&mut self, node: NodeId, joules: f64) {
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.energy.drain(joules);
+            self.stats.energy_spent_j += joules;
+            if n.energy.is_depleted() && n.alive {
+                n.alive = false;
+                self.graph = None;
+            }
+        }
+    }
+
+    fn mobility_tick(&mut self) {
+        let dt = self.mobility_step.as_secs_f64();
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for id in ids {
+            // Split borrow: temporarily move mobility state out.
+            let mut mob = {
+                let n = self.nodes.get_mut(&id).expect("node exists");
+                std::mem::replace(&mut n.mobility, MobilityState::new(MobilityModel::Static, Point::ORIGIN))
+            };
+            mob.step(&mut self.rng, dt);
+            let n = self.nodes.get_mut(&id).expect("node exists");
+            n.mobility = mob;
+            if n.alive {
+                let idle = self.idle_drain_w * dt;
+                n.energy.drain(idle);
+                self.stats.energy_spent_j += idle;
+                if n.energy.is_depleted() {
+                    n.alive = false;
+                }
+            }
+        }
+        self.graph = None;
+        let next = self.now + self.mobility_step;
+        self.push(next, Event::MobilityTick);
+    }
+}
+
+/// The battlefield network simulator. See the [module docs](self) for an
+/// end-to-end example.
+pub struct Simulator {
+    core: Core,
+    behaviors: HashMap<NodeId, Box<dyn Behavior>>,
+    started: Vec<NodeId>,
+}
+
+impl Simulator {
+    /// Starts building a simulator over a node catalog.
+    pub fn builder(catalog: NodeCatalog) -> SimulatorBuilder {
+        SimulatorBuilder {
+            catalog,
+            terrain: Terrain::default(),
+            jammers: Vec::new(),
+            mobility: HashMap::new(),
+            sleep: HashMap::new(),
+            seed: 0,
+            mobility_step: SimDuration::from_millis(1_000),
+            retries: 3,
+            idle_drain_w: 0.01,
+        }
+    }
+
+    /// Attaches (or replaces) the behaviour of a node. `on_start` fires at
+    /// the current simulation time.
+    pub fn set_behavior(&mut self, node: NodeId, behavior: Box<dyn Behavior>) {
+        self.behaviors.insert(node, behavior);
+        self.started.retain(|&n| n != node);
+        self.dispatch_start(node);
+    }
+
+    fn dispatch_start(&mut self, node: NodeId) {
+        if self.started.contains(&node) || !self.core.nodes.contains_key(&node) {
+            return;
+        }
+        if let Some(mut b) = self.behaviors.remove(&node) {
+            let mut ctx = Context {
+                core: &mut self.core,
+                node,
+            };
+            b.on_start(&mut ctx);
+            self.behaviors.insert(node, b);
+            self.started.push(node);
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Accumulated network statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.core.stats
+    }
+
+    /// Whether a node is up (alive and not energy-depleted).
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.core
+            .nodes
+            .get(&node)
+            .map(|n| n.alive && !n.energy.is_depleted())
+            .unwrap_or(false)
+    }
+
+    /// Current position of a node, or `None` for unknown ids.
+    pub fn position(&self, node: NodeId) -> Option<Point> {
+        self.core.nodes.get(&node).map(|n| n.mobility.position())
+    }
+
+    /// Remaining energy of a node, or `None` for unknown ids.
+    pub fn energy(&self, node: NodeId) -> Option<EnergyBudget> {
+        self.core.nodes.get(&node).map(|n| n.energy)
+    }
+
+    /// A snapshot of the current connectivity graph.
+    pub fn connectivity(&mut self) -> ConnectivityGraph {
+        self.core.graph().clone()
+    }
+
+    /// Schedules a node failure at `at` (battle damage, crash).
+    pub fn schedule_node_down(&mut self, at: SimTime, node: NodeId) {
+        self.core.push(at, Event::NodeDown(node));
+    }
+
+    /// Schedules a node recovery at `at`.
+    pub fn schedule_node_up(&mut self, at: SimTime, node: NodeId) {
+        self.core.push(at, Event::NodeUp(node));
+    }
+
+    /// Schedules toggling jammer `index` (as returned by
+    /// [`SimulatorBuilder::jammer`] insertion order) at `at`.
+    pub fn schedule_jammer(&mut self, at: SimTime, index: usize, active: bool) {
+        self.core.push(at, Event::SetJammer { index, active });
+    }
+
+    /// Runs until the queue is empty or `deadline` is reached; the clock
+    /// ends at `deadline` (or the last event time if the queue drains).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        // Fire on_start for behaviours attached before the first run.
+        let pending: Vec<NodeId> = self
+            .behaviors
+            .keys()
+            .copied()
+            .filter(|n| !self.started.contains(n))
+            .collect();
+        for n in pending {
+            self.dispatch_start(n);
+        }
+        while let Some(Reverse(next)) = self.core.queue.peek() {
+            if next.at > deadline {
+                break;
+            }
+            let Reverse(q) = self.core.queue.pop().expect("peeked");
+            self.core.now = q.at;
+            self.handle(q.event);
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+    }
+
+    /// Runs for a duration from the current time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.core.now + duration;
+        self.run_until(deadline);
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Deliver(msg) => {
+                let alive = self
+                    .core
+                    .nodes
+                    .get(&msg.dst())
+                    .map(|n| n.alive && !n.energy.is_depleted())
+                    .unwrap_or(false);
+                if !alive {
+                    self.core.stats.dropped += 1;
+                    self.core.stats.dropped_dead += 1;
+                    return;
+                }
+                if !self.core.is_active(msg.dst()) {
+                    // The destination dozed off while the message was in
+                    // flight.
+                    self.core.stats.dropped += 1;
+                    self.core.stats.dropped_asleep += 1;
+                    return;
+                }
+                self.core.stats.delivered += 1;
+                let latency = self.core.now.saturating_since(msg.sent_at());
+                self.core.stats.latency_ms.record(latency.as_millis_f64());
+                *self
+                    .core
+                    .stats
+                    .delivered_by_kind
+                    .entry(msg.kind())
+                    .or_insert(0) += 1;
+                let dst = msg.dst();
+                if let Some(mut b) = self.behaviors.remove(&dst) {
+                    let mut ctx = Context {
+                        core: &mut self.core,
+                        node: dst,
+                    };
+                    b.on_message(&mut ctx, &msg);
+                    self.behaviors.insert(dst, b);
+                }
+            }
+            Event::Timer { node, token } => {
+                let alive = self
+                    .core
+                    .nodes
+                    .get(&node)
+                    .map(|n| n.alive && !n.energy.is_depleted())
+                    .unwrap_or(false);
+                if !alive {
+                    return;
+                }
+                if let Some(mut b) = self.behaviors.remove(&node) {
+                    let mut ctx = Context {
+                        core: &mut self.core,
+                        node,
+                    };
+                    b.on_timer(&mut ctx, token);
+                    self.behaviors.insert(node, b);
+                }
+            }
+            Event::MobilityTick => self.core.mobility_tick(),
+            Event::NodeDown(id) => {
+                if let Some(n) = self.core.nodes.get_mut(&id) {
+                    n.alive = false;
+                    self.core.graph = None;
+                }
+            }
+            Event::NodeUp(id) => {
+                if let Some(n) = self.core.nodes.get_mut(&id) {
+                    if !n.energy.is_depleted() {
+                        n.alive = true;
+                        self.core.graph = None;
+                    }
+                }
+            }
+            Event::SetJammer { index, active } => {
+                self.core.channel.set_jammer_active(index, active);
+                self.core.graph = None;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.core.now)
+            .field("nodes", &self.core.nodes.len())
+            .field("behaviors", &self.behaviors.len())
+            .field("stats", &self.core.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iobt_types::{Affiliation, NodeSpec, Radio};
+
+    fn two_node_catalog(gap_m: f64) -> NodeCatalog {
+        let mut catalog = NodeCatalog::new();
+        for i in 0..2 {
+            catalog
+                .insert(
+                    NodeSpec::builder(NodeId::new(i))
+                        .affiliation(Affiliation::Blue)
+                        .position(Point::new(i as f64 * gap_m, 0.0))
+                        .radio(Radio::new(RadioKind::Wifi))
+                        .energy(EnergyBudget::new(10_000.0))
+                        .build(),
+                )
+                .unwrap();
+        }
+        catalog
+    }
+
+    struct Echo;
+    impl Behavior for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_>, msg: &Message) {
+            if msg.kind() == 0 {
+                ctx.send(msg.src(), 1, msg.payload().to_vec());
+            }
+        }
+    }
+
+    struct PingOnce {
+        target: NodeId,
+    }
+    impl Behavior for PingOnce {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send(self.target, 0, b"ping".to_vec());
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = Simulator::builder(two_node_catalog(50.0)).seed(1).build();
+        sim.set_behavior(NodeId::new(1), Box::new(Echo));
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(2_000));
+        let stats = sim.stats();
+        assert_eq!(stats.sent, 2, "ping and echo");
+        assert_eq!(stats.delivered, 2);
+        assert!(stats.latency_ms.mean() > 0.0);
+        assert_eq!(stats.delivered_by_kind[&0], 1);
+        assert_eq!(stats.delivered_by_kind[&1], 1);
+    }
+
+    #[test]
+    fn unreachable_destination_is_dropped_no_route() {
+        let mut sim = Simulator::builder(two_node_catalog(50_000.0)).seed(1).build();
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.stats().dropped_no_route, 1);
+        assert_eq!(sim.stats().delivered, 0);
+    }
+
+    #[test]
+    fn dead_destination_is_dropped_dead() {
+        let mut sim = Simulator::builder(two_node_catalog(50.0)).seed(1).build();
+        sim.schedule_node_down(SimTime::from_millis(1), NodeId::new(1));
+        sim.run_until(SimTime::from_millis(10));
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.stats().dropped_dead, 1);
+        assert!(!sim.is_alive(NodeId::new(1)));
+    }
+
+    #[test]
+    fn node_recovers_after_up_event() {
+        let mut sim = Simulator::builder(two_node_catalog(50.0)).seed(1).build();
+        sim.schedule_node_down(SimTime::from_millis(1), NodeId::new(1));
+        sim.schedule_node_up(SimTime::from_millis(100), NodeId::new(1));
+        sim.run_until(SimTime::from_millis(200));
+        assert!(sim.is_alive(NodeId::new(1)));
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.stats().delivered, 1);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::builder(two_node_catalog(120.0)).seed(seed).build();
+            sim.set_behavior(NodeId::new(1), Box::new(Echo));
+            sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+            sim.run_for(SimDuration::from_millis(3_000));
+            (
+                sim.stats().sent,
+                sim.stats().delivered,
+                sim.stats().latency_ms.mean(),
+                sim.stats().energy_spent_j,
+            )
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn transmissions_cost_energy() {
+        let mut sim = Simulator::builder(two_node_catalog(50.0)).seed(1).build();
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(100));
+        assert!(sim.stats().energy_spent_j > 0.0);
+        let e0 = sim.energy(NodeId::new(0)).unwrap();
+        assert!(e0.remaining_j() < e0.capacity_j());
+    }
+
+    #[test]
+    fn depleted_nodes_die() {
+        let mut catalog = NodeCatalog::new();
+        catalog
+            .insert(
+                NodeSpec::builder(NodeId::new(0))
+                    .position(Point::new(0.0, 0.0))
+                    .radio(Radio::new(RadioKind::Wifi))
+                    .energy(EnergyBudget::new(0.5)) // dies after ~50 s idle at 0.01 W
+                    .build(),
+            )
+            .unwrap();
+        let mut sim = Simulator::builder(catalog).seed(1).build();
+        sim.run_for(SimDuration::from_secs_f64(120.0));
+        assert!(!sim.is_alive(NodeId::new(0)));
+    }
+
+    struct PeriodicSender {
+        target: NodeId,
+        period: SimDuration,
+        remaining: u32,
+    }
+    impl Behavior for PeriodicSender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            ctx.send(self.target, 2, vec![0u8; 64]);
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    #[test]
+    fn timers_drive_periodic_traffic() {
+        let mut sim = Simulator::builder(two_node_catalog(50.0)).seed(3).build();
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(PeriodicSender {
+                target: NodeId::new(1),
+                period: SimDuration::from_millis(100),
+                remaining: 5,
+            }),
+        );
+        sim.run_for(SimDuration::from_millis(2_000));
+        assert_eq!(sim.stats().sent, 5);
+        assert_eq!(sim.stats().delivered, 5);
+    }
+
+    #[test]
+    fn jammer_toggle_cuts_and_restores_links() {
+        let mut catalog = two_node_catalog(100.0);
+        // A third node far away to make sure nothing else interferes.
+        catalog
+            .insert(
+                NodeSpec::builder(NodeId::new(2))
+                    .position(Point::new(10_000.0, 10_000.0))
+                    .build(),
+            )
+            .unwrap();
+        let jammer = Jammer::new(Point::new(50.0, 0.0), 50.0);
+        let mut sim = Simulator::builder(catalog).jammer(jammer).seed(5).build();
+        // Jammed from the start: ping drops.
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.stats().delivered, 0, "jammer should kill the link");
+        // Switch jammer off and ping again.
+        let at = sim.now() + SimDuration::from_millis(10);
+        sim.schedule_jammer(at, 0, false);
+        sim.run_for(SimDuration::from_millis(50));
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.stats().delivered, 1, "link should recover after jamming stops");
+    }
+
+    #[test]
+    fn sleep_schedule_phases() {
+        let s = SleepSchedule::new(SimDuration::from_millis(100), 0.5, SimDuration::ZERO);
+        assert!(s.is_awake(SimTime::from_millis(0)));
+        assert!(s.is_awake(SimTime::from_millis(49)));
+        assert!(!s.is_awake(SimTime::from_millis(50)));
+        assert!(!s.is_awake(SimTime::from_millis(99)));
+        assert!(s.is_awake(SimTime::from_millis(100)));
+        // Phase shifts the window.
+        let shifted =
+            SleepSchedule::new(SimDuration::from_millis(100), 0.5, SimDuration::from_millis(50));
+        assert!(!shifted.is_awake(SimTime::from_millis(0)));
+        assert!(shifted.is_awake(SimTime::from_millis(60)));
+    }
+
+    #[test]
+    fn sleeping_destination_drops_with_asleep_stat() {
+        let mut catalog = two_node_catalog(50.0);
+        let _ = &mut catalog;
+        // Node 1 sleeps the entire time (awake fraction 0).
+        let mut sim = Simulator::builder(catalog)
+            .sleep_schedule(
+                NodeId::new(1),
+                SleepSchedule::new(SimDuration::from_millis(1_000), 0.0, SimDuration::ZERO),
+            )
+            .seed(1)
+            .build();
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.stats().dropped_asleep, 1);
+        assert_eq!(sim.stats().delivered, 0);
+    }
+
+    #[test]
+    fn duty_cycled_destination_receives_while_awake() {
+        // Node 1 is awake for the first half of every second; a ping at
+        // t=0 lands within the awake window.
+        let mut sim = Simulator::builder(two_node_catalog(50.0))
+            .sleep_schedule(
+                NodeId::new(1),
+                SleepSchedule::new(SimDuration::from_millis(1_000), 0.5, SimDuration::ZERO),
+            )
+            .seed(1)
+            .build();
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(400));
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().dropped_asleep, 0);
+    }
+
+    #[test]
+    fn periodic_traffic_to_duty_cycled_node_loses_sleep_phase_messages() {
+        let mut sim = Simulator::builder(two_node_catalog(50.0))
+            .sleep_schedule(
+                NodeId::new(1),
+                SleepSchedule::new(SimDuration::from_millis(1_000), 0.5, SimDuration::ZERO),
+            )
+            .seed(2)
+            .build();
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(PeriodicSender {
+                target: NodeId::new(1),
+                period: SimDuration::from_millis(100),
+                remaining: 40,
+            }),
+        );
+        sim.run_for(SimDuration::from_secs_f64(10.0));
+        let stats = sim.stats();
+        assert_eq!(stats.sent, 40);
+        assert!(stats.dropped_asleep > 10, "{stats}");
+        assert!(stats.delivered > 10, "{stats}");
+        let ratio = stats.delivered as f64 / stats.sent as f64;
+        assert!((0.3..=0.7).contains(&ratio), "≈half arrive: {ratio}");
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = Simulator::builder(two_node_catalog(50.0)).build();
+        sim.run_until(SimTime::from_millis(1_234));
+        assert_eq!(sim.now(), SimTime::from_millis(1_234));
+    }
+}

@@ -1,0 +1,201 @@
+//! Incremental re-synthesis: repairing a composition after losses.
+//!
+//! §III: "it should be possible to assemble (or re-assemble, for example,
+//! upon damage) composite assets … on demand and within an appropriately
+//! short time", and discovery/composition "will need to be robust to
+//! failure or removal of assets as a normal operating regime." Instead of
+//! re-solving from scratch, [`repair`] keeps the surviving selection and
+//! greedily re-covers only the pairs that dropped below redundancy —
+//! typically orders of magnitude cheaper than full re-synthesis (measured
+//! in experiment `f2_synthesis_scale`).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use iobt_types::NodeId;
+
+use crate::problem::CompositionProblem;
+use crate::solvers::CompositionResult;
+
+/// Outcome of a repair pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairResult {
+    /// The repaired selection (survivors + replacements), sorted.
+    pub selected: Vec<usize>,
+    /// Replacement candidates added.
+    pub added: Vec<usize>,
+    /// Coverage fraction after repair.
+    pub coverage: f64,
+    /// Whether the requirement is met again.
+    pub satisfied: bool,
+    /// Repair wall-clock time in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Repairs `previous` after the nodes in `failed` (by id) are lost.
+///
+/// Keeps every surviving selected candidate, then greedily adds unused
+/// candidates (excluding failed ones) by marginal-gain-per-cost until the
+/// requirement is met again or no candidate helps.
+pub fn repair(
+    problem: &CompositionProblem,
+    previous: &CompositionResult,
+    failed: &HashSet<NodeId>,
+) -> RepairResult {
+    let start = Instant::now();
+    let k = problem.redundancy as u16;
+    let survivors: Vec<usize> = previous
+        .selected
+        .iter()
+        .copied()
+        .filter(|&i| !failed.contains(&problem.candidates[i].id))
+        .collect();
+    let mut counts = problem.coverage_counts(&survivors);
+    let needed = ((problem.required_fraction * problem.pair_count as f64).ceil() as usize)
+        .min(problem.pair_count);
+    let mut satisfied = counts.iter().filter(|&&c| c >= k).count();
+    let mut in_set: Vec<bool> = vec![false; problem.candidates.len()];
+    for &i in &survivors {
+        in_set[i] = true;
+    }
+    let mut selected = survivors;
+    let mut added = Vec::new();
+    while satisfied < needed {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cand) in problem.candidates.iter().enumerate() {
+            if in_set[i] || failed.contains(&cand.id) || cand.covers.is_empty() {
+                continue;
+            }
+            let gain = cand
+                .covers
+                .iter()
+                .filter(|&&p| counts[p as usize] < k)
+                .count();
+            if gain == 0 {
+                continue;
+            }
+            let ratio = gain as f64 / cand.cost;
+            let better = match best {
+                None => true,
+                Some((bi, br)) => ratio > br + 1e-12 || ((ratio - br).abs() <= 1e-12 && i < bi),
+            };
+            if better {
+                best = Some((i, ratio));
+            }
+        }
+        let Some((i, _)) = best else { break };
+        in_set[i] = true;
+        selected.push(i);
+        added.push(i);
+        for &p in &problem.candidates[i].covers {
+            let c = &mut counts[p as usize];
+            *c += 1;
+            if *c == k {
+                satisfied += 1;
+            }
+        }
+    }
+    selected.sort_unstable();
+    let coverage = problem.coverage_fraction(&selected);
+    RepairResult {
+        satisfied: coverage + 1e-12 >= problem.required_fraction,
+        selected,
+        added,
+        coverage,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1_000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::Solver;
+    use iobt_types::{
+        Affiliation, EnergyBudget, Mission, MissionId, MissionKind, NodeSpec, Point, Rect, Sensor,
+        SensorKind,
+    };
+
+    fn node_at(id: u64, x: f64, y: f64, range: f64) -> NodeSpec {
+        NodeSpec::builder(NodeId::new(id))
+            .affiliation(Affiliation::Blue)
+            .position(Point::new(x, y))
+            .sensor(Sensor::new(SensorKind::Visual, range, 0.9))
+            .energy(EnergyBudget::unlimited())
+            .build()
+    }
+
+    fn problem() -> CompositionProblem {
+        let m = Mission::builder(MissionId::new(1), MissionKind::Surveillance)
+            .area(Rect::square(200.0))
+            .require_modality(SensorKind::Visual)
+            .coverage_fraction(1.0)
+            .build();
+        // Two redundant central nodes plus corner spares.
+        let nodes = vec![
+            node_at(0, 100.0, 100.0, 180.0),
+            node_at(1, 100.0, 100.0, 180.0),
+            node_at(2, 50.0, 50.0, 180.0),
+            node_at(3, 150.0, 150.0, 180.0),
+        ];
+        CompositionProblem::from_mission(&m, &nodes, 3)
+    }
+
+    #[test]
+    fn no_failures_is_a_noop() {
+        let p = problem();
+        let base = Solver::Greedy.solve(&p);
+        let r = repair(&p, &base, &HashSet::new());
+        assert_eq!(r.selected, base.selected);
+        assert!(r.added.is_empty());
+        assert!(r.satisfied);
+    }
+
+    #[test]
+    fn repair_replaces_a_failed_coverer() {
+        let p = problem();
+        let base = Solver::Greedy.solve(&p);
+        assert!(base.satisfied);
+        // Fail every selected node.
+        let failed: HashSet<NodeId> = base
+            .selected
+            .iter()
+            .map(|&i| p.candidates[i].id)
+            .collect();
+        let r = repair(&p, &base, &failed);
+        assert!(r.satisfied, "spares should restore coverage");
+        assert!(!r.added.is_empty());
+        for &i in &r.selected {
+            assert!(!failed.contains(&p.candidates[i].id));
+        }
+    }
+
+    #[test]
+    fn unrepairable_losses_are_reported() {
+        let p = problem();
+        let base = Solver::Greedy.solve(&p);
+        // Fail everything.
+        let failed: HashSet<NodeId> = p.candidates.iter().map(|c| c.id).collect();
+        let r = repair(&p, &base, &failed);
+        assert!(!r.satisfied);
+        assert!(r.selected.is_empty());
+        assert_eq!(r.coverage, 0.0);
+    }
+
+    #[test]
+    fn repair_keeps_survivors() {
+        let p = problem();
+        let base = Solver::Greedy.solve(&p);
+        let first_id = p.candidates[base.selected[0]].id;
+        let mut failed = HashSet::new();
+        // Fail a node that is NOT selected — nothing should change.
+        for c in &p.candidates {
+            if !base.selected.iter().any(|&i| p.candidates[i].id == c.id) {
+                failed.insert(c.id);
+                break;
+            }
+        }
+        let r = repair(&p, &base, &failed);
+        assert!(r.selected.iter().any(|&i| p.candidates[i].id == first_id));
+        assert!(r.satisfied);
+    }
+}

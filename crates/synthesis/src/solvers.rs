@@ -1,0 +1,460 @@
+//! Composition solvers: greedy, simulated annealing, exhaustive, random.
+//!
+//! §III-B: "these approaches search discovered IoBT nodes to determine
+//! subsets that optimally satisfy the requirements … clever solutions must
+//! be developed to address tractability." The greedy solver exploits the
+//! submodularity of coverage (the classic `1 − 1/e` guarantee applies to
+//! its max-coverage core); annealing refines greedy output; exhaustive
+//! search bounds optimality on small instances; random selection is the
+//! naive baseline.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::problem::CompositionProblem;
+
+/// A solver's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositionResult {
+    /// Selected candidate indices, sorted ascending.
+    pub selected: Vec<usize>,
+    /// Achieved coverage fraction (pairs at redundancy ≥ k).
+    pub coverage: f64,
+    /// Total selection cost.
+    pub cost: f64,
+    /// Whether the mission requirement was met.
+    pub satisfied: bool,
+    /// Wall-clock solve time in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Which solver to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Solver {
+    /// Marginal-gain-per-cost greedy.
+    Greedy,
+    /// Greedy followed by simulated-annealing refinement.
+    Anneal {
+        /// Annealing iterations.
+        iterations: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Uniform random selection until satisfied (baseline).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Exact minimum-cost search (only for ≤ ~20 candidates).
+    Exhaustive,
+}
+
+impl std::fmt::Display for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Solver::Greedy => write!(f, "greedy"),
+            Solver::Anneal { iterations, .. } => write!(f, "anneal({iterations})"),
+            Solver::Random { .. } => write!(f, "random"),
+            Solver::Exhaustive => write!(f, "exhaustive"),
+        }
+    }
+}
+
+impl Solver {
+    /// Runs the solver on a problem instance.
+    pub fn solve(&self, problem: &CompositionProblem) -> CompositionResult {
+        let start = Instant::now();
+        let mut selected = match *self {
+            Solver::Greedy => greedy(problem),
+            Solver::Anneal { iterations, seed } => anneal(problem, iterations, seed),
+            Solver::Random { seed } => random_baseline(problem, seed),
+            Solver::Exhaustive => exhaustive(problem),
+        };
+        selected.sort_unstable();
+        let coverage = problem.coverage_fraction(&selected);
+        let cost = problem.cost(&selected);
+        CompositionResult {
+            satisfied: problem.is_satisfied(&selected),
+            selected,
+            coverage,
+            cost,
+            elapsed_ms: start.elapsed().as_secs_f64() * 1_000.0,
+        }
+    }
+}
+
+/// Greedy marginal-gain-per-cost selection. Stops when the requirement is
+/// met or no candidate adds coverage.
+fn greedy(problem: &CompositionProblem) -> Vec<usize> {
+    let k = problem.redundancy as u16;
+    let needed = ((problem.required_fraction * problem.pair_count as f64).ceil() as usize)
+        .min(problem.pair_count);
+    let mut counts = vec![0u16; problem.pair_count];
+    let mut satisfied = 0usize;
+    let mut selected = Vec::new();
+    let mut in_set = vec![false; problem.candidates.len()];
+    while satisfied < needed {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cand) in problem.candidates.iter().enumerate() {
+            if in_set[i] || cand.covers.is_empty() {
+                continue;
+            }
+            let gain = cand
+                .covers
+                .iter()
+                .filter(|&&p| counts[p as usize] < k)
+                .count();
+            if gain == 0 {
+                continue;
+            }
+            let ratio = gain as f64 / cand.cost;
+            let better = match best {
+                None => true,
+                Some((bi, br)) => {
+                    ratio > br + 1e-12 || ((ratio - br).abs() <= 1e-12 && i < bi)
+                }
+            };
+            if better {
+                best = Some((i, ratio));
+            }
+        }
+        let Some((i, _)) = best else {
+            break; // no candidate can add anything
+        };
+        in_set[i] = true;
+        selected.push(i);
+        for &p in &problem.candidates[i].covers {
+            let c = &mut counts[p as usize];
+            *c += 1;
+            if *c == k {
+                satisfied += 1;
+            }
+        }
+    }
+    selected
+}
+
+/// Simulated annealing from the greedy seed: random add/remove/swap moves
+/// scored by (deficit, cost) with a geometric temperature schedule.
+fn anneal(problem: &CompositionProblem, iterations: usize, seed: u64) -> Vec<usize> {
+    let n = problem.candidates.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = greedy(problem);
+    let mut in_set = vec![false; n];
+    for &i in &current {
+        in_set[i] = true;
+    }
+    let score = |sel: &[usize]| -> f64 {
+        // Heavy penalty per unsatisfied required pair, plus cost.
+        let needed = (problem.required_fraction * problem.pair_count as f64).ceil();
+        let deficit = (needed - problem.pairs_satisfied(sel) as f64).max(0.0);
+        deficit * 100.0 + problem.cost(sel)
+    };
+    let mut current_score = score(&current);
+    let mut best = current.clone();
+    let mut best_score = current_score;
+    let mut temperature = 5.0f64;
+    let cooling = 0.995f64;
+    for _ in 0..iterations {
+        // Propose a move.
+        let add = current.is_empty() || rng.gen::<f64>() < 0.5;
+        let mut proposal = current.clone();
+        if add {
+            let i = rng.gen_range(0..n);
+            if in_set[i] {
+                continue;
+            }
+            proposal.push(i);
+        } else {
+            let pos = rng.gen_range(0..proposal.len());
+            proposal.swap_remove(pos);
+        }
+        let s = score(&proposal);
+        let accept = s <= current_score
+            || rng.gen::<f64>() < ((current_score - s) / temperature.max(1e-9)).exp();
+        if accept {
+            // Update membership.
+            for &i in &current {
+                in_set[i] = false;
+            }
+            current = proposal;
+            for &i in &current {
+                in_set[i] = true;
+            }
+            current_score = s;
+            if s < best_score {
+                best_score = s;
+                best = current.clone();
+            }
+        }
+        temperature *= cooling;
+    }
+    best
+}
+
+/// Adds uniformly random unused candidates until the requirement is met
+/// or everything is selected.
+fn random_baseline(problem: &CompositionProblem, seed: u64) -> Vec<usize> {
+    let n = problem.candidates.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher-Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut selected = Vec::new();
+    for i in order {
+        if problem.is_satisfied(&selected) {
+            break;
+        }
+        selected.push(i);
+    }
+    selected
+}
+
+/// Exact minimum-cost satisfying subset by subset enumeration (cost-ordered
+/// by popcount refinement). Falls back to greedy above 20 candidates.
+fn exhaustive(problem: &CompositionProblem) -> Vec<usize> {
+    let n = problem.candidates.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n > 20 {
+        return greedy(problem);
+    }
+    // The empty selection is valid when the requirement is trivially met
+    // (e.g. required fraction zero).
+    if problem.is_satisfied(&[]) {
+        return Vec::new();
+    }
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for mask in 1u32..(1u32 << n) {
+        let selection: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        let cost = problem.cost(&selection);
+        if let Some((bc, _)) = &best {
+            if cost >= *bc {
+                continue;
+            }
+        }
+        if problem.is_satisfied(&selection) {
+            best = Some((cost, selection));
+        }
+    }
+    best.map(|(_, s)| s).unwrap_or_else(|| greedy(problem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iobt_types::{
+        Affiliation, EnergyBudget, Mission, MissionId, MissionKind, NodeId, NodeSpec, Point, Rect,
+        Sensor, SensorKind,
+    };
+
+    fn grid_mission(k: usize, fraction: f64) -> Mission {
+        Mission::builder(MissionId::new(1), MissionKind::Surveillance)
+            .area(Rect::square(300.0))
+            .require_modality(SensorKind::Visual)
+            .coverage_fraction(fraction)
+            .resilience(k)
+            .min_trust(0.5)
+            .build()
+    }
+
+    fn node_at(id: u64, x: f64, y: f64, range: f64) -> NodeSpec {
+        NodeSpec::builder(NodeId::new(id))
+            .affiliation(Affiliation::Blue)
+            .position(Point::new(x, y))
+            .sensor(Sensor::new(SensorKind::Visual, range, 0.9))
+            .energy(EnergyBudget::unlimited())
+            .build()
+    }
+
+    fn corner_nodes() -> Vec<NodeSpec> {
+        // Four corner nodes each cover one quadrant; one central node
+        // covers everything but costs the same — greedy should prefer it.
+        let mut nodes = vec![
+            node_at(0, 75.0, 75.0, 120.0),
+            node_at(1, 225.0, 75.0, 120.0),
+            node_at(2, 75.0, 225.0, 120.0),
+            node_at(3, 225.0, 225.0, 120.0),
+        ];
+        nodes.push(node_at(4, 150.0, 150.0, 250.0));
+        nodes
+    }
+
+    #[test]
+    fn greedy_prefers_the_dominating_node() {
+        let p = CompositionProblem::from_mission(&grid_mission(1, 1.0), &corner_nodes(), 4);
+        let r = Solver::Greedy.solve(&p);
+        assert!(r.satisfied);
+        assert_eq!(r.selected, vec![4], "central node dominates");
+        assert_eq!(r.coverage, 1.0);
+    }
+
+    #[test]
+    fn all_solvers_satisfy_a_feasible_instance() {
+        let p = CompositionProblem::from_mission(&grid_mission(1, 0.9), &corner_nodes(), 4);
+        for solver in [
+            Solver::Greedy,
+            Solver::Anneal { iterations: 500, seed: 1 },
+            Solver::Random { seed: 2 },
+            Solver::Exhaustive,
+        ] {
+            let r = solver.solve(&p);
+            assert!(r.satisfied, "{solver} failed: coverage {}", r.coverage);
+        }
+    }
+
+    #[test]
+    fn exhaustive_is_at_least_as_cheap_as_greedy() {
+        let p = CompositionProblem::from_mission(&grid_mission(1, 1.0), &corner_nodes(), 4);
+        let g = Solver::Greedy.solve(&p);
+        let e = Solver::Exhaustive.solve(&p);
+        assert!(e.satisfied);
+        assert!(e.cost <= g.cost + 1e-9);
+    }
+
+    #[test]
+    fn anneal_never_worse_than_greedy() {
+        let mut nodes = corner_nodes();
+        // Add decoys with small coverage.
+        for i in 5..25 {
+            nodes.push(node_at(i, (i * 13 % 300) as f64, (i * 29 % 300) as f64, 40.0));
+        }
+        let p = CompositionProblem::from_mission(&grid_mission(1, 0.95), &nodes, 5);
+        let g = Solver::Greedy.solve(&p);
+        let a = Solver::Anneal { iterations: 2_000, seed: 3 }.solve(&p);
+        assert!(a.satisfied);
+        assert!(a.cost <= g.cost + 1e-9, "anneal {} vs greedy {}", a.cost, g.cost);
+    }
+
+    #[test]
+    fn random_uses_more_nodes_than_greedy_on_average() {
+        let mut nodes = corner_nodes();
+        for i in 5..40 {
+            nodes.push(node_at(i, (i * 37 % 300) as f64, (i * 53 % 300) as f64, 60.0));
+        }
+        let p = CompositionProblem::from_mission(&grid_mission(1, 0.9), &nodes, 5);
+        let g = Solver::Greedy.solve(&p);
+        let avg_random: f64 = (0..10)
+            .map(|s| Solver::Random { seed: s }.solve(&p).selected.len() as f64)
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            avg_random > g.selected.len() as f64,
+            "random {avg_random} vs greedy {}",
+            g.selected.len()
+        );
+    }
+
+    #[test]
+    fn infeasible_instances_report_unsatisfied() {
+        // Nodes too short-ranged to cover everything.
+        let nodes = vec![node_at(0, 10.0, 10.0, 30.0)];
+        let p = CompositionProblem::from_mission(&grid_mission(1, 1.0), &nodes, 4);
+        assert!(p.max_achievable_fraction() < 1.0);
+        for solver in [Solver::Greedy, Solver::Exhaustive, Solver::Random { seed: 1 }] {
+            let r = solver.solve(&p);
+            assert!(!r.satisfied, "{solver} cannot satisfy infeasible instance");
+        }
+    }
+
+    #[test]
+    fn redundancy_two_selects_more_nodes() {
+        let nodes = corner_nodes();
+        let p1 = CompositionProblem::from_mission(&grid_mission(1, 0.9), &nodes, 4);
+        let p2 = CompositionProblem::from_mission(&grid_mission(2, 0.9), &nodes, 4);
+        let r1 = Solver::Greedy.solve(&p1);
+        let r2 = Solver::Greedy.solve(&p2);
+        assert!(r2.selected.len() > r1.selected.len());
+    }
+
+    #[test]
+    fn empty_candidate_set_is_handled() {
+        let p = CompositionProblem::from_mission(&grid_mission(1, 1.0), &[], 3);
+        for solver in [
+            Solver::Greedy,
+            Solver::Anneal { iterations: 100, seed: 0 },
+            Solver::Random { seed: 0 },
+            Solver::Exhaustive,
+        ] {
+            let r = solver.solve(&p);
+            assert!(r.selected.is_empty());
+            assert!(!r.satisfied);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Greedy must satisfy every instance the full pool can satisfy.
+            #[test]
+            fn greedy_satisfies_whenever_feasible(
+                seed in 0u64..30,
+                count in 5usize..60,
+                fraction in 0.1..1.0f64,
+            ) {
+                use iobt_types::catalog::PopulationBuilder;
+                let area = Rect::square(500.0);
+                let catalog = PopulationBuilder::new(area).count(count).build(seed);
+                let specs: Vec<NodeSpec> = catalog.iter().cloned().collect();
+                let mission = Mission::builder(MissionId::new(1), MissionKind::Surveillance)
+                    .area(area)
+                    .require_modality(SensorKind::Visual)
+                    .coverage_fraction(fraction)
+                    .min_trust(0.3)
+                    .build();
+                let mut problem = CompositionProblem::from_mission(&mission, &specs, 4);
+                // Scale the requirement to feasibility.
+                problem.required_fraction = problem.max_achievable_fraction() * fraction;
+                let r = Solver::Greedy.solve(&problem);
+                prop_assert!(r.satisfied, "coverage {} < required {}", r.coverage, problem.required_fraction);
+                // Selection indices are valid, sorted, and unique.
+                prop_assert!(r.selected.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(r.selected.iter().all(|&i| i < problem.candidates.len()));
+            }
+
+            /// Annealing never produces an unsatisfied result when greedy
+            /// satisfied (it starts from the greedy seed and only keeps
+            /// improvements on the penalty-first score).
+            #[test]
+            fn anneal_keeps_feasibility(seed in 0u64..10) {
+                use iobt_types::catalog::PopulationBuilder;
+                let area = Rect::square(400.0);
+                let catalog = PopulationBuilder::new(area).count(40).build(seed);
+                let specs: Vec<NodeSpec> = catalog.iter().cloned().collect();
+                let mission = Mission::builder(MissionId::new(1), MissionKind::Surveillance)
+                    .area(area)
+                    .require_modality(SensorKind::Visual)
+                    .min_trust(0.3)
+                    .build();
+                let mut problem = CompositionProblem::from_mission(&mission, &specs, 4);
+                problem.required_fraction = problem.max_achievable_fraction() * 0.8;
+                let g = Solver::Greedy.solve(&problem);
+                let a = Solver::Anneal { iterations: 500, seed }.solve(&problem);
+                prop_assert!(!g.satisfied || a.satisfied);
+                prop_assert!(a.cost <= g.cost + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn solvers_are_deterministic() {
+        let p = CompositionProblem::from_mission(&grid_mission(1, 0.9), &corner_nodes(), 4);
+        let a = Solver::Anneal { iterations: 300, seed: 7 }.solve(&p);
+        let b = Solver::Anneal { iterations: 300, seed: 7 }.solve(&p);
+        assert_eq!(a.selected, b.selected);
+    }
+}

@@ -1,0 +1,145 @@
+//! Information diagnostics: attention direction and anomaly scoring.
+//!
+//! §V-A: "attention is a bottleneck. It should be directed to situations
+//! that deserve it the most … even in the presence of noise, failures, bad
+//! data, malicious adversarial inputs, and other possibly intentionally-
+//! designed distractions." We score each claim by combining how *surprising*
+//! it is (posterior far from the prior) with how *settled* it is (posterior
+//! entropy), so attention flows to confident anomalies rather than to noise.
+
+use crate::em::TruthEstimate;
+use crate::scenario::Report;
+
+/// Attention-worthiness of one claim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttentionScore {
+    /// Claim index.
+    pub claim: usize,
+    /// Posterior probability the claim is true.
+    pub posterior: f64,
+    /// Surprise: |posterior − prior|, in `[0, 1]`.
+    pub surprise: f64,
+    /// Disagreement entropy of the raw reports, in `[0, 1]` (1 = evenly
+    /// split sources).
+    pub disagreement: f64,
+    /// Final score: surprise × confidence. High for claims that are both
+    /// unexpected and well-supported — low for noisy, contested claims.
+    pub score: f64,
+}
+
+/// Ranks claims by attention-worthiness, most deserving first.
+///
+/// `prior` is the background probability a claim is true (e.g. the base
+/// rate of "hostile activity in this cell"). Claims whose posterior moved
+/// far from the prior *and* are confidently decided rank first; claims that
+/// merely attract conflicting chatter rank low — they are likely noise or
+/// deliberate distraction.
+pub fn rank_attention(
+    estimate: &TruthEstimate,
+    reports: &[Report],
+    prior: f64,
+) -> Vec<AttentionScore> {
+    let prior = prior.clamp(0.0, 1.0);
+    let num_claims = estimate.claim_posterior.len();
+    let mut pos = vec![0u64; num_claims];
+    let mut neg = vec![0u64; num_claims];
+    for r in reports {
+        if r.claim < num_claims {
+            if r.value {
+                pos[r.claim] += 1;
+            } else {
+                neg[r.claim] += 1;
+            }
+        }
+    }
+    let mut scores: Vec<AttentionScore> = estimate
+        .claim_posterior
+        .iter()
+        .enumerate()
+        .map(|(c, &p)| {
+            let surprise = (p - prior).abs();
+            let confidence = p.max(1.0 - p); // in [0.5, 1]
+            let disagreement = binary_entropy(pos[c], neg[c]);
+            AttentionScore {
+                claim: c,
+                posterior: p,
+                surprise,
+                disagreement,
+                score: surprise * (2.0 * confidence - 1.0),
+            }
+        })
+        .collect();
+    scores.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.claim.cmp(&b.claim)));
+    scores
+}
+
+/// Entropy of the positive/negative report split, normalized to `[0, 1]`.
+/// Zero reports yield zero entropy.
+fn binary_entropy(pos: u64, neg: u64) -> f64 {
+    let total = pos + neg;
+    if total == 0 || pos == 0 || neg == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::em::{discover, EmConfig};
+    use crate::scenario::ScenarioBuilder;
+
+    #[test]
+    fn confident_anomalies_outrank_contested_noise() {
+        // Hand-built estimate: claim 0 is a confident anomaly (posterior
+        // 0.95 vs prior 0.1); claim 1 is contested (posterior 0.5).
+        let est = TruthEstimate {
+            claim_posterior: vec![0.95, 0.5],
+            source_accuracy: vec![],
+            iterations: 1,
+            converged: true,
+        };
+        let reports = vec![
+            Report { source: 0, claim: 0, value: true },
+            Report { source: 1, claim: 0, value: true },
+            Report { source: 0, claim: 1, value: true },
+            Report { source: 1, claim: 1, value: false },
+        ];
+        let ranked = rank_attention(&est, &reports, 0.1);
+        assert_eq!(ranked[0].claim, 0);
+        assert!(ranked[0].score > ranked[1].score);
+        assert!(ranked[1].disagreement > 0.99, "claim 1 is evenly split");
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let s = ScenarioBuilder::new(20, 50).build(1);
+        let est = discover(&s.reports, s.num_sources, s.num_claims, EmConfig::default());
+        for a in rank_attention(&est, &s.reports, 0.5) {
+            assert!((0.0..=1.0).contains(&a.surprise));
+            assert!((0.0..=1.0).contains(&a.disagreement));
+            assert!((0.0..=1.0).contains(&a.score));
+        }
+    }
+
+    #[test]
+    fn entropy_edge_cases() {
+        assert_eq!(binary_entropy(0, 0), 0.0);
+        assert_eq!(binary_entropy(5, 0), 0.0);
+        assert!((binary_entropy(5, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_with_ties() {
+        let est = TruthEstimate {
+            claim_posterior: vec![0.5, 0.5, 0.5],
+            source_accuracy: vec![],
+            iterations: 1,
+            converged: true,
+        };
+        let ranked = rank_attention(&est, &[], 0.5);
+        let claims: Vec<usize> = ranked.iter().map(|a| a.claim).collect();
+        assert_eq!(claims, vec![0, 1, 2], "ties break by claim index");
+    }
+}

@@ -1,0 +1,129 @@
+//! Voting baselines for truth discovery.
+//!
+//! [`majority_vote`] is the naive baseline the EM fact-finder is compared
+//! against in experiment `f4_learning_services`; [`weighted_vote`] is the
+//! classic TruthFinder-style iteration that re-weights sources by agreement
+//! without a full probabilistic model.
+
+use crate::scenario::Report;
+
+/// Majority vote per claim. Ties and unreported claims default to `false`.
+/// Returns one value per claim in `0..num_claims`.
+pub fn majority_vote(reports: &[Report], num_claims: usize) -> Vec<bool> {
+    let mut balance = vec![0i64; num_claims];
+    for r in reports {
+        if r.claim < num_claims {
+            balance[r.claim] += if r.value { 1 } else { -1 };
+        }
+    }
+    balance.into_iter().map(|b| b > 0).collect()
+}
+
+/// Iterative agreement-weighted voting (TruthFinder-flavoured):
+/// source weights and claim values are alternately refined — a claim's
+/// score is the weighted sum of its votes, a source's weight is its mean
+/// agreement with the current claim decisions.
+///
+/// Returns `(claim_values, source_weights)`.
+pub fn weighted_vote(
+    reports: &[Report],
+    num_sources: usize,
+    num_claims: usize,
+    iterations: usize,
+) -> (Vec<bool>, Vec<f64>) {
+    let mut weights = vec![1.0; num_sources];
+    let mut values = majority_vote(reports, num_claims);
+    for _ in 0..iterations {
+        // Claims from weights.
+        let mut score = vec![0.0f64; num_claims];
+        for r in reports {
+            if r.claim < num_claims && r.source < num_sources {
+                let w = weights[r.source];
+                score[r.claim] += if r.value { w } else { -w };
+            }
+        }
+        values = score.iter().map(|&s| s > 0.0).collect();
+        // Weights from claims: agreement fraction, floored to stay positive.
+        let mut agree = vec![0.0f64; num_sources];
+        let mut total = vec![0.0f64; num_sources];
+        for r in reports {
+            if r.claim < num_claims && r.source < num_sources {
+                total[r.source] += 1.0;
+                if r.value == values[r.claim] {
+                    agree[r.source] += 1.0;
+                }
+            }
+        }
+        for s in 0..num_sources {
+            weights[s] = if total[s] > 0.0 {
+                (agree[s] / total[s]).max(0.01)
+            } else {
+                0.5
+            };
+        }
+    }
+    (values, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+
+    #[test]
+    fn majority_vote_works_with_honest_majority() {
+        let s = ScenarioBuilder::new(30, 100)
+            .honest_reliability(0.8, 0.95)
+            .observe_prob(0.5)
+            .build(1);
+        let acc = s.score_claims(&majority_vote(&s.reports, s.num_claims));
+        assert!(acc > 0.9, "majority with honest sources: {acc}");
+    }
+
+    #[test]
+    fn majority_vote_degrades_under_adversarial_flood() {
+        let clean = ScenarioBuilder::new(40, 100).observe_prob(0.5).build(2);
+        let attacked = ScenarioBuilder::new(40, 100)
+            .observe_prob(0.5)
+            .adversarial_fraction(0.45)
+            .build(2);
+        let acc_clean = clean.score_claims(&majority_vote(&clean.reports, clean.num_claims));
+        let acc_attacked =
+            attacked.score_claims(&majority_vote(&attacked.reports, attacked.num_claims));
+        assert!(acc_clean > acc_attacked, "{acc_clean} vs {acc_attacked}");
+    }
+
+    #[test]
+    fn weighted_vote_improves_on_majority_with_mixed_reliability() {
+        let s = ScenarioBuilder::new(40, 200)
+            .honest_reliability(0.5, 0.95)
+            .observe_prob(0.5)
+            .build(3);
+        let maj = s.score_claims(&majority_vote(&s.reports, s.num_claims));
+        let (wv, weights) = weighted_vote(&s.reports, s.num_sources, s.num_claims, 10);
+        let wacc = s.score_claims(&wv);
+        assert!(wacc >= maj - 0.02, "weighted {wacc} vs majority {maj}");
+        assert_eq!(weights.len(), s.num_sources);
+        assert!(weights.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn empty_reports_default_false() {
+        assert_eq!(majority_vote(&[], 3), vec![false; 3]);
+        let (v, w) = weighted_vote(&[], 2, 3, 5);
+        assert_eq!(v, vec![false; 3]);
+        assert_eq!(w, vec![0.5; 2]);
+    }
+
+    #[test]
+    fn out_of_range_reports_are_ignored() {
+        let r = [Report {
+            source: 10,
+            claim: 10,
+            value: true,
+        }];
+        assert_eq!(majority_vote(&r, 2), vec![false, false]);
+        let (v, _) = weighted_vote(&r, 2, 2, 3);
+        assert_eq!(v, vec![false, false]);
+    }
+}

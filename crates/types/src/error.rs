@@ -1,0 +1,59 @@
+//! Error types for the domain model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors raised by domain-model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TypesError {
+    /// A node id was referenced but never registered.
+    UnknownNode(NodeId),
+    /// A node id was registered twice.
+    DuplicateNode(NodeId),
+    /// A numeric parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            TypesError::DuplicateNode(id) => write!(f, "duplicate node {id}"),
+            TypesError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_punctuation() {
+        let e = TypesError::UnknownNode(NodeId::new(3));
+        assert_eq!(e.to_string(), "unknown node n3");
+        let e = TypesError::InvalidParameter {
+            name: "coverage",
+            reason: "must be in [0, 1]".into(),
+        };
+        assert!(e.to_string().contains("coverage"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<TypesError>();
+    }
+}

@@ -1,0 +1,77 @@
+//! Resilient distributed learning (paper §V-B): training across IoBT
+//! nodes when some of them are compromised, comparing aggregation rules,
+//! and fully decentralized gossip learning with no coordinator at all.
+//!
+//! ```sh
+//! cargo run --release --example byzantine_learning
+//! ```
+
+use iobt::learning::prelude::*;
+
+fn main() {
+    let d = logistic_dataset(2_000, 8, 5.0, 1);
+    let (train, test) = d.examples.split_at(1_600);
+    let ds = Dataset {
+        examples: train.to_vec(),
+        dim: 8,
+        true_weights: d.true_weights.clone(),
+    };
+    let shards = partition(&ds, 12, 0.5, 2);
+
+    println!("federated training: 12 workers, 3 compromised (sign-flip x10)\n");
+    for agg in [
+        Aggregator::Mean,
+        Aggregator::Median,
+        Aggregator::TrimmedMean { trim: 3 },
+        Aggregator::Krum { f: 3 },
+    ] {
+        let run = train_federated(
+            8,
+            &shards,
+            test,
+            &FederatedConfig {
+                aggregator: agg,
+                attack: Some(ByzantineAttack::SignFlip { scale: 10.0 }),
+                num_attackers: 3,
+                rounds: 50,
+                ..FederatedConfig::default()
+            },
+        );
+        println!(
+            "  {:<16} final accuracy {:.3}",
+            agg.to_string(),
+            run.final_accuracy()
+        );
+    }
+
+    println!("\ndecentralized gossip SGD (no coordinator), ring vs random topology:");
+    for (name, topology) in [
+        ("ring", MixingTopology::Ring),
+        ("random(deg 4)", MixingTopology::Random { degree: 4 }),
+        ("complete", MixingTopology::Complete),
+    ] {
+        let run = decentralized_sgd(8, &shards, test, topology, 50, 0.5, 3);
+        println!(
+            "  {:<14} accuracy {:.3}, consensus error {:.4}, {} exchanges",
+            name,
+            run.final_accuracy(),
+            run.consensus_per_round.last().unwrap(),
+            run.messages
+        );
+    }
+
+    println!("\ncontinual learning across 4 conflicting tasks:");
+    let stream = TaskStream::generate(4, 800, 8, 4);
+    let blind = train_blind(&stream, 0.3, 15);
+    let contextual = train_contextual(&stream, 0.3, 15);
+    println!(
+        "  blind single model : mean final accuracy {:.3}, forgetting {:.3}",
+        blind.mean_final_accuracy(),
+        blind.mean_forgetting()
+    );
+    println!(
+        "  context-keyed bank : mean final accuracy {:.3}, forgetting {:.3}",
+        contextual.mean_final_accuracy(),
+        contextual.mean_forgetting()
+    );
+}

@@ -1,0 +1,62 @@
+//! Non-combatant evacuation under jamming (the paper's §I vignette):
+//! compares the adaptive runtime against a static plan when an RF jammer
+//! switches on mid-mission near the evacuation corridor.
+//!
+//! ```sh
+//! cargo run --release --example evacuation
+//! ```
+
+use iobt::core::prelude::*;
+use iobt::netsim::{SimDuration, SimTime};
+
+fn run(adaptive: bool) -> MissionReport {
+    let mut scenario = urban_evacuation(220, 7);
+    scenario.disruptions = vec![Disruption::JammerOn {
+        at: SimTime::from_secs_f64(60.0),
+        index: 0,
+    }];
+    let config = RunConfig {
+        duration: SimDuration::from_secs_f64(180.0),
+        adaptive,
+        ..RunConfig::default()
+    };
+    run_mission(&scenario, &config)
+}
+
+fn main() {
+    println!("urban evacuation, 220 nodes, jammer fires at t=60 s\n");
+    let adaptive = run(true);
+    let static_plan = run(false);
+
+    println!("{:<8} {:^22} {:^22}", "window", "adaptive", "static plan");
+    for (a, s) in adaptive.windows.iter().zip(&static_plan.windows) {
+        let bar = |u: f64| "#".repeat((u * 18.0) as usize);
+        println!(
+            "t={:>4.0}s  {:>5.2} {:<18} {:>5.2} {:<18}",
+            a.start_s,
+            a.utility,
+            bar(a.utility),
+            s.utility,
+            bar(s.utility),
+        );
+    }
+    println!(
+        "\nmean utility     : adaptive {:.2} vs static {:.2}",
+        adaptive.mean_utility(),
+        static_plan.mean_utility()
+    );
+    println!(
+        "post-jam utility : adaptive {:.2} vs static {:.2}",
+        adaptive.utility_after(60.0),
+        static_plan.utility_after(60.0)
+    );
+    println!(
+        "repairs          : adaptive {} vs static {}",
+        adaptive.repairs, static_plan.repairs
+    );
+    println!(
+        "\nThe adaptive runtime notices selected sensors going silent under \
+         the jammer\nand re-covers their cells from spare assets outside the \
+         jamming footprint."
+    );
+}

@@ -1,0 +1,57 @@
+//! System diagnostics without direct observation (paper §V-A): network
+//! tomography over a contested mesh — placing monitors, inferring link
+//! delays from end-to-end sums, and localizing failed links from path
+//! reachability alone.
+//!
+//! ```sh
+//! cargo run --release --example network_diagnostics
+//! ```
+
+use iobt::tomography::prelude::*;
+
+fn main() {
+    // A 35-node tactical mesh: random connected graph with redundancy.
+    let net = Topology::random_connected(35, 20, 9);
+    println!(
+        "mesh: {} nodes, {} links\n",
+        net.node_count(),
+        net.edge_count()
+    );
+
+    // How many monitors buy how much visibility?
+    println!("identifiable-link fraction by monitor budget (greedy placement):");
+    for k in [3usize, 5, 8, 12] {
+        let monitors = greedy_placement(&net, k);
+        let system = MeasurementSystem::build(&net, &monitors);
+        println!(
+            "  {k:>2} monitors -> {:>5.1}% of links identifiable ({} paths, rank {})",
+            system.identifiable_fraction() * 100.0,
+            system.paths().len(),
+            system.rank()
+        );
+    }
+
+    // Infer link delays with 8 monitors.
+    let monitors = greedy_placement(&net, 8);
+    let system = MeasurementSystem::build(&net, &monitors);
+    let truth = sample_metrics(&net, 2.0, 25.0, 5);
+    let clean = system.infer(&truth, 0.0, 0);
+    let noisy = system.infer(&truth, 0.5, 1);
+    println!(
+        "\ndelay inference with 8 monitors: RMSE on identifiable links = {:.4} ms clean, {:.4} ms with 0.5 ms measurement noise",
+        clean.identifiable_rmse(),
+        noisy.identifiable_rmse()
+    );
+
+    // Localize two simultaneous link failures.
+    let failed = vec![3usize, 17];
+    let all_nodes: Vec<usize> = (0..net.node_count()).collect();
+    let loc = localize_failures(&net, &all_nodes, &failed);
+    println!(
+        "\nfailure localization (links {failed:?} cut):\n  inferred {:?}\n  precision {:.2}, recall {:.2}, exonerated {} healthy links",
+        loc.inferred_failed,
+        loc.precision(&failed),
+        loc.recall(&failed),
+        loc.exonerated.len()
+    );
+}

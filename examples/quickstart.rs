@@ -1,0 +1,60 @@
+//! Quickstart: run one full IoBT mission — discovery, recruitment, assured
+//! synthesis, and adaptive execution over the battlefield simulator.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use iobt::core::prelude::*;
+use iobt::netsim::SimDuration;
+
+fn main() {
+    // A persistent-surveillance operation over a 3 km sector with 250
+    // mixed blue/red/gray nodes and a command post.
+    let scenario = persistent_surveillance(250, 42);
+    println!("intent   : {}", scenario.intent);
+    println!("mission  : {}", scenario.mission);
+    println!(
+        "population: {} nodes ({:?} blue/red/gray)",
+        scenario.catalog.len(),
+        scenario.catalog.affiliation_counts()
+    );
+
+    let config = RunConfig {
+        duration: SimDuration::from_secs_f64(120.0),
+        ..RunConfig::default()
+    };
+    let report = run_mission(&scenario, &config);
+
+    println!("\n--- mission report ---");
+    println!("recruited          : {}", report.recruited);
+    println!("rejected as red    : {}", report.rejected_red);
+    println!(
+        "red infiltration   : {:.1}% of admitted assets",
+        report.infiltration_rate * 100.0
+    );
+    println!(
+        "composition        : {} nodes, {:.0}% coverage, cost {:.1}",
+        report.composition.selected.len(),
+        report.composition.coverage * 100.0,
+        report.composition.cost
+    );
+    println!(
+        "assurance          : P(success under failures) = {:.3}",
+        report.assurance.success_probability
+    );
+    println!("repairs performed  : {}", report.repairs);
+    println!(
+        "network            : {:.1}% delivered, mean latency {:.1} ms",
+        report.delivery_ratio * 100.0,
+        report.mean_latency_ms
+    );
+    println!("\nutility per 10 s window:");
+    for w in &report.windows {
+        let bar = "#".repeat((w.utility * 40.0) as usize);
+        println!(
+            "  t={:>5.0}s  {:>5.2}  {bar}",
+            w.start_s, w.utility
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate re-exporting the IoBT platform.
+//!
+//! See [`iobt_core`] for the runtime facade and the `crates/` directory for
+//! the individual subsystems.
+pub use iobt_adapt as adapt;
+pub use iobt_core as core;
+pub use iobt_discovery as discovery;
+pub use iobt_learning as learning;
+pub use iobt_netsim as netsim;
+pub use iobt_synthesis as synthesis;
+pub use iobt_tomography as tomography;
+pub use iobt_truth as truth;
+pub use iobt_types as types;

@@ -1,0 +1,79 @@
+//! Integration: churn as a normal operating regime (§III) — stochastic
+//! failure processes against the mission runtime and the repair reflex.
+
+use iobt::core::prelude::*;
+use iobt::netsim::{ChurnProcess, SimDuration, SimTime};
+use iobt::types::{Affiliation, NodeId};
+
+/// Applies a churn plan to a scenario as explicit disruptions (failures
+/// only — battle damage).
+fn scenario_with_churn(seed: u64, mtbf_s: f64) -> Scenario {
+    let mut scenario = persistent_surveillance(250, seed);
+    scenario.disruptions.clear();
+    let blue: Vec<NodeId> = scenario
+        .catalog
+        .with_affiliation(Affiliation::Blue)
+        .iter()
+        .map(|n| n.id())
+        .collect();
+    let churn = ChurnProcess::permanent(mtbf_s, seed ^ 0xC0FFEE);
+    let plan = churn.plan(&blue, SimTime::from_secs_f64(120.0));
+    for (at, node) in plan.failures {
+        scenario.disruptions.push(Disruption::NodeLoss { at, node });
+    }
+    scenario
+}
+
+fn config(adaptive: bool) -> RunConfig {
+    RunConfig {
+        duration: SimDuration::from_secs_f64(120.0),
+        adaptive,
+        repair_threshold: 0.9,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn runtime_survives_heavy_churn() {
+    // MTBF 300 s over 120 s: ~1/3 of blue assets die mid-mission.
+    let scenario = scenario_with_churn(3, 300.0);
+    assert!(
+        scenario.disruptions.len() > 10,
+        "churn should bite: {} losses",
+        scenario.disruptions.len()
+    );
+    let report = run_mission(&scenario, &config(true));
+    assert!(
+        report.mean_utility() > 0.4,
+        "mission keeps functioning: {}",
+        report.mean_utility()
+    );
+    assert!(!report.windows.is_empty());
+}
+
+#[test]
+fn adaptation_does_not_lose_to_static_under_churn() {
+    let mut adaptive_total = 0.0;
+    let mut static_total = 0.0;
+    for seed in [5u64, 11, 19] {
+        let scenario = scenario_with_churn(seed, 250.0);
+        adaptive_total += run_mission(&scenario, &config(true)).utility_after(40.0);
+        static_total += run_mission(&scenario, &config(false)).utility_after(40.0);
+    }
+    assert!(
+        adaptive_total >= static_total - 0.05,
+        "adaptive {adaptive_total} vs static {static_total}"
+    );
+}
+
+#[test]
+fn lighter_churn_means_higher_utility() {
+    let heavy = run_mission(&scenario_with_churn(7, 120.0), &config(true));
+    let light = run_mission(&scenario_with_churn(7, 3_000.0), &config(true));
+    assert!(
+        light.mean_utility() >= heavy.mean_utility() - 0.02,
+        "light {} vs heavy {}",
+        light.mean_utility(),
+        heavy.mean_utility()
+    );
+}

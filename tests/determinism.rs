@@ -1,0 +1,87 @@
+//! Integration: every public entry point is reproducible given the same
+//! seeds — the property all experiment harnesses rely on.
+
+use iobt::core::prelude::*;
+use iobt::learning::prelude::*;
+use iobt::netsim::SimDuration;
+use iobt::truth::prelude::*;
+use iobt::types::catalog::PopulationBuilder;
+use iobt::types::Rect;
+
+#[test]
+fn populations_are_reproducible() {
+    let b = PopulationBuilder::new(Rect::square(1_000.0)).count(300);
+    assert_eq!(b.build(5), b.build(5));
+}
+
+#[test]
+fn scenarios_are_reproducible() {
+    for (a, b) in [
+        (urban_evacuation(100, 3), urban_evacuation(100, 3)),
+        (
+            persistent_surveillance(100, 3),
+            persistent_surveillance(100, 3),
+        ),
+        (disaster_relief(100, 3), disaster_relief(100, 3)),
+    ] {
+        assert_eq!(a.catalog, b.catalog);
+        assert_eq!(a.mission, b.mission);
+        assert_eq!(a.disruptions, b.disruptions);
+    }
+}
+
+#[test]
+fn missions_are_reproducible() {
+    let scenario = urban_evacuation(120, 21);
+    let cfg = RunConfig {
+        duration: SimDuration::from_secs_f64(50.0),
+        ..RunConfig::default()
+    };
+    let a = run_mission(&scenario, &cfg);
+    let b = run_mission(&scenario, &cfg);
+    assert_eq!(a.windows, b.windows);
+    assert_eq!(a.repairs, b.repairs);
+    assert_eq!(a.composition.selected, b.composition.selected);
+    assert_eq!(
+        a.assurance.success_probability,
+        b.assurance.success_probability
+    );
+}
+
+#[test]
+fn truth_discovery_is_reproducible() {
+    let s = ScenarioBuilder::new(30, 80).build(4);
+    let run = || {
+        discover(&s.reports, s.num_sources, s.num_claims, EmConfig::default()).claim_posterior
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn federated_training_is_reproducible() {
+    let d = logistic_dataset(600, 4, 5.0, 6);
+    let (train, test) = d.examples.split_at(500);
+    let ds = Dataset {
+        examples: train.to_vec(),
+        dim: 4,
+        true_weights: d.true_weights.clone(),
+    };
+    let shards = partition(&ds, 6, 0.5, 7);
+    let cfg = FederatedConfig {
+        attack: Some(ByzantineAttack::GaussianNoise { std: 3.0 }),
+        num_attackers: 2,
+        aggregator: Aggregator::Median,
+        rounds: 15,
+        ..FederatedConfig::default()
+    };
+    let a = train_federated(4, &shards, test, &cfg);
+    let b = train_federated(4, &shards, test, &cfg);
+    assert_eq!(a.accuracy_per_round, b.accuracy_per_round);
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    let a = PopulationBuilder::new(Rect::square(1_000.0)).count(100).build(1);
+    let b = PopulationBuilder::new(Rect::square(1_000.0)).count(100).build(2);
+    assert_ne!(a, b, "seeding must matter");
+}

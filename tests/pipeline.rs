@@ -1,0 +1,85 @@
+//! Cross-crate integration: the full mission pipeline on every scenario
+//! family.
+
+use iobt::core::prelude::*;
+use iobt::netsim::SimDuration;
+
+fn quick() -> RunConfig {
+    RunConfig {
+        duration: SimDuration::from_secs_f64(60.0),
+        ..RunConfig::default()
+    }
+}
+
+fn check_report_invariants(report: &MissionReport) {
+    assert!(report.recruited > 0, "recruitment found nobody");
+    assert!(
+        (0.0..=1.0).contains(&report.infiltration_rate),
+        "infiltration must be a fraction"
+    );
+    assert!(
+        report.composition.coverage >= 0.0 && report.composition.coverage <= 1.0,
+        "coverage must be a fraction"
+    );
+    assert!(
+        report.assurance.success_probability >= 0.0
+            && report.assurance.success_probability <= 1.0
+    );
+    assert!(!report.windows.is_empty(), "execution produced no windows");
+    for w in &report.windows {
+        assert!(w.reporting <= w.expected.max(1));
+        assert!((0.0..=1.0).contains(&w.utility));
+    }
+    assert!((0.0..=1.0).contains(&report.delivery_ratio));
+    assert!(report.mean_latency_ms >= 0.0);
+}
+
+#[test]
+fn surveillance_pipeline() {
+    let report = run_mission(&persistent_surveillance(150, 1), &quick());
+    check_report_invariants(&report);
+    assert!(
+        report.mean_utility() > 0.5,
+        "surveillance should mostly work: {}",
+        report.mean_utility()
+    );
+}
+
+#[test]
+fn evacuation_pipeline() {
+    let report = run_mission(&urban_evacuation(150, 2), &quick());
+    check_report_invariants(&report);
+}
+
+#[test]
+fn disaster_relief_pipeline() {
+    let report = run_mission(&disaster_relief(150, 3), &quick());
+    check_report_invariants(&report);
+    // No red force in disaster relief: nothing to infiltrate.
+    assert_eq!(report.infiltration_rate, 0.0);
+}
+
+#[test]
+fn recruitment_screens_most_red_nodes() {
+    let scenario = persistent_surveillance(400, 4);
+    let report = run_mission(&scenario, &quick());
+    let [_, red, _] = scenario.catalog.affiliation_counts();
+    assert!(red > 0, "scenario should contain red nodes");
+    assert!(
+        report.rejected_red > 0,
+        "discovery should flag some red nodes"
+    );
+    assert!(
+        report.infiltration_rate < 0.1,
+        "infiltration should be rare: {}",
+        report.infiltration_rate
+    );
+}
+
+#[test]
+fn larger_populations_recruit_more_and_cover_better() {
+    let small = run_mission(&persistent_surveillance(80, 5), &quick());
+    let large = run_mission(&persistent_surveillance(500, 5), &quick());
+    assert!(large.recruited > small.recruited);
+    assert!(large.composition.coverage >= small.composition.coverage - 0.05);
+}

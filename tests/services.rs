@@ -1,0 +1,112 @@
+//! Integration: the learning/diagnostic services hold their headline
+//! properties when wired together the way the runtime uses them.
+
+use iobt::adapt::{hotspot_trace, simulate, AllocationPolicy};
+use iobt::learning::prelude::*;
+use iobt::tomography::prelude::*;
+use iobt::truth::prelude::*;
+
+#[test]
+fn em_beats_majority_under_adversarial_sources() {
+    let mut em_wins = 0;
+    for seed in 0..5u64 {
+        let s = ScenarioBuilder::new(50, 150)
+            .observe_prob(0.3)
+            .adversarial_fraction(0.3)
+            .build(seed);
+        let est = discover(&s.reports, s.num_sources, s.num_claims, EmConfig::default());
+        let em = s.score_claims(&est.claim_values());
+        let mv = s.score_claims(&majority_vote(&s.reports, s.num_claims));
+        if em >= mv {
+            em_wins += 1;
+        }
+    }
+    assert!(em_wins >= 4, "EM should beat majority on most seeds: {em_wins}/5");
+}
+
+#[test]
+fn krum_survives_the_attack_that_kills_mean() {
+    let d = logistic_dataset(1_200, 5, 5.0, 3);
+    let (train, test) = d.examples.split_at(1_000);
+    let ds = Dataset {
+        examples: train.to_vec(),
+        dim: 5,
+        true_weights: d.true_weights.clone(),
+    };
+    let shards = partition(&ds, 10, 0.3, 4);
+    let run = |agg| {
+        train_federated(
+            5,
+            &shards,
+            test,
+            &FederatedConfig {
+                aggregator: agg,
+                attack: Some(ByzantineAttack::SignFlip { scale: 10.0 }),
+                num_attackers: 3,
+                rounds: 40,
+                ..FederatedConfig::default()
+            },
+        )
+        .final_accuracy()
+    };
+    let mean_acc = run(Aggregator::Mean);
+    let krum_acc = run(Aggregator::Krum { f: 3 });
+    assert!(mean_acc < 0.6, "mean should collapse: {mean_acc}");
+    assert!(krum_acc > 0.8, "krum should survive: {krum_acc}");
+}
+
+#[test]
+fn greedy_monitor_placement_dominates_random() {
+    let mut better_or_equal = 0;
+    for seed in 0..5u64 {
+        let g = Topology::random_connected(25, 12, seed);
+        let greedy = greedy_placement(&g, 5);
+        let random = random_placement(&g, 5, seed + 50);
+        let gf = MeasurementSystem::build(&g, &greedy).identifiable_fraction();
+        let rf = MeasurementSystem::build(&g, &random).identifiable_fraction();
+        if gf >= rf {
+            better_or_equal += 1;
+        }
+    }
+    assert_eq!(better_or_equal, 5);
+}
+
+#[test]
+fn failure_localization_is_exact_with_full_monitoring() {
+    let g = Topology::grid(5, 5);
+    let monitors: Vec<usize> = (0..25).collect();
+    for failed in [vec![0usize], vec![7, 19]] {
+        let loc = localize_failures(&g, &monitors, &failed);
+        assert_eq!(loc.inferred_failed, failed);
+        assert_eq!(loc.unexplained_paths, 0);
+    }
+}
+
+#[test]
+fn max_min_allocation_contains_a_flood_end_to_end() {
+    let trace = hotspot_trace(6, 50, 10.0, 40.0, Some(2), 15, 800.0);
+    let capacity = 200.0;
+    let prop = simulate(AllocationPolicy::Proportional, capacity, &trace);
+    let maxmin = simulate(AllocationPolicy::MaxMin { headroom: 0.2 }, capacity, &trace);
+    assert!(maxmin.saturation_fraction < prop.saturation_fraction);
+    assert!(maxmin.quantile_ms(0.5) <= prop.quantile_ms(0.5));
+}
+
+#[test]
+fn decentralized_learning_matches_federated_on_clean_data() {
+    let d = logistic_dataset(1_200, 5, 5.0, 9);
+    let (train, test) = d.examples.split_at(1_000);
+    let ds = Dataset {
+        examples: train.to_vec(),
+        dim: 5,
+        true_weights: d.true_weights.clone(),
+    };
+    let shards = partition(&ds, 10, 0.3, 10);
+    let fed = train_federated(5, &shards, test, &FederatedConfig::default()).final_accuracy();
+    let dec = decentralized_sgd(5, &shards, test, MixingTopology::Random { degree: 4 }, 50, 0.5, 11)
+        .final_accuracy();
+    assert!(
+        (fed - dec).abs() < 0.1,
+        "coordinated {fed} and coordinator-free {dec} should agree"
+    );
+}
