@@ -1,0 +1,288 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the subset this workspace's property tests use:
+//!
+//! * `proptest! { #[test] fn name(arg in strategy, ...) { body } }`
+//! * numeric [`Strategy`] ranges (`0u64..30`, `-1e3..1e3f64`, …)
+//! * `prop_assert!` / `prop_assert_eq!`
+//!
+//! Each generated test runs [`CASES`] deterministic random cases seeded
+//! from the test's name, so failures reproduce exactly. There is no
+//! shrinking: the failing inputs are printed instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Number of random cases each property test runs.
+pub const CASES: usize = 32;
+
+/// Deterministic per-test RNG. Seeded from the test name so every run of
+/// the suite explores the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the RNG for a named test.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable, well-spread seed.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The produced value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one input.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Strategies over collections (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>` (proptest's `Into<SizeRange>` analogue).
+    pub trait IntoSizeRange {
+        /// Converts to `lo..hi` bounds.
+        fn bounds(&self) -> std::ops::Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> std::ops::Range<usize> {
+            *self..*self + 1
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> std::ops::Range<usize> {
+            self.clone()
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.bounds(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over `bool` (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// Uniformly random `true`/`false`.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Error carried out of a failing property body.
+pub type TestCaseError = String;
+
+/// Defines property tests. Mirrors `proptest::proptest!` for the
+/// `fn name(arg in strategy, ...) { body }` form (one or more functions
+/// per invocation, arbitrary outer attributes including doc comments).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    // Render inputs up front: the body may consume them.
+                    let rendered_inputs =
+                        [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),+]
+                            .join(", ");
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "property `{}` failed on case {}/{}:\n  {}\n  inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            $crate::CASES,
+                            message,
+                            rendered_inputs,
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts inside a property body; failures report inputs instead of
+/// unwinding through `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {} == {} ({:?} vs {:?})",
+                        stringify!($a), stringify!($b), left, right),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {} == {} ({:?} vs {:?}): {}",
+                        stringify!($a), stringify!($b), left, right, format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy, TestRng, CASES};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Addition commutes (sanity-check the macro plumbing end to end).
+        #[test]
+        fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn floats_stay_in_range(x in -1e3..1e3f64, scale in 0.1..2.0f64) {
+            prop_assert!((-1e3..1e3).contains(&x));
+            prop_assert!((0.1..2.0).contains(&scale), "scale {}", scale);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            fn always_fails(v in 0u32..10) {
+                prop_assert!(v > 100);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::Rng;
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        let av: Vec<u64> = (0..4).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let bv: Vec<u64> = (0..4).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        let cv: Vec<u64> = (0..4).map(|_| c.gen_range(0u64..1_000_000)).collect();
+        assert_eq!(av, bv);
+        assert_ne!(av, cv);
+    }
+}

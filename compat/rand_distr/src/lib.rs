@@ -1,0 +1,117 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate, covering the distributions this workspace samples: [`Normal`]
+//! (Box–Muller) and [`Exp`] (inverse CDF). See the in-tree `rand` shim for
+//! why these exist.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Uniform in `[0, 1)` that works through `?Sized` RNG references.
+fn unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Error from invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A parameter was non-finite or out of range.
+    BadParams,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error::BadParams);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one sample per call keeps the stream stateless.
+        let u1: f64 = unit(rng).max(f64::MIN_POSITIVE);
+        let u2: f64 = unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error::BadParams);
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = unit(rng);
+        -(1.0 - u).max(f64::MIN_POSITIVE).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Exp::new(0.25).unwrap();
+        let n = 200_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!((0..100).all(|_| d.sample(&mut rng) >= 0.0));
+    }
+
+    #[test]
+    fn bad_params_are_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+    }
+}

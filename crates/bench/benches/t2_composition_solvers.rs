@@ -8,22 +8,26 @@ use iobt_synthesis::{CompositionProblem, Solver};
 use iobt_types::NodeSpec;
 
 fn scenario_problem(name: &str, seed: u64) -> (String, CompositionProblem) {
-    let scenario = match name {
-        "evacuation" => urban_evacuation(500, seed),
-        "surveillance" => persistent_surveillance(500, seed),
-        _ => disaster_relief(500, seed),
+    // The 10k row exercises the indexed construction + portfolio path at
+    // the paper's headline scale; the 500-node rows keep the ablation
+    // comparable across scenario classes.
+    let (scenario, grid) = match name {
+        "evacuation" => (urban_evacuation(500, seed), 8),
+        "surveillance" => (persistent_surveillance(500, seed), 8),
+        "surveillance-10k" => (persistent_surveillance(10_000, seed), 12),
+        _ => (disaster_relief(500, seed), 8),
     };
     let specs: Vec<NodeSpec> = scenario.catalog.iter().cloned().collect();
     (
         name.to_string(),
-        CompositionProblem::from_mission(&scenario.mission, &specs, 8),
+        CompositionProblem::from_mission(&scenario.mission, &specs, grid),
     )
 }
 
 fn main() {
     let mut table = Table::new(
         "t2_composition_solvers",
-        "Solver ablation across scenario classes (500-node populations)",
+        "Solver ablation across scenario classes (500-node populations + 10k surveillance)",
         &[
             "scenario",
             "solver",
@@ -34,12 +38,16 @@ fn main() {
             "solve ms",
         ],
     );
-    for name in ["evacuation", "surveillance", "disaster"] {
+    for name in ["evacuation", "surveillance", "disaster", "surveillance-10k"] {
         let (label, problem) = scenario_problem(name, 21);
         let feasible = problem.max_achievable_fraction();
         for solver in [
             Solver::Greedy,
             Solver::Anneal {
+                iterations: 2_000,
+                seed: 5,
+            },
+            Solver::Portfolio {
                 iterations: 2_000,
                 seed: 5,
             },

@@ -8,7 +8,7 @@ use iobt_discovery::{
     TrackerConfig,
 };
 use iobt_netsim::{SimDuration, Simulator};
-use iobt_synthesis::{assess, failure_probability, repair, AssuranceReport, CompositionProblem, CompositionResult, Solver};
+use iobt_synthesis::{assess, failure_probability, repair_with, AssuranceReport, CompositionProblem, CompositionResult, Solver};
 use iobt_types::{NodeId, NodeSpec, TrustLedger};
 
 use crate::behaviors::{new_report_log, CommandSink, SensorReporter};
@@ -264,7 +264,7 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
                     failed_ever.insert(id);
                 }
             }
-            let repaired = repair(&problem, &current, &failed_ever);
+            let repaired = repair_with(&problem, &current, &failed_ever, config.solver);
             if repaired.selected != selection {
                 repairs += 1;
                 selection = repaired.selected.clone();

@@ -140,22 +140,37 @@ impl ConnectivityGraph {
     /// (inclusive of both endpoints), or `None` when unreachable.
     ///
     /// Reliability is the product of per-hop delivery probabilities;
-    /// Dijkstra runs on `-ln p` weights.
+    /// Dijkstra runs on `-ln p` weights. Allocates fresh working state —
+    /// callers routing many times per snapshot should hold a
+    /// [`RouteScratch`] and use [`ConnectivityGraph::route_with`].
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        self.route_with(&mut RouteScratch::new(), src, dst)
+    }
+
+    /// [`ConnectivityGraph::route`] with caller-owned scratch space.
+    ///
+    /// The per-query distance/predecessor state is epoch-stamped instead
+    /// of cleared, and the heap/path buffers are reused, so repeated
+    /// queries (the simulator routes every message) cost no allocations
+    /// once the scratch has warmed up. Stale heap entries — nodes already
+    /// settled via a cheaper path — are skipped on pop.
+    pub fn route_with(
+        &self,
+        scratch: &mut RouteScratch,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Option<Vec<NodeId>> {
         let &s = self.index.get(&src)?;
         let &d = self.index.get(&dst)?;
         if s == d {
             return Some(vec![src]);
         }
-        let n = self.ids.len();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev = vec![usize::MAX; n];
-        let mut heap = BinaryHeap::new();
-        dist[s] = 0.0;
-        heap.push(HeapEntry { cost: 0.0, node: s });
-        while let Some(HeapEntry { cost, node }) = heap.pop() {
-            if cost > dist[node] {
-                continue;
+        scratch.reset(self.ids.len());
+        scratch.set(s, 0.0, usize::MAX);
+        scratch.heap.push(HeapEntry { cost: 0.0, node: s });
+        while let Some(HeapEntry { cost, node }) = scratch.heap.pop() {
+            if cost > scratch.dist(node) {
+                continue; // stale entry: settled earlier via a cheaper path
             }
             if node == d {
                 break;
@@ -163,20 +178,19 @@ impl ConnectivityGraph {
             for &(next, q) in &self.adj[node] {
                 let w = -(q.delivery_prob.max(1e-12)).ln();
                 let nd = cost + w;
-                if nd < dist[next] {
-                    dist[next] = nd;
-                    prev[next] = node;
-                    heap.push(HeapEntry { cost: nd, node: next });
+                if nd < scratch.dist(next) {
+                    scratch.set(next, nd, node);
+                    scratch.heap.push(HeapEntry { cost: nd, node: next });
                 }
             }
         }
-        if dist[d].is_infinite() {
+        if scratch.dist(d).is_infinite() {
             return None;
         }
         let mut path = vec![d];
         let mut cur = d;
         while cur != s {
-            cur = prev[cur];
+            cur = scratch.prev(cur);
             path.push(cur);
         }
         path.reverse();
@@ -266,6 +280,71 @@ fn best_link(a: &GraphNode, b: &GraphNode, channel: &Channel) -> Option<LinkQual
         };
     }
     best
+}
+
+/// Reusable Dijkstra working state for [`ConnectivityGraph::route_with`].
+///
+/// Distance and predecessor slots are validated by an epoch stamp, so
+/// starting a new query is `O(1)` — no per-node clearing — and the heap
+/// keeps its capacity across queries.
+#[derive(Debug, Clone, Default)]
+pub struct RouteScratch {
+    dist: Vec<f64>,
+    prev: Vec<usize>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl RouteScratch {
+    /// An empty scratch; buffers grow to the graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins a new query over `n` nodes.
+    fn reset(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, usize::MAX);
+            self.stamp.resize(n, 0);
+            // A resize may keep a prefix whose stamps collide with a
+            // restarted epoch sequence; invalidate everything.
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.heap.clear();
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Stamp wrap-around: invalidate everything explicitly.
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    #[inline]
+    fn dist(&self, i: usize) -> f64 {
+        if self.stamp[i] == self.epoch {
+            self.dist[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn prev(&self, i: usize) -> usize {
+        debug_assert_eq!(self.stamp[i], self.epoch);
+        self.prev[i]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, dist: f64, prev: usize) {
+        self.dist[i] = dist;
+        self.prev[i] = prev;
+        self.stamp[i] = self.epoch;
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -420,6 +499,38 @@ mod tests {
                 assert!(
                     g.neighbors(j).iter().any(|(k, _)| *k == NodeId::new(i)),
                     "link {i} -> {j} must be symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_routes() {
+        // A shared scratch must give the same answers as per-call
+        // allocation, across multiple graphs of different sizes and
+        // unreachable queries in between.
+        let ch = open_channel();
+        let big: Vec<GraphNode> = (0..30)
+            .map(|i| node(i, (i % 6) as f64 * 70.0, (i / 6) as f64 * 70.0, &[RadioKind::Wifi]))
+            .collect();
+        let small = vec![
+            node(100, 0.0, 0.0, &[RadioKind::Wifi]),
+            node(101, 60.0, 0.0, &[RadioKind::Wifi]),
+            node(102, 9_000.0, 0.0, &[RadioKind::Wifi]), // isolated
+        ];
+        let g_big = ConnectivityGraph::build(&big, &ch);
+        let g_small = ConnectivityGraph::build(&small, &ch);
+        let mut scratch = RouteScratch::new();
+        for (g, pairs) in [
+            (&g_big, vec![(0u64, 29u64), (5, 17), (29, 0)]),
+            (&g_small, vec![(100, 101), (100, 102), (101, 100)]),
+            (&g_big, vec![(3, 22), (0, 29)]),
+        ] {
+            for (a, b) in pairs {
+                assert_eq!(
+                    g.route_with(&mut scratch, NodeId::new(a), NodeId::new(b)),
+                    g.route(NodeId::new(a), NodeId::new(b)),
+                    "route {a} -> {b}"
                 );
             }
         }

@@ -29,7 +29,7 @@ pub mod time;
 
 pub use channel::{Channel, Jammer};
 pub use churn::{ChurnPlan, ChurnProcess};
-pub use graph::{ConnectivityGraph, GraphNode, LinkQuality};
+pub use graph::{ConnectivityGraph, GraphNode, LinkQuality, RouteScratch};
 pub use message::Message;
 pub use mobility::{MobilityModel, MobilityState};
 pub use sim::{Behavior, Context, SimulatorBuilder, SleepSchedule, Simulator};

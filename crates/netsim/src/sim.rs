@@ -48,7 +48,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::channel::{Channel, Jammer};
-use crate::graph::{ConnectivityGraph, GraphNode, LinkQuality};
+use crate::graph::{ConnectivityGraph, GraphNode, LinkQuality, RouteScratch};
 use crate::message::Message;
 use crate::mobility::{MobilityModel, MobilityState};
 use crate::stats::NetStats;
@@ -339,6 +339,7 @@ impl SimulatorBuilder {
             rng: StdRng::seed_from_u64(self.seed),
             stats: NetStats::new(),
             graph: None,
+            route_scratch: RouteScratch::new(),
             retries: self.retries,
             mobility_step: self.mobility_step,
             idle_drain_w: self.idle_drain_w,
@@ -362,6 +363,7 @@ struct Core {
     rng: StdRng,
     stats: NetStats,
     graph: Option<ConnectivityGraph>,
+    route_scratch: RouteScratch,
     retries: u32,
     mobility_step: SimDuration,
     idle_drain_w: f64,
@@ -431,7 +433,11 @@ impl Core {
             self.stats.dropped_asleep += 1;
             return;
         }
-        let Some(route) = self.graph().route(msg.src(), msg.dst()) else {
+        // Split borrows: the lazily-built graph is immutable while the
+        // scratch (reused across every transmission) is mutated.
+        self.graph();
+        let graph = self.graph.as_ref().expect("just built");
+        let Some(route) = graph.route_with(&mut self.route_scratch, msg.src(), msg.dst()) else {
             self.stats.dropped += 1;
             self.stats.dropped_no_route += 1;
             return;

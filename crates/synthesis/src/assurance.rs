@@ -64,7 +64,7 @@ pub fn assess(
     // Coverers per pair.
     let mut coverers: Vec<Vec<usize>> = vec![Vec::new(); problem.pair_count];
     for (si, &ci) in selection.iter().enumerate() {
-        for &p in &problem.candidates[ci].covers {
+        for p in problem.candidates[ci].covers.iter() {
             coverers[p as usize].push(si);
         }
     }

@@ -39,19 +39,24 @@
 #![warn(missing_docs)]
 
 pub mod assurance;
+pub mod coverage;
+pub mod index;
 pub mod problem;
 pub mod repair;
 pub mod solvers;
 
 pub use assurance::{assess, failure_probability, AssuranceReport};
+pub use coverage::{CoverageCounter, CoverageSet};
+pub use index::CellIndex;
 pub use problem::{candidate_cost, Candidate, CompositionProblem};
-pub use repair::{repair, RepairResult};
+pub use repair::{repair, repair_with, RepairResult};
 pub use solvers::{CompositionResult, Solver};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::{
-        assess, candidate_cost, failure_probability, repair, AssuranceReport, Candidate,
-        CompositionProblem, CompositionResult, RepairResult, Solver,
+        assess, candidate_cost, failure_probability, repair, repair_with, AssuranceReport,
+        Candidate, CellIndex, CompositionProblem, CompositionResult, CoverageCounter, CoverageSet,
+        RepairResult, Solver,
     };
 }

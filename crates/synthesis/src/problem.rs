@@ -12,6 +12,9 @@
 
 use iobt_types::{Mission, NodeId, NodeSpec, Point, SensorKind};
 
+use crate::coverage::{CoverageCounter, CoverageSet};
+use crate::index::CellIndex;
+
 /// A recruitable asset as the solver sees it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
@@ -23,8 +26,8 @@ pub struct Candidate {
     pub trust: f64,
     /// Selection cost (see [`candidate_cost`]).
     pub cost: f64,
-    /// Indices of coverage pairs this candidate covers (sorted).
-    pub covers: Vec<u32>,
+    /// Coverage pairs this candidate covers, as a packed bitset.
+    pub covers: CoverageSet,
 }
 
 /// Relative cost of selecting a node: every node costs 1, gray and
@@ -66,17 +69,80 @@ impl CompositionProblem {
     /// `grid x grid` discretization of the mission area.
     ///
     /// Candidates below the mission's trust floor are dropped here, so the
-    /// solvers never see them.
+    /// solvers never see them. Cell lookups go through a [`CellIndex`], so
+    /// each candidate pays only for the cells its sensors can reach rather
+    /// than a full scan of the grid.
     ///
     /// # Panics
     ///
     /// Panics when `grid == 0`.
     pub fn from_mission(mission: &Mission, specs: &[NodeSpec], grid: usize) -> Self {
-        assert!(grid > 0, "grid must be nonzero");
-        let cells = mission.area().grid(grid, grid);
-        let cell_centers: Vec<Point> = cells.iter().map(|c| c.center()).collect();
-        let modalities = mission.required_modalities();
-        let pair_count = cell_centers.len() * modalities.len();
+        let (cell_centers, modalities, pair_count) = Self::layout(mission, grid);
+        let index = CellIndex::build(&cell_centers);
+        let stride = modalities.len();
+        let mut candidates = Vec::with_capacity(specs.len());
+        // Best range per required modality for the current spec; a single
+        // pass over the node's sensors replaces one filtered max-scan per
+        // modality (`best_sensor` semantics: max range wins, and a missing
+        // modality contributes nothing).
+        let mut ranges = vec![f64::NEG_INFINITY; stride];
+        for s in specs {
+            let trust = s.trust().value();
+            if trust < mission.min_trust() {
+                continue;
+            }
+            ranges.fill(f64::NEG_INFINITY);
+            for sensor in s.capabilities().sensors() {
+                if let Some(mi) = modalities.iter().position(|&m| m == sensor.kind()) {
+                    if sensor.range_m() > ranges[mi] {
+                        ranges[mi] = sensor.range_m();
+                    }
+                }
+            }
+            // One union-disc sweep covers all modalities at once (the
+            // NEG_INFINITY sentinel entries never hit); each reported cell
+            // run lands as strided word masks in the backing bitset, so
+            // interior cells cost neither a distance test nor a per-bit
+            // insert.
+            let mut covers = CoverageSet::with_capacity(pair_count);
+            let words = covers.words_mut();
+            index.for_each_covered_run(&cell_centers, s.position(), &ranges, |cs, ce, mi| {
+                crate::coverage::set_strided_run(
+                    words,
+                    cs * stride as u32 + mi as u32,
+                    ce - cs,
+                    stride as u32,
+                );
+            });
+            candidates.push(Candidate {
+                id: s.id(),
+                position: s.position(),
+                trust,
+                cost: candidate_cost(s),
+                covers,
+            });
+        }
+        CompositionProblem {
+            candidates,
+            cell_centers,
+            modalities,
+            pair_count,
+            redundancy: mission.resilience(),
+            required_fraction: mission.coverage_fraction(),
+        }
+    }
+
+    /// Brute-force construction checking every cell center per candidate.
+    ///
+    /// This is the pre-index implementation kept verbatim — including its
+    /// per-candidate `Vec<u32>` accumulation and sort, with only a final
+    /// conversion into the packed [`CoverageSet`] representation —
+    /// so equivalence tests can assert the indexed path builds the exact
+    /// same instance and the `synthesis_kernels` / `f2_synthesis_scale`
+    /// benchmarks measure the real before/after construction cost.
+    #[doc(hidden)]
+    pub fn from_mission_scan(mission: &Mission, specs: &[NodeSpec], grid: usize) -> Self {
+        let (cell_centers, modalities, pair_count) = Self::layout(mission, grid);
         let candidates = specs
             .iter()
             .filter(|s| s.trust().value() >= mission.min_trust())
@@ -99,7 +165,7 @@ impl CompositionProblem {
                     position: s.position(),
                     trust: s.trust().value(),
                     cost: candidate_cost(s),
-                    covers,
+                    covers: CoverageSet::from_indices(pair_count, covers),
                 }
             })
             .collect();
@@ -113,14 +179,19 @@ impl CompositionProblem {
         }
     }
 
+    fn layout(mission: &Mission, grid: usize) -> (Vec<Point>, Vec<SensorKind>, usize) {
+        assert!(grid > 0, "grid must be nonzero");
+        let cells = mission.area().grid(grid, grid);
+        let cell_centers: Vec<Point> = cells.iter().map(|c| c.center()).collect();
+        let modalities = mission.required_modalities();
+        let pair_count = cell_centers.len() * modalities.len();
+        (cell_centers, modalities, pair_count)
+    }
+
     /// Number of pairs at redundancy ≥ `k` under a selection (indices into
     /// `candidates`).
     pub fn pairs_satisfied(&self, selection: &[usize]) -> usize {
-        let counts = self.coverage_counts(selection);
-        counts
-            .iter()
-            .filter(|&&c| c as usize >= self.redundancy)
-            .count()
+        self.counter_for(selection).satisfied()
     }
 
     /// Per-pair coverage multiplicity under a selection.
@@ -131,11 +202,26 @@ impl CompositionProblem {
     pub fn coverage_counts(&self, selection: &[usize]) -> Vec<u16> {
         let mut counts = vec![0u16; self.pair_count];
         for &i in selection {
-            for &p in &self.candidates[i].covers {
+            for p in self.candidates[i].covers.iter() {
                 counts[p as usize] = counts[p as usize].saturating_add(1);
             }
         }
         counts
+    }
+
+    /// Builds an incremental redundancy counter pre-loaded with a
+    /// selection — the entry point the solvers share.
+    pub fn counter_for(&self, selection: &[usize]) -> CoverageCounter {
+        let mut counter = CoverageCounter::new(self.pair_count, self.redundancy);
+        for &i in selection {
+            counter.add(&self.candidates[i].covers);
+        }
+        counter
+    }
+
+    /// Number of satisfied pairs needed to meet the mission requirement.
+    pub fn pairs_needed(&self) -> usize {
+        ((self.required_fraction * self.pair_count as f64).ceil() as usize).min(self.pair_count)
     }
 
     /// Fraction of pairs at redundancy ≥ `k` under a selection.
@@ -264,6 +350,6 @@ mod tests {
         assert_eq!(p.pair_count, 8); // 4 cells × 2 modalities
         // Visual-only node covers exactly the visual pair of each cell.
         assert_eq!(p.candidates[0].covers.len(), 4);
-        assert!(p.candidates[0].covers.iter().all(|&pi| pi % 2 == 0));
+        assert!(p.candidates[0].covers.iter().all(|pi| pi % 2 == 0));
     }
 }

@@ -5,17 +5,19 @@
 //! short time", and discovery/composition "will need to be robust to
 //! failure or removal of assets as a normal operating regime." Instead of
 //! re-solving from scratch, [`repair`] keeps the surviving selection and
-//! greedily re-covers only the pairs that dropped below redundancy —
-//! typically orders of magnitude cheaper than full re-synthesis (measured
-//! in experiment `f2_synthesis_scale`).
+//! re-covers only the pairs that dropped below redundancy — typically
+//! orders of magnitude cheaper than full re-synthesis (measured in
+//! experiment `f2_synthesis_scale`).
 
 use std::collections::HashSet;
 use std::time::Instant;
 
 use iobt_types::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::problem::CompositionProblem;
-use crate::solvers::CompositionResult;
+use crate::solvers::{greedy_extend, CompositionResult, Solver};
 
 /// Outcome of a repair pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,69 +34,71 @@ pub struct RepairResult {
     pub elapsed_ms: f64,
 }
 
-/// Repairs `previous` after the nodes in `failed` (by id) are lost.
-///
-/// Keeps every surviving selected candidate, then greedily adds unused
-/// candidates (excluding failed ones) by marginal-gain-per-cost until the
-/// requirement is met again or no candidate helps.
+/// Repairs `previous` after the nodes in `failed` (by id) are lost, using
+/// the default greedy strategy. Equivalent to
+/// [`repair_with`]`(…, `[`Solver::Greedy`]`)`.
 pub fn repair(
     problem: &CompositionProblem,
     previous: &CompositionResult,
     failed: &HashSet<NodeId>,
 ) -> RepairResult {
+    repair_with(problem, previous, failed, Solver::Greedy)
+}
+
+/// Repairs `previous` after the nodes in `failed` (by id) are lost.
+///
+/// Keeps every surviving selected candidate, then extends the selection
+/// with unused, non-failed candidates according to `solver`:
+///
+/// - [`Solver::Greedy`], [`Solver::Anneal`], [`Solver::Exhaustive`], and
+///   [`Solver::Portfolio`] all extend lazily by marginal-gain-per-cost
+///   (the repair pool is small, so the CELF extension is the right tool
+///   regardless of how the original composition was produced);
+/// - [`Solver::Random`] extends with uniformly random eligible candidates
+///   — the matching baseline for repair experiments.
+pub fn repair_with(
+    problem: &CompositionProblem,
+    previous: &CompositionResult,
+    failed: &HashSet<NodeId>,
+    solver: Solver,
+) -> RepairResult {
     let start = Instant::now();
-    let k = problem.redundancy as u16;
     let survivors: Vec<usize> = previous
         .selected
         .iter()
         .copied()
         .filter(|&i| !failed.contains(&problem.candidates[i].id))
         .collect();
-    let mut counts = problem.coverage_counts(&survivors);
-    let needed = ((problem.required_fraction * problem.pair_count as f64).ceil() as usize)
-        .min(problem.pair_count);
-    let mut satisfied = counts.iter().filter(|&&c| c >= k).count();
+    let mut counter = problem.counter_for(&survivors);
     let mut in_set: Vec<bool> = vec![false; problem.candidates.len()];
     for &i in &survivors {
         in_set[i] = true;
     }
+    let eligible = |i: usize| !in_set[i] && !failed.contains(&problem.candidates[i].id);
+    let added = match solver {
+        Solver::Random { seed } => {
+            let needed = problem.pairs_needed();
+            let pool: Vec<usize> = (0..problem.candidates.len()).filter(|&i| eligible(i)).collect();
+            let mut order = pool;
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut added = Vec::new();
+            for i in order {
+                if counter.satisfied() >= needed {
+                    break;
+                }
+                counter.add(&problem.candidates[i].covers);
+                added.push(i);
+            }
+            added
+        }
+        _ => greedy_extend(problem, &mut counter, eligible),
+    };
     let mut selected = survivors;
-    let mut added = Vec::new();
-    while satisfied < needed {
-        let mut best: Option<(usize, f64)> = None;
-        for (i, cand) in problem.candidates.iter().enumerate() {
-            if in_set[i] || failed.contains(&cand.id) || cand.covers.is_empty() {
-                continue;
-            }
-            let gain = cand
-                .covers
-                .iter()
-                .filter(|&&p| counts[p as usize] < k)
-                .count();
-            if gain == 0 {
-                continue;
-            }
-            let ratio = gain as f64 / cand.cost;
-            let better = match best {
-                None => true,
-                Some((bi, br)) => ratio > br + 1e-12 || ((ratio - br).abs() <= 1e-12 && i < bi),
-            };
-            if better {
-                best = Some((i, ratio));
-            }
-        }
-        let Some((i, _)) = best else { break };
-        in_set[i] = true;
-        selected.push(i);
-        added.push(i);
-        for &p in &problem.candidates[i].covers {
-            let c = &mut counts[p as usize];
-            *c += 1;
-            if *c == k {
-                satisfied += 1;
-            }
-        }
-    }
+    selected.extend_from_slice(&added);
     selected.sort_unstable();
     let coverage = problem.coverage_fraction(&selected);
     RepairResult {
@@ -197,5 +201,32 @@ mod tests {
         let r = repair(&p, &base, &failed);
         assert!(r.selected.iter().any(|&i| p.candidates[i].id == first_id));
         assert!(r.satisfied);
+    }
+
+    #[test]
+    fn random_repair_restores_coverage_with_more_nodes() {
+        let p = problem();
+        let base = Solver::Greedy.solve(&p);
+        let failed: HashSet<NodeId> = base.selected.iter().map(|&i| p.candidates[i].id).collect();
+        let greedy_fix = repair_with(&p, &base, &failed, Solver::Greedy);
+        let random_fix = repair_with(&p, &base, &failed, Solver::Random { seed: 3 });
+        assert!(random_fix.satisfied);
+        assert!(random_fix.added.len() >= greedy_fix.added.len());
+        for &i in &random_fix.selected {
+            assert!(!failed.contains(&p.candidates[i].id));
+        }
+    }
+
+    #[test]
+    fn repair_with_is_deterministic() {
+        let p = problem();
+        let base = Solver::Greedy.solve(&p);
+        let failed: HashSet<NodeId> = [p.candidates[base.selected[0]].id].into_iter().collect();
+        for solver in [Solver::Greedy, Solver::Random { seed: 1 }] {
+            let a = repair_with(&p, &base, &failed, solver);
+            let b = repair_with(&p, &base, &failed, solver);
+            assert_eq!(a.selected, b.selected);
+            assert_eq!(a.added, b.added);
+        }
     }
 }

@@ -1,18 +1,26 @@
-//! Composition solvers: greedy, simulated annealing, exhaustive, random.
+//! Composition solvers: lazy greedy, simulated annealing, portfolio,
+//! exhaustive, random.
 //!
 //! §III-B: "these approaches search discovered IoBT nodes to determine
 //! subsets that optimally satisfy the requirements … clever solutions must
 //! be developed to address tractability." The greedy solver exploits the
 //! submodularity of coverage (the classic `1 − 1/e` guarantee applies to
-//! its max-coverage core); annealing refines greedy output; exhaustive
-//! search bounds optimality on small instances; random selection is the
-//! naive baseline.
+//! its max-coverage core) and runs as CELF-style lazy greedy: marginal
+//! gains only shrink as the selection grows, so stale heap entries are
+//! upper bounds and most candidates are never re-evaluated. Annealing
+//! refines greedy output with incrementally-scored moves; the portfolio
+//! races independent strategies across threads and keeps the cheapest
+//! satisfying answer; exhaustive search bounds optimality on small
+//! instances; random selection is the naive baseline.
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::coverage::CoverageCounter;
 use crate::problem::CompositionProblem;
 
 /// A solver's output.
@@ -33,7 +41,7 @@ pub struct CompositionResult {
 /// Which solver to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Solver {
-    /// Marginal-gain-per-cost greedy.
+    /// Marginal-gain-per-cost lazy greedy (CELF).
     Greedy,
     /// Greedy followed by simulated-annealing refinement.
     Anneal {
@@ -49,6 +57,17 @@ pub enum Solver {
     },
     /// Exact minimum-cost search (only for ≤ ~20 candidates).
     Exhaustive,
+    /// Races greedy, three annealing seeds, and the random baseline on
+    /// scoped threads; keeps the cheapest satisfying result (falling back
+    /// to the best coverage when nothing satisfies). Deterministic for a
+    /// fixed `seed`: every member is deterministic and the winner is
+    /// picked by member order, never by finish order.
+    Portfolio {
+        /// Iteration budget for each annealing member.
+        iterations: usize,
+        /// Base RNG seed; members derive their own streams from it.
+        seed: u64,
+    },
 }
 
 impl std::fmt::Display for Solver {
@@ -58,6 +77,7 @@ impl std::fmt::Display for Solver {
             Solver::Anneal { iterations, .. } => write!(f, "anneal({iterations})"),
             Solver::Random { .. } => write!(f, "random"),
             Solver::Exhaustive => write!(f, "exhaustive"),
+            Solver::Portfolio { iterations, .. } => write!(f, "portfolio({iterations})"),
         }
     }
 }
@@ -71,73 +91,208 @@ impl Solver {
             Solver::Anneal { iterations, seed } => anneal(problem, iterations, seed),
             Solver::Random { seed } => random_baseline(problem, seed),
             Solver::Exhaustive => exhaustive(problem),
+            Solver::Portfolio { iterations, seed } => {
+                return portfolio(problem, iterations, seed, start);
+            }
         };
         selected.sort_unstable();
-        let coverage = problem.coverage_fraction(&selected);
-        let cost = problem.cost(&selected);
-        CompositionResult {
-            satisfied: problem.is_satisfied(&selected),
-            selected,
-            coverage,
-            cost,
-            elapsed_ms: start.elapsed().as_secs_f64() * 1_000.0,
-        }
+        finish(problem, selected, start)
+    }
+
+    /// The member solvers a [`Solver::Portfolio`] with these parameters
+    /// races, in preference order.
+    pub fn portfolio_members(iterations: usize, seed: u64) -> Vec<Solver> {
+        vec![
+            Solver::Greedy,
+            Solver::Anneal { iterations, seed },
+            Solver::Anneal {
+                iterations,
+                seed: seed.wrapping_add(1),
+            },
+            Solver::Anneal {
+                iterations,
+                seed: seed.wrapping_add(2),
+            },
+            Solver::Random {
+                seed: seed.wrapping_add(3),
+            },
+        ]
     }
 }
 
-/// Greedy marginal-gain-per-cost selection. Stops when the requirement is
-/// met or no candidate adds coverage.
+fn finish(
+    problem: &CompositionProblem,
+    selected: Vec<usize>,
+    start: Instant,
+) -> CompositionResult {
+    let coverage = problem.coverage_fraction(&selected);
+    let cost = problem.cost(&selected);
+    CompositionResult {
+        satisfied: problem.is_satisfied(&selected),
+        selected,
+        coverage,
+        cost,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1_000.0,
+    }
+}
+
+/// Compares two candidates by marginal-gain-per-cost via cross
+/// multiplication, breaking exact ties toward the smaller index.
+///
+/// Exact in `f64`: gains are small integers and candidate costs are
+/// multiples of 0.25 in `[1, 2]` (see
+/// [`candidate_cost`](crate::problem::candidate_cost)), so both products
+/// are computed without rounding. Both the reference scan greedy and the
+/// CELF heap order with this same function, which is what makes their
+/// selections identical.
+#[inline]
+fn better_ratio(gain_a: usize, cost_a: f64, idx_a: usize, gain_b: usize, cost_b: f64, idx_b: usize) -> bool {
+    let lhs = gain_a as f64 * cost_b;
+    let rhs = gain_b as f64 * cost_a;
+    lhs > rhs || (lhs == rhs && idx_a < idx_b)
+}
+
+/// A CELF heap entry: the candidate's gain as of `stamp` selections.
+struct CelfEntry {
+    gain: usize,
+    cost: f64,
+    idx: usize,
+    stamp: usize,
+}
+
+impl PartialEq for CelfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for CelfEntry {}
+
+impl PartialOrd for CelfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CelfEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on ratio; equal ratios pop the smaller index first.
+        let lhs = self.gain as f64 * other.cost;
+        let rhs = other.gain as f64 * self.cost;
+        lhs.partial_cmp(&rhs)
+            .expect("finite gains and costs")
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// CELF lazy-greedy extension of `counter` (already loaded with any
+/// initial selection) over the candidates where `eligible` is true.
+/// Returns the indices added, in selection order.
+///
+/// Coverage gains are submodular — adding nodes never increases another
+/// node's marginal gain — so a heap entry computed at an earlier stamp is
+/// an upper bound. A popped entry whose gain is current is therefore the
+/// true argmax and is selected without touching the rest of the pool.
+pub(crate) fn greedy_extend(
+    problem: &CompositionProblem,
+    counter: &mut CoverageCounter,
+    eligible: impl Fn(usize) -> bool,
+) -> Vec<usize> {
+    let needed = problem.pairs_needed();
+    let mut heap = BinaryHeap::with_capacity(problem.candidates.len());
+    for (i, cand) in problem.candidates.iter().enumerate() {
+        if !eligible(i) {
+            continue;
+        }
+        let gain = counter.gain(&cand.covers);
+        if gain > 0 {
+            heap.push(CelfEntry {
+                gain,
+                cost: cand.cost,
+                idx: i,
+                stamp: 0,
+            });
+        }
+    }
+    let mut added = Vec::new();
+    let mut stamp = 0usize;
+    while counter.satisfied() < needed {
+        let selected = loop {
+            let Some(top) = heap.pop() else {
+                return added; // nothing can add coverage
+            };
+            if top.stamp == stamp {
+                break top.idx;
+            }
+            // Stale upper bound: refresh and reinsert (zero gains are
+            // dropped — submodularity says they can never recover).
+            let gain = counter.gain(&problem.candidates[top.idx].covers);
+            if gain > 0 {
+                heap.push(CelfEntry {
+                    gain,
+                    stamp,
+                    ..top
+                });
+            }
+        };
+        counter.add(&problem.candidates[selected].covers);
+        added.push(selected);
+        stamp += 1;
+    }
+    added
+}
+
+/// Greedy marginal-gain-per-cost selection (lazy CELF evaluation). Stops
+/// when the requirement is met or no candidate adds coverage.
 fn greedy(problem: &CompositionProblem) -> Vec<usize> {
-    let k = problem.redundancy as u16;
-    let needed = ((problem.required_fraction * problem.pair_count as f64).ceil() as usize)
-        .min(problem.pair_count);
-    let mut counts = vec![0u16; problem.pair_count];
-    let mut satisfied = 0usize;
+    let mut counter = problem.counter_for(&[]);
+    greedy_extend(problem, &mut counter, |_| true)
+}
+
+/// Reference greedy: full rescan of every candidate per selection, using
+/// the same exact comparator as the CELF path. Kept (test-visible) so
+/// equivalence tests can assert the lazy evaluation changes nothing.
+#[doc(hidden)]
+pub fn greedy_scan(problem: &CompositionProblem) -> Vec<usize> {
+    let needed = problem.pairs_needed();
+    let mut counter = problem.counter_for(&[]);
     let mut selected = Vec::new();
     let mut in_set = vec![false; problem.candidates.len()];
-    while satisfied < needed {
-        let mut best: Option<(usize, f64)> = None;
+    while counter.satisfied() < needed {
+        let mut best: Option<(usize, usize)> = None; // (idx, gain)
         for (i, cand) in problem.candidates.iter().enumerate() {
-            if in_set[i] || cand.covers.is_empty() {
+            if in_set[i] {
                 continue;
             }
-            let gain = cand
-                .covers
-                .iter()
-                .filter(|&&p| counts[p as usize] < k)
-                .count();
+            let gain = counter.gain(&cand.covers);
             if gain == 0 {
                 continue;
             }
-            let ratio = gain as f64 / cand.cost;
             let better = match best {
                 None => true,
-                Some((bi, br)) => {
-                    ratio > br + 1e-12 || ((ratio - br).abs() <= 1e-12 && i < bi)
+                Some((bi, bg)) => {
+                    better_ratio(gain, cand.cost, i, bg, problem.candidates[bi].cost, bi)
                 }
             };
             if better {
-                best = Some((i, ratio));
+                best = Some((i, gain));
             }
         }
         let Some((i, _)) = best else {
-            break; // no candidate can add anything
+            break;
         };
         in_set[i] = true;
         selected.push(i);
-        for &p in &problem.candidates[i].covers {
-            let c = &mut counts[p as usize];
-            *c += 1;
-            if *c == k {
-                satisfied += 1;
-            }
-        }
+        counter.add(&problem.candidates[i].covers);
     }
     selected
 }
 
-/// Simulated annealing from the greedy seed: random add/remove/swap moves
+/// Simulated annealing from the greedy seed: random add/remove moves
 /// scored by (deficit, cost) with a geometric temperature schedule.
+/// Move deltas are evaluated incrementally against a [`CoverageCounter`]
+/// — `O(pairs the node covers)` per proposal instead of re-scoring the
+/// whole selection.
 fn anneal(problem: &CompositionProblem, iterations: usize, seed: u64) -> Vec<usize> {
     let n = problem.candidates.len();
     if n == 0 {
@@ -149,46 +304,54 @@ fn anneal(problem: &CompositionProblem, iterations: usize, seed: u64) -> Vec<usi
     for &i in &current {
         in_set[i] = true;
     }
-    let score = |sel: &[usize]| -> f64 {
-        // Heavy penalty per unsatisfied required pair, plus cost.
-        let needed = (problem.required_fraction * problem.pair_count as f64).ceil();
-        let deficit = (needed - problem.pairs_satisfied(sel) as f64).max(0.0);
-        deficit * 100.0 + problem.cost(sel)
+    let needed = (problem.required_fraction * problem.pair_count as f64).ceil();
+    // Heavy penalty per unsatisfied required pair, plus cost.
+    let score = |satisfied: usize, cost: f64| -> f64 {
+        (needed - satisfied as f64).max(0.0) * 100.0 + cost
     };
-    let mut current_score = score(&current);
+    let mut counter = problem.counter_for(&current);
+    let mut current_cost = problem.cost(&current);
+    let mut current_score = score(counter.satisfied(), current_cost);
     let mut best = current.clone();
     let mut best_score = current_score;
     let mut temperature = 5.0f64;
     let cooling = 0.995f64;
     for _ in 0..iterations {
-        // Propose a move.
+        // Propose a move and score it without applying.
         let add = current.is_empty() || rng.gen::<f64>() < 0.5;
-        let mut proposal = current.clone();
-        if add {
+        let (idx, pos, proposed_score) = if add {
             let i = rng.gen_range(0..n);
             if in_set[i] {
                 continue;
             }
-            proposal.push(i);
+            let covers = &problem.candidates[i].covers;
+            let satisfied = counter.satisfied() + counter.newly_satisfied_if_added(covers);
+            (i, usize::MAX, score(satisfied, current_cost + problem.candidates[i].cost))
         } else {
-            let pos = rng.gen_range(0..proposal.len());
-            proposal.swap_remove(pos);
-        }
-        let s = score(&proposal);
-        let accept = s <= current_score
-            || rng.gen::<f64>() < ((current_score - s) / temperature.max(1e-9)).exp();
+            let pos = rng.gen_range(0..current.len());
+            let i = current[pos];
+            let covers = &problem.candidates[i].covers;
+            let satisfied = counter.satisfied() - counter.newly_unsatisfied_if_removed(covers);
+            (i, pos, score(satisfied, current_cost - problem.candidates[i].cost))
+        };
+        let accept = proposed_score <= current_score
+            || rng.gen::<f64>()
+                < ((current_score - proposed_score) / temperature.max(1e-9)).exp();
         if accept {
-            // Update membership.
-            for &i in &current {
-                in_set[i] = false;
+            if add {
+                counter.add(&problem.candidates[idx].covers);
+                current.push(idx);
+                in_set[idx] = true;
+                current_cost += problem.candidates[idx].cost;
+            } else {
+                counter.remove(&problem.candidates[idx].covers);
+                current.swap_remove(pos);
+                in_set[idx] = false;
+                current_cost -= problem.candidates[idx].cost;
             }
-            current = proposal;
-            for &i in &current {
-                in_set[i] = true;
-            }
-            current_score = s;
-            if s < best_score {
-                best_score = s;
+            current_score = proposed_score;
+            if proposed_score < best_score {
+                best_score = proposed_score;
                 best = current.clone();
             }
         }
@@ -211,18 +374,21 @@ fn random_baseline(problem: &CompositionProblem, seed: u64) -> Vec<usize> {
         let j = rng.gen_range(0..=i);
         order.swap(i, j);
     }
+    let needed = problem.pairs_needed();
+    let mut counter = problem.counter_for(&[]);
     let mut selected = Vec::new();
     for i in order {
-        if problem.is_satisfied(&selected) {
+        if counter.satisfied() >= needed {
             break;
         }
+        counter.add(&problem.candidates[i].covers);
         selected.push(i);
     }
     selected
 }
 
-/// Exact minimum-cost satisfying subset by subset enumeration (cost-ordered
-/// by popcount refinement). Falls back to greedy above 20 candidates.
+/// Exact minimum-cost satisfying subset by subset enumeration. Falls back
+/// to greedy above 20 candidates.
 fn exhaustive(problem: &CompositionProblem) -> Vec<usize> {
     let n = problem.candidates.len();
     if n == 0 {
@@ -250,6 +416,47 @@ fn exhaustive(problem: &CompositionProblem) -> Vec<usize> {
         }
     }
     best.map(|(_, s)| s).unwrap_or_else(|| greedy(problem))
+}
+
+/// Races the portfolio members on scoped threads and picks the winner
+/// deterministically: cheapest satisfying result, ties and the
+/// nothing-satisfies case resolved by member order.
+fn portfolio(
+    problem: &CompositionProblem,
+    iterations: usize,
+    seed: u64,
+    start: Instant,
+) -> CompositionResult {
+    let members = Solver::portfolio_members(iterations, seed);
+    let results: Vec<CompositionResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = members
+            .iter()
+            .map(|member| scope.spawn(move || member.solve(problem)))
+            .collect();
+        // Joining in spawn order keeps the result list aligned with
+        // `members` regardless of which thread finishes first.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio member panicked"))
+            .collect()
+    });
+    let mut winner: Option<&CompositionResult> = None;
+    for r in &results {
+        let better = match winner {
+            None => true,
+            Some(w) => match (r.satisfied, w.satisfied) {
+                (true, false) => true,
+                (false, true) => false,
+                (true, true) => r.cost < w.cost,
+                (false, false) => r.coverage > w.coverage,
+            },
+        };
+        if better {
+            winner = Some(r);
+        }
+    }
+    let selected = winner.map(|w| w.selected.clone()).unwrap_or_default();
+    finish(problem, selected, start)
 }
 
 #[cfg(test)]
@@ -309,6 +516,7 @@ mod tests {
             Solver::Anneal { iterations: 500, seed: 1 },
             Solver::Random { seed: 2 },
             Solver::Exhaustive,
+            Solver::Portfolio { iterations: 300, seed: 5 },
         ] {
             let r = solver.solve(&p);
             assert!(r.satisfied, "{solver} failed: coverage {}", r.coverage);
@@ -339,6 +547,60 @@ mod tests {
     }
 
     #[test]
+    fn portfolio_never_worse_than_any_member() {
+        let mut nodes = corner_nodes();
+        for i in 5..30 {
+            nodes.push(node_at(i, (i * 41 % 300) as f64, (i * 17 % 300) as f64, 50.0));
+        }
+        let p = CompositionProblem::from_mission(&grid_mission(1, 0.9), &nodes, 5);
+        let r = Solver::Portfolio { iterations: 800, seed: 11 }.solve(&p);
+        assert!(r.satisfied);
+        for member in Solver::portfolio_members(800, 11) {
+            let m = member.solve(&p);
+            if m.satisfied {
+                assert!(
+                    r.cost <= m.cost + 1e-9,
+                    "portfolio {} vs member {member} {}",
+                    r.cost,
+                    m.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_is_deterministic() {
+        let p = CompositionProblem::from_mission(&grid_mission(1, 0.9), &corner_nodes(), 4);
+        let a = Solver::Portfolio { iterations: 400, seed: 9 }.solve(&p);
+        let b = Solver::Portfolio { iterations: 400, seed: 9 }.solve(&p);
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.coverage, b.coverage);
+    }
+
+    #[test]
+    fn lazy_greedy_matches_reference_scan() {
+        use iobt_types::catalog::PopulationBuilder;
+        for seed in 0..12u64 {
+            let area = Rect::square(600.0);
+            let catalog = PopulationBuilder::new(area).count(80).build(seed);
+            let specs: Vec<NodeSpec> = catalog.iter().cloned().collect();
+            let mission = Mission::builder(MissionId::new(1), MissionKind::Surveillance)
+                .area(area)
+                .require_modality(SensorKind::Visual)
+                .coverage_fraction(0.9)
+                .min_trust(0.3)
+                .build();
+            let p = CompositionProblem::from_mission(&mission, &specs, 6);
+            assert_eq!(
+                greedy(&p),
+                greedy_scan(&p),
+                "CELF must match the scan reference (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
     fn random_uses_more_nodes_than_greedy_on_average() {
         let mut nodes = corner_nodes();
         for i in 5..40 {
@@ -363,7 +625,12 @@ mod tests {
         let nodes = vec![node_at(0, 10.0, 10.0, 30.0)];
         let p = CompositionProblem::from_mission(&grid_mission(1, 1.0), &nodes, 4);
         assert!(p.max_achievable_fraction() < 1.0);
-        for solver in [Solver::Greedy, Solver::Exhaustive, Solver::Random { seed: 1 }] {
+        for solver in [
+            Solver::Greedy,
+            Solver::Exhaustive,
+            Solver::Random { seed: 1 },
+            Solver::Portfolio { iterations: 100, seed: 1 },
+        ] {
             let r = solver.solve(&p);
             assert!(!r.satisfied, "{solver} cannot satisfy infeasible instance");
         }
@@ -387,6 +654,7 @@ mod tests {
             Solver::Anneal { iterations: 100, seed: 0 },
             Solver::Random { seed: 0 },
             Solver::Exhaustive,
+            Solver::Portfolio { iterations: 100, seed: 0 },
         ] {
             let r = solver.solve(&p);
             assert!(r.selected.is_empty());
@@ -424,6 +692,28 @@ mod tests {
                 // Selection indices are valid, sorted, and unique.
                 prop_assert!(r.selected.windows(2).all(|w| w[0] < w[1]));
                 prop_assert!(r.selected.iter().all(|&i| i < problem.candidates.len()));
+            }
+
+            /// Lazy greedy and the scan reference agree on arbitrary
+            /// populations and requirements.
+            #[test]
+            fn lazy_greedy_equals_scan_greedy(
+                seed in 0u64..40,
+                count in 5usize..70,
+                fraction in 0.1..1.0f64,
+            ) {
+                use iobt_types::catalog::PopulationBuilder;
+                let area = Rect::square(500.0);
+                let catalog = PopulationBuilder::new(area).count(count).build(seed);
+                let specs: Vec<NodeSpec> = catalog.iter().cloned().collect();
+                let mission = Mission::builder(MissionId::new(1), MissionKind::Surveillance)
+                    .area(area)
+                    .require_modality(SensorKind::Visual)
+                    .coverage_fraction(fraction)
+                    .min_trust(0.3)
+                    .build();
+                let p = CompositionProblem::from_mission(&mission, &specs, 4);
+                prop_assert_eq!(greedy(&p), greedy_scan(&p));
             }
 
             /// Annealing never produces an unsatisfied result when greedy

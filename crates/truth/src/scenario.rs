@@ -9,6 +9,7 @@
 //! source observes a random subset of claims.
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// Index of a source (a human reporter or sensing node).
@@ -104,12 +105,21 @@ impl ScenarioBuilder {
         let truth: Vec<bool> = (0..self.num_claims)
             .map(|_| rng.gen::<f64>() < self.true_claim_fraction)
             .collect();
+        // Draw exactly round(fraction·n) adversaries rather than Bernoulli
+        // per source: a chance draw near 50% adversarial mass pushes the
+        // truth-discovery problem past its identifiability boundary (the
+        // inverted labeling becomes likelihood-favored), which no caller
+        // asking for a 30% adversary scenario expects.
+        let num_adv = (self.adversarial_fraction * self.num_sources as f64).round() as usize;
+        let mut adversarial = vec![false; self.num_sources];
+        let mut indices: Vec<usize> = (0..self.num_sources).collect();
+        indices.shuffle(&mut rng);
+        for &i in indices.iter().take(num_adv.min(self.num_sources)) {
+            adversarial[i] = true;
+        }
         let mut reliability = Vec::with_capacity(self.num_sources);
-        let mut adversarial = Vec::with_capacity(self.num_sources);
-        for _ in 0..self.num_sources {
-            let is_adv = rng.gen::<f64>() < self.adversarial_fraction;
-            adversarial.push(is_adv);
-            if is_adv {
+        for s in 0..self.num_sources {
+            if adversarial[s] {
                 // Adversaries lie most of the time; their effective
                 // probability of reporting the truth is low.
                 reliability.push(rng.gen_range(0.05..0.25));

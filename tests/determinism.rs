@@ -80,6 +80,62 @@ fn federated_training_is_reproducible() {
 }
 
 #[test]
+fn indexed_problem_construction_matches_scan_reference() {
+    use iobt::synthesis::CompositionProblem;
+    use iobt::types::prelude::*;
+
+    for seed in 0..8u64 {
+        let area = Rect::square(2_000.0);
+        let catalog = PopulationBuilder::new(area).count(400).build(seed);
+        let specs: Vec<NodeSpec> = catalog.iter().cloned().collect();
+        let mission = Mission::builder(MissionId::new(1), MissionKind::Surveillance)
+            .area(area)
+            .require_modality(SensorKind::Visual)
+            .require_modality(SensorKind::Acoustic)
+            .coverage_fraction(0.9)
+            .resilience(2)
+            .min_trust(0.3)
+            .build();
+        for grid in [1usize, 7, 12] {
+            assert_eq!(
+                CompositionProblem::from_mission(&mission, &specs, grid),
+                CompositionProblem::from_mission_scan(&mission, &specs, grid),
+                "indexed and scan construction must agree (seed {seed}, grid {grid})"
+            );
+        }
+    }
+}
+
+#[test]
+fn portfolio_solver_is_reproducible() {
+    use iobt::synthesis::{CompositionProblem, Solver};
+    use iobt::types::prelude::*;
+
+    let area = Rect::square(1_500.0);
+    let catalog = PopulationBuilder::new(area).count(250).build(17);
+    let specs: Vec<NodeSpec> = catalog.iter().cloned().collect();
+    let mission = Mission::builder(MissionId::new(2), MissionKind::Surveillance)
+        .area(area)
+        .require_modality(SensorKind::Visual)
+        .coverage_fraction(0.85)
+        .min_trust(0.3)
+        .build();
+    let problem = CompositionProblem::from_mission(&mission, &specs, 10);
+    let solver = Solver::Portfolio {
+        iterations: 1_000,
+        seed: 42,
+    };
+    let a = solver.solve(&problem);
+    let b = solver.solve(&problem);
+    // Same selection, cost, and coverage regardless of which portfolio
+    // thread finished first.
+    assert_eq!(a.selected, b.selected);
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.coverage, b.coverage);
+    assert_eq!(a.satisfied, b.satisfied);
+}
+
+#[test]
 fn different_seeds_actually_differ() {
     let a = PopulationBuilder::new(Rect::square(1_000.0)).count(100).build(1);
     let b = PopulationBuilder::new(Rect::square(1_000.0)).count(100).build(2);
