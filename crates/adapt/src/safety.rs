@@ -14,7 +14,7 @@
 //! and decaying over time — exceeds a threshold. Every decision is
 //! appended to an audit log (liability, §VI's legal concern).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use iobt_types::{ActuatorKind, NodeId};
 
@@ -79,7 +79,7 @@ pub struct ActuationController {
     occupancy_threshold: f64,
     occupancy_tau_s: f64,
     /// Per-zone `(last_detection_s, belief_at_detection)`.
-    occupancy: HashMap<u32, (f64, f64)>,
+    occupancy: BTreeMap<u32, (f64, f64)>,
     authorizations: Vec<HumanAuthorization>,
     audit: Vec<AuditEntry>,
 }
@@ -92,7 +92,7 @@ impl ActuationController {
         ActuationController {
             occupancy_threshold: occupancy_threshold.clamp(0.0, 1.0),
             occupancy_tau_s: occupancy_tau_s.max(1e-9),
-            occupancy: HashMap::new(),
+            occupancy: BTreeMap::new(),
             authorizations: Vec::new(),
             audit: Vec::new(),
         }

@@ -7,7 +7,7 @@
 //! if needed)". The greedy solver should stay far below that bound and
 //! repair-after-damage should be cheaper than full re-synthesis.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 use iobt_bench::{f1, f3, Table};
@@ -66,7 +66,7 @@ fn main() {
             let result = solver.solve(&problem);
             // Repair benchmark: fail 10% of the selected set.
             let fail_count = (result.selected.len() / 10).max(1);
-            let failed: HashSet<_> = result
+            let failed: BTreeSet<_> = result
                 .selected
                 .iter()
                 .take(fail_count)
@@ -114,7 +114,7 @@ fn main() {
         let problem = CompositionProblem::from_mission(&mission(area), &specs, 8);
         let base = Solver::Greedy.solve(&problem);
         let fail_count = (base.selected.len() / 5).max(1);
-        let failed: HashSet<_> = base
+        let failed: BTreeSet<_> = base
             .selected
             .iter()
             .take(fail_count)

@@ -9,7 +9,7 @@
 //! node's links all vanish), and [`diagnose_failures`] checks how well
 //! boolean tomography localizes them from border monitors only.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use iobt_netsim::ConnectivityGraph;
 use iobt_tomography::{localize_failures, Topology};
@@ -38,7 +38,7 @@ impl NetworkModel {
         if sorted.len() < 2 {
             return None;
         }
-        let index: HashMap<NodeId, usize> =
+        let index: BTreeMap<NodeId, usize> =
             sorted.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let mut edges = Vec::new();
         let mut links = Vec::new();
@@ -97,7 +97,7 @@ pub fn diagnose_failures(
     monitors: &[NodeId],
     dead_nodes: &[NodeId],
 ) -> Option<DiagnosisReport> {
-    let index: HashMap<NodeId, usize> = model
+    let index: BTreeMap<NodeId, usize> = model
         .nodes
         .iter()
         .enumerate()

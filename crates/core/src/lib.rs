@@ -47,7 +47,7 @@ pub mod scenario;
 pub use behaviors::{new_report_log, CommandSink, DeliveredReport, ReportLog, SensorReporter};
 pub use diagnostics::{diagnose_failures, DiagnosisReport, NetworkModel};
 pub use humans::{calibrate_human_trust, CalibrationSummary};
-pub use runtime::{run_mission, MissionReport, RunConfig, WindowStat};
+pub use runtime::{run_mission, EndStateDigest, MissionReport, RunConfig, WindowStat};
 pub use tasking::{allocate_missions, MissionAllocation, TaskingPlan};
 pub use scenario::{
     disaster_relief, persistent_surveillance, urban_evacuation, Disruption, Scenario,
@@ -65,7 +65,7 @@ pub use iobt_types as types;
 
 /// Convenience re-exports for examples and integration tests.
 pub mod prelude {
-    pub use crate::runtime::{run_mission, MissionReport, RunConfig, WindowStat};
+    pub use crate::runtime::{run_mission, EndStateDigest, MissionReport, RunConfig, WindowStat};
     pub use crate::scenario::{
         disaster_relief, persistent_surveillance, urban_evacuation, Disruption, Scenario,
     };

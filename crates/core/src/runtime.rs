@@ -1,7 +1,7 @@
 //! The mission runtime: discovery → recruitment → synthesis → adaptive
 //! execution, end to end over the simulator (paper Fig. 1).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use iobt_discovery::{
     recruit, AffiliationClassifier, DiscoveryTracker, EmissionModel, NaiveBayes, RecruitPolicy,
@@ -66,6 +66,41 @@ pub struct WindowStat {
     pub utility: f64,
 }
 
+/// A full end-state fingerprint of a mission run.
+///
+/// Captures everything observable about where a run ended — event
+/// counters, per-node energy, utility, repairs, and the final selection —
+/// so reproducibility tests can assert that two runs of the same scenario
+/// and seed agree on *all* of it, not just a summary statistic. Built by
+/// [`run_mission`] from the simulator's terminal state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndStateDigest {
+    /// Messages sent.
+    pub sent: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages dropped (all causes).
+    pub dropped: u64,
+    /// Drops for lack of a route.
+    pub dropped_no_route: u64,
+    /// Drops lost on the channel.
+    pub dropped_channel: u64,
+    /// Drops because an endpoint was dead.
+    pub dropped_dead: u64,
+    /// Drops because an endpoint was asleep.
+    pub dropped_asleep: u64,
+    /// Total energy drawn across the run, joules.
+    pub energy_spent_j: f64,
+    /// Remaining energy per node at mission end, ascending node id.
+    pub node_energy_j: Vec<(NodeId, f64)>,
+    /// Mean utility across windows.
+    pub mean_utility: f64,
+    /// Repairs performed.
+    pub repairs: usize,
+    /// Final selection (candidate indices), ascending.
+    pub final_selection: Vec<usize>,
+}
+
 /// Full mission outcome.
 #[derive(Debug, Clone)]
 pub struct MissionReport {
@@ -92,6 +127,8 @@ pub struct MissionReport {
     pub delivery_ratio: f64,
     /// Mean end-to-end report latency in milliseconds.
     pub mean_latency_ms: f64,
+    /// End-state fingerprint for reproducibility checks.
+    pub digest: EndStateDigest,
 }
 
 impl MissionReport {
@@ -134,6 +171,7 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
     // ---- Phase 1: discovery (side-channel classification + tracking) ----
     let mut emissions = EmissionModel::new(scenario.seed ^ 0xD15C);
     let train = emissions.labelled_dataset(300);
+    // lint: allow(panic) — labelled_dataset(300) emits 100 examples per class, so fit always succeeds
     let classifier = NaiveBayes::fit(&train).expect("balanced training set");
     let mut tracker = DiscoveryTracker::new(TrackerConfig::default());
     let mut ledger = TrustLedger::new();
@@ -147,6 +185,7 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         tracker.observe(node.id(), 1.0, node.position(), classifier.posterior(&obs2));
         let est = tracker
             .estimate(node.id())
+            // lint: allow(panic) — observe() for this id ran two lines up, so the estimate exists
             .expect("just observed")
             .affiliation();
         ledger.enroll(node.id(), est);
@@ -218,7 +257,7 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         Box::new(CommandSink::new(log.clone())),
     );
     let mut selection = composition.selected.clone();
-    let mut active_reporters: HashSet<NodeId> = HashSet::new();
+    let mut active_reporters: BTreeSet<NodeId> = BTreeSet::new();
     let mut current = composition.clone();
     attach_reporters(
         &mut sim,
@@ -233,12 +272,12 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
     let mut repairs = 0usize;
     let total_windows =
         (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as usize;
-    let mut failed_ever: HashSet<NodeId> = HashSet::new();
+    let mut failed_ever: BTreeSet<NodeId> = BTreeSet::new();
     for w in 0..total_windows {
         let start_s = sim.now().as_secs_f64();
         let mark = log.borrow().len();
         sim.run_for(config.window);
-        let delivered: HashSet<NodeId> = log.borrow()[mark..].iter().map(|r| r.from).collect();
+        let delivered: BTreeSet<NodeId> = log.borrow()[mark..].iter().map(|r| r.from).collect();
         let expected = selection.len();
         let reporting = selection
             .iter()
@@ -286,7 +325,34 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
             }
         }
     }
+    let mean_utility = if windows.is_empty() {
+        0.0
+    } else {
+        windows.iter().map(|w| w.utility).sum::<f64>() / windows.len() as f64
+    };
+    let mut final_selection = selection.clone();
+    final_selection.sort_unstable();
+    let node_energy_j: Vec<(NodeId, f64)> = scenario
+        .catalog
+        .ids()
+        .into_iter()
+        .filter_map(|id| sim.energy(id).map(|e| (id, e.remaining_j())))
+        .collect();
     let stats = sim.stats();
+    let digest = EndStateDigest {
+        sent: stats.sent,
+        delivered: stats.delivered,
+        dropped: stats.dropped,
+        dropped_no_route: stats.dropped_no_route,
+        dropped_channel: stats.dropped_channel,
+        dropped_dead: stats.dropped_dead,
+        dropped_asleep: stats.dropped_asleep,
+        energy_spent_j: stats.energy_spent_j,
+        node_energy_j,
+        mean_utility,
+        repairs,
+        final_selection,
+    };
     MissionReport {
         recruited: pool.admitted.len(),
         rejected_red: pool.rejected_red.len(),
@@ -298,6 +364,7 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         repairs,
         delivery_ratio: stats.delivery_ratio(),
         mean_latency_ms: stats.latency_ms.mean(),
+        digest,
     }
 }
 
@@ -305,7 +372,7 @@ fn attach_reporters(
     sim: &mut Simulator,
     problem: &CompositionProblem,
     selection: &[usize],
-    active: &mut HashSet<NodeId>,
+    active: &mut BTreeSet<NodeId>,
     scenario: &Scenario,
     config: &RunConfig,
 ) {

@@ -8,7 +8,7 @@
 //! [`Priority`](iobt_types::Priority) order (ties by id), each composing
 //! from the assets the higher-priority missions left behind.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use iobt_synthesis::{CompositionProblem, CompositionResult, Solver};
 use iobt_types::{Mission, NodeId, NodeSpec};
@@ -62,7 +62,7 @@ pub fn allocate_missions(
             .cmp(&a.priority())
             .then(a.id().raw().cmp(&b.id().raw()))
     });
-    let mut taken: HashSet<NodeId> = HashSet::new();
+    let mut taken: BTreeSet<NodeId> = BTreeSet::new();
     let mut allocations = Vec::with_capacity(order.len());
     for mission in order {
         // Standalone upper bound over the full pool.
@@ -148,7 +148,7 @@ mod tests {
             .iter()
             .flat_map(|a| a.granted.clone())
             .collect();
-        let unique: HashSet<NodeId> = all.iter().copied().collect();
+        let unique: BTreeSet<NodeId> = all.iter().copied().collect();
         assert_eq!(all.len(), unique.len());
     }
 

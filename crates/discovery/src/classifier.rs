@@ -33,6 +33,7 @@ pub trait AffiliationClassifier {
                 best = i;
             }
         }
+        // lint: allow(panic) — best is the argmax over exactly three classes, always a valid index
         Affiliation::from_index(best).expect("index in 0..3")
     }
 }

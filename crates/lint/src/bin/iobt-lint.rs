@@ -1,0 +1,106 @@
+//! The `iobt-lint` command-line auditor.
+//!
+//! ```text
+//! iobt-lint [--root DIR] [--config FILE] [--deny-all] [--list-rules]
+//! ```
+//!
+//! Scans every `.rs` file under the root (default: the current
+//! directory), applies the R1–R5 invariants, and prints one
+//! `path:line: Rn[name] message` diagnostic per violation. With
+//! `--deny-all` the process exits non-zero when any violation remains —
+//! that is the CI mode. Without it the run is advisory (exit 0).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use iobt_lint::{lint_root, Config, Rule};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    deny_all: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        deny_all: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--deny-all" => args.deny_all = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: iobt-lint [--root DIR] [--config FILE] [--deny-all] [--list-rules]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("iobt-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for rule in Rule::ALL {
+            println!("{rule}: scope {:?}", rule.default_scope());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let config_path = args.config.clone().unwrap_or_else(|| args.root.join("lint.toml"));
+    let config = match std::fs::read_to_string(&config_path) {
+        Ok(text) => match Config::parse(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("iobt-lint: {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        // A missing lint.toml is only an error when explicitly requested.
+        Err(_) if args.config.is_none() => Config::default(),
+        Err(e) => {
+            eprintln!("iobt-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_root(&args.root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("iobt-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for (path, v) in &report.violations {
+        println!("{path}:{}: {} {}", v.line, v.rule, v.message);
+    }
+    let n = report.violations.len();
+    eprintln!(
+        "iobt-lint: {n} violation{} in {} file{} scanned",
+        if n == 1 { "" } else { "s" },
+        report.files_scanned,
+        if report.files_scanned == 1 { "" } else { "s" },
+    );
+    if args.deny_all && !report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

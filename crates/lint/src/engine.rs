@@ -1,0 +1,276 @@
+//! The workspace walker: finds every `.rs` file under a root, classifies
+//! it (crate, section), decides which rules apply, and runs them.
+//!
+//! Classification is purely path-based, mirroring cargo's layout:
+//!
+//! | path                         | section    |
+//! |------------------------------|------------|
+//! | `crates/<c>/src/bin/…`       | `Bin`      |
+//! | `crates/<c>/src/…`, `src/…`  | `Lib`      |
+//! | `…/tests/…`, `tests/…`       | `Tests`    |
+//! | `…/benches/…`                | `Benches`  |
+//! | `…/examples/…`, `examples/…` | `Examples` |
+//!
+//! Rule applicability: R1/R2 run on `Lib`+`Bin` of their scoped crates;
+//! R3 on all `Lib` code (panic discipline is a library property); R4
+//! everywhere (OS entropy is never acceptable); R5 on `Lib` of the
+//! contract crates.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::{AllowSet, Config};
+use crate::lexer::lex;
+use crate::regions::map_file;
+use crate::rules::{check_file, Rule, Violation};
+
+/// Which cargo target-kind a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// `src/` of a crate (excluding `src/bin`).
+    Lib,
+    /// `src/bin/` binaries.
+    Bin,
+    /// Integration tests (`tests/` directories).
+    Tests,
+    /// Criterion/benchmark code (`benches/` directories).
+    Benches,
+    /// Example programs (`examples/` directories).
+    Examples,
+    /// Anything else (scripts, fixtures outside known layouts).
+    Other,
+}
+
+/// Path-derived identity of one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate name (`crates/<name>/…`), or the workspace facade for root
+    /// `src/`, or `None` for root-level `tests/`/`examples/`.
+    pub crate_name: Option<String>,
+    /// The target kind.
+    pub section: Section,
+}
+
+/// Classifies a `/`-separated relative path.
+pub fn classify(rel_path: &str) -> FileClass {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let (crate_name, rest): (Option<String>, &[&str]) = match parts.as_slice() {
+        ["crates", name, rest @ ..] => (Some((*name).to_string()), rest),
+        rest => (None, rest),
+    };
+    let section = match rest {
+        ["src", "bin", ..] => Section::Bin,
+        ["src", ..] => Section::Lib,
+        ["tests", ..] => Section::Tests,
+        ["benches", ..] => Section::Benches,
+        ["examples", ..] => Section::Examples,
+        _ => Section::Other,
+    };
+    // Root `src/` belongs to the facade crate `iobt`.
+    let crate_name = match (&crate_name, section) {
+        (None, Section::Lib | Section::Bin) => Some("iobt".to_string()),
+        _ => crate_name,
+    };
+    FileClass { crate_name, section }
+}
+
+/// The rules that apply to a file, given the config.
+pub fn applicable_rules(class: &FileClass, rel_path: &str, config: &Config) -> Vec<Rule> {
+    let in_scope = |rule: Rule| -> bool {
+        class
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| config.scope_of(rule).iter().any(|s| s == c))
+    };
+    Rule::ALL
+        .into_iter()
+        .filter(|&rule| match rule {
+            Rule::HashIter | Rule::WallClock => {
+                matches!(class.section, Section::Lib | Section::Bin) && in_scope(rule)
+            }
+            Rule::Panic => class.section == Section::Lib,
+            Rule::Entropy => true,
+            Rule::Docs => class.section == Section::Lib && in_scope(rule),
+        })
+        .filter(|&rule| !config.path_allowed(rule, rel_path))
+        .collect()
+}
+
+/// The result of linting a tree.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// `(relative path, violation)` pairs, sorted by path then line.
+    pub violations: Vec<(String, Violation)>,
+}
+
+impl Report {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lints every `.rs` file under `root` according to `config`.
+pub fn lint_root(root: &Path, config: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        report.files_scanned += 1;
+        let src = fs::read_to_string(root.join(&rel))?;
+        for v in lint_source(&rel, &src, config) {
+            report.violations.push((rel.clone(), v));
+        }
+    }
+    Ok(report)
+}
+
+/// Lints one file's source text under its relative path. Exposed so the
+/// fixture tests (and future editor integrations) can lint in-memory
+/// content.
+pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Violation> {
+    let class = classify(rel_path);
+    let rules = applicable_rules(&class, rel_path, config);
+    if rules.is_empty() {
+        return Vec::new();
+    }
+    let lexed = lex(source);
+    let map = map_file(&lexed);
+    // Files in test/bench/example sections are wholly non-library code:
+    // treat every line as test code for the line-level exclusions, so a
+    // `tests/` file never trips R1/R3 even if R1 were scoped onto it.
+    let map = match class.section {
+        Section::Tests | Section::Benches | Section::Examples => map.with_whole_file_test(),
+        _ => map,
+    };
+    let allows = AllowSet::from_comments(&lexed.comments);
+    check_file(&lexed, &map, &allows, &rules)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel = rel_str(root, &path);
+        if config.path_skipped(&rel) {
+            continue;
+        }
+        let ftype = entry.file_type()?;
+        if ftype.is_dir() {
+            collect_rs_files(root, &path, config, out)?;
+        } else if ftype.is_file() && name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Relative path with `/` separators regardless of platform.
+fn rel_str(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_cargo_layout() {
+        let cases = [
+            ("crates/netsim/src/sim.rs", Some("netsim"), Section::Lib),
+            ("crates/lint/src/bin/iobt-lint.rs", Some("lint"), Section::Bin),
+            ("crates/synthesis/benches/kernels.rs", Some("synthesis"), Section::Benches),
+            ("crates/core/tests/it.rs", Some("core"), Section::Tests),
+            ("src/lib.rs", Some("iobt"), Section::Lib),
+            ("tests/determinism.rs", None, Section::Tests),
+            ("examples/quickstart.rs", None, Section::Examples),
+            ("crates/lint/tests/fixtures/crates/core/src/lib.rs", Some("lint"), Section::Tests),
+        ];
+        for (path, crate_name, section) in cases {
+            let c = classify(path);
+            assert_eq!(c.crate_name.as_deref(), crate_name, "{path}");
+            assert_eq!(c.section, section, "{path}");
+        }
+    }
+
+    #[test]
+    fn rule_applicability_follows_scope_and_section() {
+        let config = Config::default();
+        let lib = |p: &str| applicable_rules(&classify(p), p, &config);
+        // Scoped sim crate: everything except docs (netsim not a contract crate).
+        assert_eq!(
+            lib("crates/netsim/src/sim.rs"),
+            vec![Rule::HashIter, Rule::WallClock, Rule::Panic, Rule::Entropy]
+        );
+        // Contract crate in both determinism and docs scope.
+        assert_eq!(
+            lib("crates/core/src/runtime.rs"),
+            vec![Rule::HashIter, Rule::WallClock, Rule::Panic, Rule::Entropy, Rule::Docs]
+        );
+        // Unscoped crate: only panic + entropy discipline.
+        assert_eq!(
+            lib("crates/tomography/src/boolean.rs"),
+            vec![Rule::Panic, Rule::Entropy]
+        );
+        // Benches: entropy only.
+        assert_eq!(
+            lib("crates/bench/benches/f2_synthesis_scale.rs"),
+            vec![Rule::Entropy]
+        );
+        // Root integration tests: entropy only.
+        assert_eq!(lib("tests/determinism.rs"), vec![Rule::Entropy]);
+    }
+
+    #[test]
+    fn path_allowlist_removes_a_rule_for_a_file() {
+        let config = Config::parse(
+            "[rules.hash-iter]\nallow = [\"crates/netsim/src/graph.rs\"]\n",
+        )
+        .unwrap();
+        let rules = applicable_rules(
+            &classify("crates/netsim/src/graph.rs"),
+            "crates/netsim/src/graph.rs",
+            &config,
+        );
+        assert!(!rules.contains(&Rule::HashIter));
+        assert!(rules.contains(&Rule::WallClock));
+    }
+
+    #[test]
+    fn lint_source_runs_end_to_end() {
+        let config = Config::default();
+        let v = lint_source(
+            "crates/netsim/src/fake.rs",
+            "use std::collections::HashMap;\n",
+            &config,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::HashIter);
+        // Same content in an out-of-scope crate: clean.
+        assert!(lint_source(
+            "crates/tomography/src/fake.rs",
+            "use std::collections::HashMap;\n",
+            &config
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,456 @@
+//! The rule catalogue: five token-level checks enforcing the repo's
+//! determinism and panic-discipline invariants (see `lint.toml` and the
+//! README "Static analysis" section for the rationale of each).
+
+use crate::config::AllowSet;
+use crate::lexer::{Lexed, TokenKind};
+use crate::regions::FileMap;
+
+/// A rule identity: stable ID (`R1`…`R5`) plus the kebab-case name used
+/// in allow directives and `lint.toml` sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1 `hash-iter`: no `HashMap`/`HashSet` in simulation/solver
+    /// crates — hash iteration order is nondeterministic and can change
+    /// solver output run to run.
+    HashIter,
+    /// R2 `wall-clock`: no `Instant::now` / `SystemTime` in code that
+    /// influences simulation or solver results. Pure time *reporting* is
+    /// allowlisted inline; benches are out of scope by construction.
+    WallClock,
+    /// R3 `panic`: no `unwrap()`/`expect()` in non-test library code
+    /// outside an inline-commented allowlist.
+    Panic,
+    /// R4 `entropy`: no `thread_rng`/`from_entropy` — all randomness must
+    /// flow from seeded RNGs, in tests as much as in library code.
+    Entropy,
+    /// R5 `docs`: public items in the contract crates carry doc comments.
+    Docs,
+}
+
+impl Rule {
+    /// Every rule, in ID order.
+    pub const ALL: [Rule; 5] = [
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::Panic,
+        Rule::Entropy,
+        Rule::Docs,
+    ];
+
+    /// Stable rule ID (`R1`…`R5`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashIter => "R1",
+            Rule::WallClock => "R2",
+            Rule::Panic => "R3",
+            Rule::Entropy => "R4",
+            Rule::Docs => "R5",
+        }
+    }
+
+    /// Kebab-case name used in `lint.toml` and allow directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::Panic => "panic",
+            Rule::Entropy => "entropy",
+            Rule::Docs => "docs",
+        }
+    }
+
+    /// Resolves a rule from its name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// The crates a rule applies to when `lint.toml` says nothing.
+    pub fn default_scope(self) -> &'static [&'static str] {
+        match self {
+            // The simulation/solver crates whose outputs must replay
+            // bit-for-bit.
+            Rule::HashIter | Rule::WallClock => {
+                &["netsim", "core", "synthesis", "adapt", "learning"]
+            }
+            // Panic and entropy discipline hold everywhere; the scope
+            // list is unused (section-based instead).
+            Rule::Panic | Rule::Entropy => &[],
+            // The public-contract crates.
+            Rule::Docs => &["types", "core"],
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.id(), self.name())
+    }
+}
+
+/// One finding in one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-based line number.
+    pub line: u32,
+    /// The rule violated.
+    pub rule: Rule,
+    /// Human-readable explanation, including the remediation.
+    pub message: String,
+}
+
+/// Runs `rules` over one lexed+mapped file.
+pub fn check_file(
+    lexed: &Lexed,
+    map: &FileMap,
+    allows: &AllowSet,
+    rules: &[Rule],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &rule in rules {
+        match rule {
+            Rule::HashIter => check_hash_iter(lexed, map, allows, &mut out),
+            Rule::WallClock => check_wall_clock(lexed, map, allows, &mut out),
+            Rule::Panic => check_panic(lexed, map, allows, &mut out),
+            Rule::Entropy => check_entropy(lexed, allows, &mut out),
+            Rule::Docs => check_docs(lexed, map, allows, &mut out),
+        }
+    }
+    out.sort_by_key(|v| (v.line, v.rule));
+    // Two mentions on one line (e.g. `HashMap<..> = HashMap::new()`) are
+    // one finding as far as the reader is concerned.
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    out
+}
+
+/// Pushes a violation unless a justified directive covers it; appends a
+/// hint when an *unjustified* directive was found.
+fn emit(out: &mut Vec<Violation>, allows: &AllowSet, rule: Rule, line: u32, message: String) {
+    if allows.allowed(rule, line) {
+        return;
+    }
+    let message = if allows.unjustified(rule, line) {
+        format!("{message} (an allow directive was found but lacks a justification — write `// lint: allow({}) — <reason>`)", rule.name())
+    } else {
+        message
+    };
+    out.push(Violation { line, rule, message });
+}
+
+/// R1: any `HashMap`/`HashSet` identifier outside test code. The rule is
+/// deliberately broader than "iteration" — at token level the safe
+/// invariant is *no hash-ordered containers at all* in result-affecting
+/// crates; lookup-only uses state their case in an allow directive.
+fn check_hash_iter(lexed: &Lexed, map: &FileMap, allows: &AllowSet, out: &mut Vec<Violation>) {
+    for t in &lexed.tokens {
+        if t.kind == TokenKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !map.is_test_line(t.line)
+        {
+            emit(
+                out,
+                allows,
+                Rule::HashIter,
+                t.line,
+                format!(
+                    "`{}` in a determinism-scoped crate: hash iteration order varies \
+                     run to run; use BTreeMap/BTreeSet (or sort before iterating and \
+                     justify with `// lint: allow(hash-iter) — <reason>`)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// R2: `Instant::now` call sites and any `SystemTime` mention outside
+/// test code. `use std::time::Instant` alone is fine — only acquiring the
+/// clock is flagged, so passing an externally-captured timestamp through
+/// is allowed.
+fn check_wall_clock(lexed: &Lexed, map: &FileMap, allows: &AllowSet, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if map.is_test_line(t.line) {
+            continue;
+        }
+        let flagged = if t.is_ident("Instant") {
+            toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|a| a.is_ident("now"))
+        } else {
+            t.is_ident("SystemTime")
+        };
+        if flagged {
+            emit(
+                out,
+                allows,
+                Rule::WallClock,
+                t.line,
+                "wall-clock read in a determinism-scoped crate: results must not \
+                 depend on real time; use iteration/evaluation budgets (e.g. \
+                 `SolverBudget`) or sim time, and justify pure reporting with \
+                 `// lint: allow(wall-clock) — <reason>`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// R3: `.unwrap(` / `.expect(` in non-test library code.
+fn check_panic(lexed: &Lexed, map: &FileMap, allows: &AllowSet, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct('.') {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else { continue };
+        if !(name.is_ident("unwrap") || name.is_ident("expect")) {
+            continue;
+        }
+        if !toks.get(i + 2).is_some_and(|p| p.is_punct('(')) {
+            continue;
+        }
+        if map.is_test_line(name.line) {
+            continue;
+        }
+        emit(
+            out,
+            allows,
+            Rule::Panic,
+            name.line,
+            format!(
+                "`{}()` in library code: return an error or handle the case; if the \
+                 panic is invariant-backed, justify with `// lint: allow(panic) — <reason>`",
+                name.text
+            ),
+        );
+    }
+}
+
+/// R4: `thread_rng` / `from_entropy` anywhere, including tests — OS
+/// entropy breaks replayability wherever it appears.
+fn check_entropy(lexed: &Lexed, allows: &AllowSet, out: &mut Vec<Violation>) {
+    for t in &lexed.tokens {
+        if t.kind == TokenKind::Ident && (t.text == "thread_rng" || t.text == "from_entropy") {
+            emit(
+                out,
+                allows,
+                Rule::Entropy,
+                t.line,
+                format!(
+                    "`{}` draws OS entropy: all randomness must flow from seeded RNGs \
+                     (`StdRng::seed_from_u64` or a stream derived from the run seed)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// R5: `pub` items in contract crates need a doc comment. Skips
+/// `pub(…)` restricted visibility, `pub use` re-exports, `pub mod x;`
+/// declarations (docs live in the module file), tuple-struct fields, and
+/// members of trait impls (they inherit the trait's docs).
+fn check_docs(lexed: &Lexed, map: &FileMap, allows: &AllowSet, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("pub") || map.is_test_line(t.line) || map.is_trait_impl_line(t.line) {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else { continue };
+        // `pub(crate)` / `pub(super)`: not part of the public API.
+        if next.is_punct('(') {
+            continue;
+        }
+        // Re-exports and externs don't carry their own docs.
+        if next.is_ident("use") || next.is_ident("extern") {
+            continue;
+        }
+        // `pub mod x;` — the module documents itself with `//!`.
+        if next.is_ident("mod") && toks.get(i + 3).is_some_and(|p| p.is_punct(';')) {
+            continue;
+        }
+        // Tuple-struct fields (`pub struct Id(pub u64)`): preceded by a
+        // `(` or `,` and NOT shaped like a named field (`pub name: Type`),
+        // which can also follow a comma inside a braced struct.
+        let named_field = matches!(next.kind, TokenKind::Ident)
+            && toks.get(i + 2).is_some_and(|p| p.is_punct(':'));
+        if i > 0 && (toks[i - 1].is_punct('(') || toks[i - 1].is_punct(',')) && !named_field {
+            continue;
+        }
+        if !map.has_doc_above(t.line) {
+            emit(
+                out,
+                allows,
+                Rule::Docs,
+                t.line,
+                "public item lacks a doc comment: add `///` docs (or justify with \
+                 `// lint: allow(docs) — <reason>`)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AllowSet;
+    use crate::lexer::lex;
+    use crate::regions::map_file;
+
+    fn run(src: &str, rules: &[Rule]) -> Vec<Violation> {
+        let lexed = lex(src);
+        let map = map_file(&lexed);
+        let allows = AllowSet::from_comments(&lexed.comments);
+        check_file(&lexed, &map, &allows, rules)
+    }
+
+    fn rules_hit(src: &str, rules: &[Rule]) -> Vec<(&'static str, u32)> {
+        run(src, rules).iter().map(|v| (v.rule.id(), v.line)).collect()
+    }
+
+    #[test]
+    fn hash_iter_flags_non_test_uses_only() {
+        let src = "\
+use std::collections::HashMap;
+fn lib(m: &HashMap<u32, u32>) {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    fn t() { let _ = HashSet::<u32>::new(); }
+}
+";
+        assert_eq!(rules_hit(src, &[Rule::HashIter]), vec![("R1", 1), ("R1", 2)]);
+    }
+
+    #[test]
+    fn hash_iter_ignores_comments_and_strings() {
+        let src = "// HashMap in a comment\nfn f() { let s = \"HashMap\"; let r = r#\"HashSet\"#; }\n";
+        assert!(run(src, &[Rule::HashIter]).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_allow_directive_with_reason() {
+        let src = "\
+use std::collections::HashMap; // lint: allow(hash-iter) — lookup-only index, never iterated
+fn f(m: &HashMap<u32, u32>) -> Option<&u32> { // lint: allow(hash-iter) — lookup-only
+    m.get(&1)
+}
+";
+        assert!(run(src, &[Rule::HashIter]).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flags_now_but_not_type_mentions() {
+        let src = "\
+use std::time::Instant;
+fn report(start: Instant) -> f64 { start.elapsed().as_secs_f64() }
+fn bad() { let t = Instant::now(); let _ = t; }
+fn worse() { let _ = std::time::SystemTime::now(); }
+";
+        assert_eq!(
+            rules_hit(src, &[Rule::WallClock]),
+            vec![("R2", 3), ("R2", 4)]
+        );
+    }
+
+    #[test]
+    fn wall_clock_allowlisted_reporting() {
+        let src = "fn f() { let t = std::time::Instant::now(); } // lint: allow(wall-clock) — reporting only\n";
+        assert!(run(src, &[Rule::WallClock]).is_empty());
+    }
+
+    #[test]
+    fn panic_flags_unwrap_and_expect_outside_tests() {
+        let src = "\
+fn lib() {
+    let a: Option<u32> = None;
+    let _ = a.unwrap();
+    let _ = a.expect(\"boom\");
+    let _ = a.unwrap_or(3);
+}
+#[cfg(test)]
+mod tests {
+    fn t() { Some(1).unwrap(); }
+}
+";
+        assert_eq!(rules_hit(src, &[Rule::Panic]), vec![("R3", 3), ("R3", 4)]);
+    }
+
+    #[test]
+    fn panic_allow_requires_reason() {
+        let with_reason = "fn f() { x.unwrap(); } // lint: allow(panic) — key inserted two lines above\n";
+        assert!(run(with_reason, &[Rule::Panic]).is_empty());
+        let without = "fn f() { x.unwrap(); } // lint: allow(panic)\n";
+        let v = run(without, &[Rule::Panic]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("lacks a justification"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn entropy_flags_tests_too() {
+        let src = "\
+fn lib() { let r = rand::thread_rng(); }
+#[cfg(test)]
+mod tests {
+    fn t() { let r = SmallRng::from_entropy(); }
+}
+";
+        assert_eq!(rules_hit(src, &[Rule::Entropy]), vec![("R4", 1), ("R4", 4)]);
+    }
+
+    #[test]
+    fn docs_flags_undocumented_pub_items() {
+        let src = "\
+/// Documented.
+pub fn good() {}
+pub fn bad() {}
+pub struct AlsoBad;
+pub(crate) fn internal() {}
+pub use std::collections::BTreeMap;
+pub mod submodule;
+";
+        assert_eq!(rules_hit(src, &[Rule::Docs]), vec![("R5", 3), ("R5", 4)]);
+    }
+
+    #[test]
+    fn docs_sees_through_attributes_and_skips_tuple_fields() {
+        let src = "\
+/// Documented wrapper.
+#[derive(Debug, Clone)]
+pub struct Id(pub u64);
+
+/// Documented struct.
+pub struct S {
+    /// Documented field.
+    pub x: f64,
+    pub y: f64,
+}
+";
+        assert_eq!(rules_hit(src, &[Rule::Docs]), vec![("R5", 9)]);
+    }
+
+    #[test]
+    fn docs_skips_trait_impl_members() {
+        let src = "\
+/// Documented.
+pub struct S;
+impl std::fmt::Display for S {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, \"s\")
+    }
+}
+";
+        assert!(run(src, &[Rule::Docs]).is_empty());
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("nope"), None);
+        assert_eq!(Rule::HashIter.to_string(), "R1[hash-iter]");
+    }
+}

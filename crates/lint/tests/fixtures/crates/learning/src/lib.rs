@@ -1,0 +1,17 @@
+//! Fixture: a "learning" crate with one seeded R4 violation — even though
+//! the call sits inside test code, OS entropy is flagged everywhere.
+
+/// Clean: seeded randomness is the required pattern.
+pub fn seeded_rng_is_fine(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeded_entropy_violation() {
+        // Seeded R4 violation on the next line (`thread_rng` never lexes
+        // from this comment — comments yield no tokens).
+        let _ = rand::thread_rng();
+    }
+}

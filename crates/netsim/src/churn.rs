@@ -78,6 +78,7 @@ impl ChurnProcess {
     /// simulator — useful for analysis and tests.
     pub fn plan(&self, nodes: &[NodeId], horizon: SimTime) -> ChurnPlan {
         let mut rng = StdRng::seed_from_u64(self.seed);
+        // lint: allow(panic) — mtbf_s is validated positive at construction, so the rate is finite
         let fail = Exp::new(1.0 / self.mtbf_s).expect("positive rate");
         let mut plan = ChurnPlan::default();
         for &node in nodes {
@@ -90,6 +91,7 @@ impl ChurnProcess {
                 plan.failures.push((SimTime::from_secs_f64(t), node));
                 match self.mttr_s {
                     Some(mttr) => {
+                        // lint: allow(panic) — mttr is validated positive at construction, so the rate is finite
                         let repair = Exp::new(1.0 / mttr).expect("positive rate");
                         t += repair.sample(&mut rng);
                         if t >= horizon.as_secs_f64() {

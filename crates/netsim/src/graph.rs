@@ -7,7 +7,7 @@
 //! negative log of end-to-end delivery probability).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use iobt_types::{NodeId, Point, RadioKind};
 
@@ -41,7 +41,7 @@ pub struct GraphNode {
 #[derive(Debug, Clone, Default)]
 pub struct ConnectivityGraph {
     ids: Vec<NodeId>,
-    index: HashMap<NodeId, usize>,
+    index: BTreeMap<NodeId, usize>,
     adj: Vec<Vec<(usize, LinkQuality)>>,
 }
 
@@ -61,12 +61,12 @@ impl ConnectivityGraph {
     pub fn build(nodes: &[GraphNode], channel: &Channel) -> Self {
         let n = nodes.len();
         let ids: Vec<NodeId> = nodes.iter().map(|g| g.id).collect();
-        let index: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let index: BTreeMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let mut adj: Vec<Vec<(usize, LinkQuality)>> = vec![Vec::new(); n];
 
         // Spatial hash with cell side MAX_LINK_RANGE_M.
         let cell = MAX_LINK_RANGE_M;
-        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        let mut buckets: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
         for (i, node) in nodes.iter().enumerate() {
             if !node.alive || node.radios.is_empty() {
                 continue;

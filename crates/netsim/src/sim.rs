@@ -41,7 +41,7 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use iobt_types::{EnergyBudget, NodeCatalog, NodeId, Point, RadioKind};
 use rand::rngs::StdRng;
@@ -237,8 +237,8 @@ pub struct SimulatorBuilder {
     catalog: NodeCatalog,
     terrain: Terrain,
     jammers: Vec<Jammer>,
-    mobility: HashMap<NodeId, MobilityModel>,
-    sleep: HashMap<NodeId, SleepSchedule>,
+    mobility: BTreeMap<NodeId, MobilityModel>,
+    sleep: BTreeMap<NodeId, SleepSchedule>,
     seed: u64,
     mobility_step: SimDuration,
     retries: u32,
@@ -347,7 +347,7 @@ impl SimulatorBuilder {
         core.push(SimTime::ZERO + self.mobility_step, Event::MobilityTick);
         Simulator {
             core,
-            behaviors: HashMap::new(),
+            behaviors: BTreeMap::new(),
             started: Vec::new(),
         }
     }
@@ -405,6 +405,7 @@ impl Core {
                 .collect();
             self.graph = Some(ConnectivityGraph::build(&nodes, &self.channel));
         }
+        // lint: allow(panic) — the branch above just populated the option when it was empty
         self.graph.as_ref().expect("just built")
     }
 
@@ -436,6 +437,7 @@ impl Core {
         // Split borrows: the lazily-built graph is immutable while the
         // scratch (reused across every transmission) is mutated.
         self.graph();
+        // lint: allow(panic) — self.graph() on the previous line guarantees the snapshot exists
         let graph = self.graph.as_ref().expect("just built");
         let Some(route) = graph.route_with(&mut self.route_scratch, msg.src(), msg.dst()) else {
             self.stats.dropped += 1;
@@ -509,10 +511,12 @@ impl Core {
         for id in ids {
             // Split borrow: temporarily move mobility state out.
             let mut mob = {
+                // lint: allow(panic) — id came from self.nodes.keys() and nodes are never removed
                 let n = self.nodes.get_mut(&id).expect("node exists");
                 std::mem::replace(&mut n.mobility, MobilityState::new(MobilityModel::Static, Point::ORIGIN))
             };
             mob.step(&mut self.rng, dt);
+            // lint: allow(panic) — same key as above; the entry cannot have vanished mid-loop
             let n = self.nodes.get_mut(&id).expect("node exists");
             n.mobility = mob;
             if n.alive {
@@ -534,7 +538,7 @@ impl Core {
 /// end-to-end example.
 pub struct Simulator {
     core: Core,
-    behaviors: HashMap<NodeId, Box<dyn Behavior>>,
+    behaviors: BTreeMap<NodeId, Box<dyn Behavior>>,
     started: Vec<NodeId>,
 }
 
@@ -545,8 +549,8 @@ impl Simulator {
             catalog,
             terrain: Terrain::default(),
             jammers: Vec::new(),
-            mobility: HashMap::new(),
-            sleep: HashMap::new(),
+            mobility: BTreeMap::new(),
+            sleep: BTreeMap::new(),
             seed: 0,
             mobility_step: SimDuration::from_millis(1_000),
             retries: 3,
@@ -644,6 +648,7 @@ impl Simulator {
             if next.at > deadline {
                 break;
             }
+            // lint: allow(panic) — the loop condition peeked this entry, so pop cannot fail
             let Reverse(q) = self.core.queue.pop().expect("peeked");
             self.core.now = q.at;
             self.handle(q.event);

@@ -50,13 +50,13 @@ pub use coverage::{CoverageCounter, CoverageSet};
 pub use index::CellIndex;
 pub use problem::{candidate_cost, Candidate, CompositionProblem};
 pub use repair::{repair, repair_with, RepairResult};
-pub use solvers::{CompositionResult, Solver};
+pub use solvers::{CompositionResult, Solver, SolverBudget};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::{
         assess, candidate_cost, failure_probability, repair, repair_with, AssuranceReport,
         Candidate, CellIndex, CompositionProblem, CompositionResult, CoverageCounter, CoverageSet,
-        RepairResult, Solver,
+        RepairResult, Solver, SolverBudget,
     };
 }

@@ -9,7 +9,7 @@
 //! orders of magnitude cheaper than full re-synthesis (measured in
 //! experiment `f2_synthesis_scale`).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 use iobt_types::NodeId;
@@ -40,7 +40,7 @@ pub struct RepairResult {
 pub fn repair(
     problem: &CompositionProblem,
     previous: &CompositionResult,
-    failed: &HashSet<NodeId>,
+    failed: &BTreeSet<NodeId>,
 ) -> RepairResult {
     repair_with(problem, previous, failed, Solver::Greedy)
 }
@@ -59,10 +59,10 @@ pub fn repair(
 pub fn repair_with(
     problem: &CompositionProblem,
     previous: &CompositionResult,
-    failed: &HashSet<NodeId>,
+    failed: &BTreeSet<NodeId>,
     solver: Solver,
 ) -> RepairResult {
-    let start = Instant::now();
+    let start = Instant::now(); // lint: allow(wall-clock) — reporting only: elapsed_ms never influences the repair
     let survivors: Vec<usize> = previous
         .selected
         .iter()
@@ -148,7 +148,7 @@ mod tests {
     fn no_failures_is_a_noop() {
         let p = problem();
         let base = Solver::Greedy.solve(&p);
-        let r = repair(&p, &base, &HashSet::new());
+        let r = repair(&p, &base, &BTreeSet::new());
         assert_eq!(r.selected, base.selected);
         assert!(r.added.is_empty());
         assert!(r.satisfied);
@@ -160,7 +160,7 @@ mod tests {
         let base = Solver::Greedy.solve(&p);
         assert!(base.satisfied);
         // Fail every selected node.
-        let failed: HashSet<NodeId> = base
+        let failed: BTreeSet<NodeId> = base
             .selected
             .iter()
             .map(|&i| p.candidates[i].id)
@@ -178,7 +178,7 @@ mod tests {
         let p = problem();
         let base = Solver::Greedy.solve(&p);
         // Fail everything.
-        let failed: HashSet<NodeId> = p.candidates.iter().map(|c| c.id).collect();
+        let failed: BTreeSet<NodeId> = p.candidates.iter().map(|c| c.id).collect();
         let r = repair(&p, &base, &failed);
         assert!(!r.satisfied);
         assert!(r.selected.is_empty());
@@ -190,7 +190,7 @@ mod tests {
         let p = problem();
         let base = Solver::Greedy.solve(&p);
         let first_id = p.candidates[base.selected[0]].id;
-        let mut failed = HashSet::new();
+        let mut failed = BTreeSet::new();
         // Fail a node that is NOT selected — nothing should change.
         for c in &p.candidates {
             if !base.selected.iter().any(|&i| p.candidates[i].id == c.id) {
@@ -207,7 +207,7 @@ mod tests {
     fn random_repair_restores_coverage_with_more_nodes() {
         let p = problem();
         let base = Solver::Greedy.solve(&p);
-        let failed: HashSet<NodeId> = base.selected.iter().map(|&i| p.candidates[i].id).collect();
+        let failed: BTreeSet<NodeId> = base.selected.iter().map(|&i| p.candidates[i].id).collect();
         let greedy_fix = repair_with(&p, &base, &failed, Solver::Greedy);
         let random_fix = repair_with(&p, &base, &failed, Solver::Random { seed: 3 });
         assert!(random_fix.satisfied);
@@ -221,7 +221,7 @@ mod tests {
     fn repair_with_is_deterministic() {
         let p = problem();
         let base = Solver::Greedy.solve(&p);
-        let failed: HashSet<NodeId> = [p.candidates[base.selected[0]].id].into_iter().collect();
+        let failed: BTreeSet<NodeId> = [p.candidates[base.selected[0]].id].into_iter().collect();
         for solver in [Solver::Greedy, Solver::Random { seed: 1 }] {
             let a = repair_with(&p, &base, &failed, solver);
             let b = repair_with(&p, &base, &failed, solver);

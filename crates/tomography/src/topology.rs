@@ -174,6 +174,7 @@ impl Topology {
         let mut path = Vec::new();
         let mut cur = dst;
         while cur != src {
+            // lint: allow(panic) — BFS sets prev for every visited node except src, and cur != src here
             let (p, e) = prev[cur].expect("visited nodes have predecessors");
             path.push(e);
             cur = p;

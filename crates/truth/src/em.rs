@@ -198,6 +198,7 @@ impl StreamingDiscoverer {
             self.config,
         );
         self.latest = Some(est);
+        // lint: allow(panic) — assigned Some on the previous line
         self.latest.as_ref().expect("just set")
     }
 

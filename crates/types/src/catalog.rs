@@ -250,6 +250,7 @@ impl PopulationBuilder {
                 .build();
             catalog
                 .insert(node)
+                // lint: allow(panic) — the builder assigns sequential ids, so duplicates are impossible
                 .expect("population ids are sequential and unique");
         }
         catalog

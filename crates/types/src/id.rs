@@ -12,6 +12,7 @@ macro_rules! define_id {
             Serialize, Deserialize,
         )]
         #[serde(transparent)]
+        // lint: allow(docs) — docs are injected per expansion through the macro's $(#[$doc])* metavariable
         pub struct $name(u64);
 
         impl $name {

@@ -48,6 +48,44 @@ fn missions_are_reproducible() {
     );
 }
 
+/// The f1 evacuation vignette run twice with the same seed must agree on
+/// its *entire* end state — every event counter, every node's remaining
+/// energy (bit-identical `f64`s), the utility trace, and the final
+/// selection — not just the summary statistics the weaker test above
+/// compares. This is the property that makes experiment results
+/// replayable, and it is exactly what hash-ordered iteration or
+/// wall-clock-driven budgets would silently break.
+#[test]
+fn f1_end_state_digest_is_identical_across_runs() {
+    let scenario = urban_evacuation(120, 21);
+    let cfg = RunConfig {
+        duration: SimDuration::from_secs_f64(50.0),
+        ..RunConfig::default()
+    };
+    let a = run_mission(&scenario, &cfg);
+    let b = run_mission(&scenario, &cfg);
+
+    // Digest is a plain PartialEq over every field; a single diverging
+    // event count or energy bit fails the run.
+    assert_eq!(a.digest, b.digest, "end-state digests must match exactly");
+
+    // Sanity: the digest actually captured a non-trivial run.
+    assert!(a.digest.sent > 0, "messages flowed");
+    assert!(a.digest.delivered > 0, "messages arrived");
+    assert_eq!(
+        a.digest.node_energy_j.len(),
+        scenario.catalog.len(),
+        "every node's energy is fingerprinted"
+    );
+    assert!(
+        a.digest.node_energy_j.windows(2).all(|w| w[0].0 < w[1].0),
+        "energy entries are sorted by node id"
+    );
+    assert!(a.digest.mean_utility > 0.0);
+    assert!(!a.digest.final_selection.is_empty());
+    assert!(a.digest.energy_spent_j > 0.0);
+}
+
 #[test]
 fn truth_discovery_is_reproducible() {
     let s = ScenarioBuilder::new(30, 80).build(4);
