@@ -19,6 +19,8 @@
 //!   small demands are fully served (plus headroom), the surplus is split
 //!   evenly among heavy claimants. An attacker can saturate only itself.
 
+use iobt_obs::{Recorder, TraceEvent};
+
 /// Allocation policies compared in experiment `t5_resource_adaptation`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AllocationPolicy {
@@ -171,6 +173,23 @@ pub fn simulate(
     total_capacity: f64,
     demands: &[Vec<f64>],
 ) -> AllocationRun {
+    simulate_observed(policy, total_capacity, demands, &Recorder::disabled())
+}
+
+/// [`simulate`] with tracing: emits one
+/// [`Allocation`](TraceEvent::Allocation) event per epoch (stamped at one
+/// sim-second per epoch) carrying the number of regions allocated and how
+/// many of them hit the saturation penalty.
+///
+/// # Panics
+///
+/// Panics when epochs have inconsistent region counts.
+pub fn simulate_observed(
+    policy: AllocationPolicy,
+    total_capacity: f64,
+    demands: &[Vec<f64>],
+    recorder: &Recorder,
+) -> AllocationRun {
     let regions = demands.first().map(Vec::len).unwrap_or(0);
     assert!(
         demands.iter().all(|d| d.len() == regions),
@@ -178,15 +197,25 @@ pub fn simulate(
     );
     let mut latencies = Vec::with_capacity(demands.len() * regions);
     let mut saturated = 0usize;
-    for epoch in demands {
+    for (e, epoch) in demands.iter().enumerate() {
         let shares = allocate(policy, total_capacity, epoch);
+        let mut epoch_saturated = 0usize;
         for (&lambda, &mu) in epoch.iter().zip(&shares) {
             let l = mm1_latency_ms(lambda, mu);
             if l >= SATURATION_PENALTY_MS {
-                saturated += 1;
+                epoch_saturated += 1;
             }
             latencies.push(l);
         }
+        saturated += epoch_saturated;
+        recorder.record_at(
+            e as u64 * 1_000_000,
+            TraceEvent::Allocation {
+                epoch: e as u64,
+                regions: regions as u64,
+                saturated: epoch_saturated as u64,
+            },
+        );
     }
     let total = latencies.len().max(1);
     AllocationRun {
@@ -325,6 +354,38 @@ mod tests {
             let run = simulate(policy, 90.0, &trace);
             assert_eq!(run.latencies_ms, vec![0.0; 3]);
         }
+    }
+
+    #[test]
+    fn observed_run_emits_one_event_per_epoch() {
+        let trace = hotspot_trace(3, 5, 10.0, 200.0, None, 0, 0.0);
+        let (recorder, ring) = Recorder::memory(16);
+        let run = simulate_observed(AllocationPolicy::Static, 90.0, &trace, &recorder);
+        let records = ring.records();
+        assert_eq!(records.len(), 5);
+        for (e, rec) in records.iter().enumerate() {
+            assert_eq!(rec.t_us, e as u64 * 1_000_000);
+            match rec.event {
+                TraceEvent::Allocation {
+                    epoch,
+                    regions,
+                    saturated,
+                } => {
+                    assert_eq!(epoch, e as u64);
+                    assert_eq!(regions, 3);
+                    // Static 30/region share saturates the 210-demand hotspot.
+                    assert_eq!(saturated, 1);
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(run.saturation_fraction > 0.0);
+        assert_eq!(
+            recorder.metrics_digest().counter("adapt.alloc_epochs"),
+            Some(5)
+        );
+        // The untraced entry point matches the traced run exactly.
+        assert_eq!(simulate(AllocationPolicy::Static, 90.0, &trace), run);
     }
 
     #[test]

@@ -51,9 +51,10 @@ pub mod safety;
 pub mod selfaware;
 
 pub use alloc::{
-    hotspot_trace, mm1_latency_ms, simulate, water_fill, AllocationPolicy, AllocationRun,
-    SATURATION_PENALTY_MS,
+    hotspot_trace, mm1_latency_ms, simulate, simulate_observed, water_fill, AllocationPolicy,
+    AllocationRun, SATURATION_PENALTY_MS,
 };
+pub use iobt_obs::Recorder;
 pub use control::{PiController, QueuePlant};
 pub use estimation::{track, AlphaBetaFilter, FusionRule, TrackingRun};
 pub use game::{Equilibrium, IntentGame};
@@ -65,9 +66,9 @@ pub use selfaware::{AdaptationLoop, AdaptationMetrics, LoadBandService, SelfAwar
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::{
-        hotspot_trace, simulate, AllocationPolicy, AllocationRun, Equilibrium, IntentGame,
-        InvariantMonitor, ModalitySwitcher, PiController, QueuePlant, StabilizationReport,
-        Stabilizer, SwitchPolicy,
+        hotspot_trace, simulate, simulate_observed, AllocationPolicy, AllocationRun, Equilibrium,
+        IntentGame, InvariantMonitor, ModalitySwitcher, PiController, QueuePlant, Recorder,
+        StabilizationReport, Stabilizer, SwitchPolicy,
     };
     pub use crate::estimation::{track, AlphaBetaFilter, FusionRule, TrackingRun};
     pub use crate::safety::{

@@ -16,7 +16,17 @@
 
 use std::collections::BTreeMap;
 
+use iobt_obs::{Recorder, TraceEvent};
 use iobt_types::{ActuatorKind, NodeId};
+
+/// Stable numeric code for an actuator kind in trace events: its index in
+/// [`ActuatorKind::ALL`].
+fn actuator_code(kind: ActuatorKind) -> u64 {
+    ActuatorKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .unwrap_or(ActuatorKind::ALL.len()) as u64
+}
 
 /// A time-limited human authorization for one actuator kind in one zone.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +92,7 @@ pub struct ActuationController {
     occupancy: BTreeMap<u32, (f64, f64)>,
     authorizations: Vec<HumanAuthorization>,
     audit: Vec<AuditEntry>,
+    recorder: Recorder,
 }
 
 impl ActuationController {
@@ -95,7 +106,16 @@ impl ActuationController {
             occupancy: BTreeMap::new(),
             authorizations: Vec::new(),
             audit: Vec::new(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a [`Recorder`]; every decision from [`request`](Self::request)
+    /// is then emitted as an [`TraceEvent::Actuation`] trace event stamped
+    /// with the request time.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Feeds an occupancy detection for `zone` with confidence in
@@ -148,6 +168,18 @@ impl ActuationController {
             zone,
             decision,
         });
+        self.recorder.record_at(
+            (now_s.max(0.0) * 1e6) as u64,
+            TraceEvent::Actuation {
+                requester: requester.raw(),
+                actuator: actuator_code(actuator),
+                decision: match decision {
+                    ActuationDecision::Approved => "approved",
+                    ActuationDecision::WithheldOccupied => "withheld_occupied",
+                    ActuationDecision::DeniedNoAuthorization => "denied_no_authorization",
+                },
+            },
+        );
         decision
     }
 
@@ -188,6 +220,36 @@ mod tests {
         // Expired token is no token.
         let d = c.request(NodeId::new(1), ActuatorKind::Demolition, 0, 200.0);
         assert_eq!(d, ActuationDecision::DeniedNoAuthorization);
+    }
+
+    #[test]
+    fn decisions_are_traced_with_request_time() {
+        let (recorder, ring) = Recorder::memory(8);
+        let mut c = controller().with_recorder(recorder.clone());
+        c.request(NodeId::new(4), ActuatorKind::Marker, 0, 2.5);
+        c.request(NodeId::new(4), ActuatorKind::Demolition, 0, 3.0);
+        let records = ring.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].t_us, 2_500_000);
+        assert_eq!(
+            records[0].event,
+            TraceEvent::Actuation {
+                requester: 4,
+                actuator: actuator_code(ActuatorKind::Marker),
+                decision: "approved",
+            }
+        );
+        assert_eq!(
+            records[1].event,
+            TraceEvent::Actuation {
+                requester: 4,
+                actuator: actuator_code(ActuatorKind::Demolition),
+                decision: "denied_no_authorization",
+            }
+        );
+        let digest = recorder.metrics_digest();
+        assert_eq!(digest.counter("adapt.actuations"), Some(2));
+        assert_eq!(digest.counter("adapt.actuation.approved"), Some(1));
     }
 
     #[test]

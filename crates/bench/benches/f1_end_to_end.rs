@@ -43,11 +43,10 @@ fn main() {
                     at: SimTime::from_secs_f64(60.0),
                     index: 0,
                 }];
-                let config = RunConfig {
-                    duration: SimDuration::from_secs_f64(180.0),
-                    adaptive,
-                    ..RunConfig::default()
-                };
+                let config = RunConfig::builder()
+                    .duration(SimDuration::from_secs_f64(180.0))
+                    .adaptive(adaptive)
+                    .build();
                 let report = run_mission(&scenario, &config);
                 mean_u.push(report.mean_utility());
                 post_u.push(report.utility_after(60.0));

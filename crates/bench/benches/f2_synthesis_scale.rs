@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use iobt_bench::{f1, f3, Table};
-use iobt_synthesis::{repair, CompositionProblem, Solver};
+use iobt_synthesis::{repair, repair_with_timed, CompositionProblem, Solver};
 use iobt_types::catalog::PopulationBuilder;
 use iobt_types::{Mission, MissionId, MissionKind, NodeSpec, Rect, SensorKind};
 
@@ -63,7 +63,7 @@ fn main() {
             Solver::Random { seed: 2 },
         ];
         for solver in solvers {
-            let result = solver.solve(&problem);
+            let (result, solve_ms) = solver.solve_timed(&problem);
             // Repair benchmark: fail 10% of the selected set.
             let fail_count = (result.selected.len() / 10).max(1);
             let failed: BTreeSet<_> = result
@@ -79,7 +79,7 @@ fn main() {
             table.row(vec![
                 n.to_string(),
                 solver.to_string(),
-                f1(result.elapsed_ms),
+                f1(solve_ms),
                 result.selected.len().to_string(),
                 f3(result.coverage),
                 f1(result.cost),
@@ -121,7 +121,7 @@ fn main() {
             .map(|&i| problem.candidates[i].id)
             .collect();
         // (a) incremental repair.
-        let repaired = repair(&problem, &base, &failed);
+        let (repaired, repair_timed_ms) = repair_with_timed(&problem, &base, &failed, Solver::Greedy);
         // (b) full re-synthesis over the survivors only.
         let survivors: Vec<NodeSpec> = specs
             .iter()
@@ -134,7 +134,7 @@ fn main() {
         let resolve_ms = t0.elapsed().as_secs_f64() * 1_000.0;
         ablation.row(vec![
             n.to_string(),
-            f3(repaired.elapsed_ms),
+            f3(repair_timed_ms),
             f3(resolve_ms),
             f3(repaired.coverage),
             f3(resolved.coverage),

@@ -47,7 +47,10 @@ pub mod scenario;
 pub use behaviors::{new_report_log, CommandSink, DeliveredReport, ReportLog, SensorReporter};
 pub use diagnostics::{diagnose_failures, DiagnosisReport, NetworkModel};
 pub use humans::{calibrate_human_trust, CalibrationSummary};
-pub use runtime::{run_mission, EndStateDigest, MissionReport, RunConfig, WindowStat};
+pub use runtime::{
+    run_mission, EndStateDigest, MissionReport, RunConfig, RunConfigBuilder, WallClockReport,
+    WindowStat,
+};
 pub use tasking::{allocate_missions, MissionAllocation, TaskingPlan};
 pub use scenario::{
     disaster_relief, persistent_surveillance, urban_evacuation, Disruption, Scenario,
@@ -56,6 +59,7 @@ pub use scenario::{
 
 pub use iobt_adapt as adapt;
 pub use iobt_discovery as discovery;
+pub use iobt_obs as obs;
 pub use iobt_learning as learning;
 pub use iobt_netsim as netsim;
 pub use iobt_synthesis as synthesis;
@@ -65,7 +69,13 @@ pub use iobt_types as types;
 
 /// Convenience re-exports for examples and integration tests.
 pub mod prelude {
-    pub use crate::runtime::{run_mission, EndStateDigest, MissionReport, RunConfig, WindowStat};
+    pub use crate::runtime::{
+        run_mission, EndStateDigest, MissionReport, RunConfig, RunConfigBuilder, WallClockReport,
+        WindowStat,
+    };
+    pub use iobt_obs::{
+        MetricsDigest, Recorder, SamplingConfig, SharedBytes, Subsystem, TraceEvent, TraceRecord,
+    };
     pub use crate::scenario::{
         disaster_relief, persistent_surveillance, urban_evacuation, Disruption, Scenario,
     };

@@ -2,12 +2,14 @@
 //! execution, end to end over the simulator (paper Fig. 1).
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use iobt_discovery::{
     recruit, AffiliationClassifier, DiscoveryTracker, EmissionModel, NaiveBayes, RecruitPolicy,
     TrackerConfig,
 };
 use iobt_netsim::{SimDuration, Simulator};
+use iobt_obs::{Recorder, TraceEvent};
 use iobt_synthesis::{assess, failure_probability, repair_with, AssuranceReport, CompositionProblem, CompositionResult, Solver};
 use iobt_types::{NodeId, NodeSpec, TrustLedger};
 
@@ -15,7 +17,11 @@ use crate::behaviors::{new_report_log, CommandSink, SensorReporter};
 use crate::scenario::{Disruption, Scenario};
 
 /// Execution configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Construct with [`RunConfig::builder`]; the struct is `#[non_exhaustive]`
+/// so it can grow fields without breaking downstream crates.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RunConfig {
     /// Total mission duration.
     pub duration: SimDuration,
@@ -36,6 +42,9 @@ pub struct RunConfig {
     /// initial connectivity graph (§III-B network composition: selecting a
     /// sensor that cannot report is wasted coverage).
     pub require_reachability: bool,
+    /// Observability recorder threaded through the whole pipeline
+    /// (simulator, solver, repair reflex). Disabled by default.
+    pub recorder: Recorder,
 }
 
 impl Default for RunConfig {
@@ -49,12 +58,102 @@ impl Default for RunConfig {
             grid: 6,
             solver: Solver::Greedy,
             require_reachability: true,
+            recorder: Recorder::disabled(),
         }
+    }
+}
+
+impl RunConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder {
+            config: RunConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`RunConfig`] (the supported construction path now that the
+/// struct is `#[non_exhaustive]`).
+///
+/// ```
+/// use iobt_core::runtime::RunConfig;
+/// use iobt_netsim::SimDuration;
+///
+/// let cfg = RunConfig::builder()
+///     .duration(SimDuration::from_secs_f64(60.0))
+///     .adaptive(false)
+///     .build();
+/// assert!(!cfg.adaptive);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    config: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Sets the total mission duration.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.config.duration = duration;
+        self
+    }
+
+    /// Sets the utility sampling window.
+    pub fn window(mut self, window: SimDuration) -> Self {
+        self.config.window = window;
+        self
+    }
+
+    /// Sets the sensor report period.
+    pub fn report_period(mut self, period: SimDuration) -> Self {
+        self.config.report_period = period;
+        self
+    }
+
+    /// Enables or disables the repair reflex.
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.config.adaptive = adaptive;
+        self
+    }
+
+    /// Sets the utility threshold that triggers a repair.
+    pub fn repair_threshold(mut self, threshold: f64) -> Self {
+        self.config.repair_threshold = threshold;
+        self
+    }
+
+    /// Sets the coverage grid resolution (cells per side).
+    pub fn grid(mut self, grid: usize) -> Self {
+        self.config.grid = grid;
+        self
+    }
+
+    /// Sets the composition solver.
+    pub fn solver(mut self, solver: Solver) -> Self {
+        self.config.solver = solver;
+        self
+    }
+
+    /// Enables or disables the reachability filter on recruited assets.
+    pub fn require_reachability(mut self, require: bool) -> Self {
+        self.config.require_reachability = require;
+        self
+    }
+
+    /// Attaches an observability recorder.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.config.recorder = recorder;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> RunConfig {
+        self.config
     }
 }
 
 /// Utility measured over one window.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct WindowStat {
     /// Window start, seconds.
     pub start_s: f64,
@@ -74,6 +173,7 @@ pub struct WindowStat {
 /// and seed agree on *all* of it, not just a summary statistic. Built by
 /// [`run_mission`] from the simulator's terminal state.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct EndStateDigest {
     /// Messages sent.
     pub sent: u64,
@@ -101,8 +201,23 @@ pub struct EndStateDigest {
     pub final_selection: Vec<usize>,
 }
 
+/// Wall-clock timings measured while running a mission.
+///
+/// Deliberately separated from [`EndStateDigest`] (and every other report
+/// field): wall-clock duration varies run to run on the same seed, so it
+/// must never participate in determinism checks. Reporting only.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
+pub struct WallClockReport {
+    /// Wall-clock time spent in the initial composition solve, ms.
+    pub solve_ms: f64,
+    /// Cumulative wall-clock time spent in repair solves, ms.
+    pub repair_ms: f64,
+}
+
 /// Full mission outcome.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct MissionReport {
     /// Assets admitted by recruitment.
     pub recruited: usize,
@@ -129,6 +244,9 @@ pub struct MissionReport {
     pub mean_latency_ms: f64,
     /// End-state fingerprint for reproducibility checks.
     pub digest: EndStateDigest,
+    /// Wall-clock timings (solve/repair). Excluded from [`EndStateDigest`]
+    /// and from all determinism comparisons.
+    pub wall_clock: WallClockReport,
 }
 
 impl MissionReport {
@@ -168,6 +286,7 @@ impl MissionReport {
 
 /// Runs the full pipeline on a scenario.
 pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
+    let recorder = &config.recorder;
     // ---- Phase 1: discovery (side-channel classification + tracking) ----
     let mut emissions = EmissionModel::new(scenario.seed ^ 0xD15C);
     let train = emissions.labelled_dataset(300);
@@ -200,6 +319,13 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         2.0,
         TrackerConfig::default().presence_tau_s,
     );
+    recorder.record_at(
+        0,
+        TraceEvent::Recruitment {
+            candidates: scenario.catalog.len() as u64,
+            recruited: pool.admitted.len() as u64,
+        },
+    );
 
     // ---- Phase 3: synthesis + assurance ----
     let mut specs: Vec<NodeSpec> = pool.admitted.iter().map(|a| a.spec.clone()).collect();
@@ -217,7 +343,9 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         unreachable = before - specs.len();
     }
     let problem = CompositionProblem::from_mission(&scenario.mission, &specs, config.grid);
-    let composition = config.solver.solve(&problem);
+    let solve_start = Instant::now(); // lint: allow(wall-clock) — reporting only; lands in WallClockReport, never in a decision or digest
+    let composition = config.solver.solve_observed(&problem, recorder);
+    let solve_ms = solve_start.elapsed().as_secs_f64() * 1_000.0;
     let failure_probs: Vec<f64> = composition
         .selected
         .iter()
@@ -240,7 +368,8 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
     // ---- Phase 4: adaptive execution over the simulator ----
     let mut builder = Simulator::builder(scenario.catalog.clone())
         .terrain(scenario.terrain.clone())
-        .seed(scenario.seed);
+        .seed(scenario.seed)
+        .recorder(recorder.clone());
     for j in &scenario.jammers {
         builder = builder.jammer(*j);
     }
@@ -270,6 +399,7 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
 
     let mut windows = Vec::new();
     let mut repairs = 0usize;
+    let mut repair_ms = 0.0f64;
     let total_windows =
         (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as usize;
     let mut failed_ever: BTreeSet<NodeId> = BTreeSet::new();
@@ -294,25 +424,46 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
             reporting,
             utility,
         });
+        recorder.record(TraceEvent::WindowClosed {
+            window: w as u64,
+            delivered: reporting as u64,
+            utility,
+        });
         // Reflex: if too few selected assets are heard from, treat the
         // silent ones as lost and re-cover their pairs from spares.
         if config.adaptive && utility < config.repair_threshold && w + 1 < total_windows {
+            recorder.record(TraceEvent::RepairTriggered {
+                window: w as u64,
+                utility,
+                threshold: config.repair_threshold,
+            });
             for &i in &selection {
                 let id = problem.candidates[i].id;
                 if !delivered.contains(&id) {
                     failed_ever.insert(id);
                 }
             }
+            let repair_start = Instant::now(); // lint: allow(wall-clock) — reporting only; lands in WallClockReport, never in a decision or digest
             let repaired = repair_with(&problem, &current, &failed_ever, config.solver);
+            repair_ms += repair_start.elapsed().as_secs_f64() * 1_000.0;
             if repaired.selected != selection {
                 repairs += 1;
+                let added = repaired
+                    .selected
+                    .iter()
+                    .filter(|i| !selection.contains(i))
+                    .count();
+                recorder.record(TraceEvent::RepairApplied {
+                    window: w as u64,
+                    added: added as u64,
+                    satisfied: repaired.satisfied,
+                });
                 selection = repaired.selected.clone();
                 current = CompositionResult {
                     selected: repaired.selected,
                     coverage: repaired.coverage,
                     cost: problem.cost(&selection),
                     satisfied: repaired.satisfied,
-                    elapsed_ms: repaired.elapsed_ms,
                 };
                 attach_reporters(
                     &mut sim,
@@ -353,6 +504,7 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         repairs,
         final_selection,
     };
+    recorder.flush();
     MissionReport {
         recruited: pool.admitted.len(),
         rejected_red: pool.rejected_red.len(),
@@ -365,6 +517,7 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         delivery_ratio: stats.delivery_ratio(),
         mean_latency_ms: stats.latency_ms.mean(),
         digest,
+        wall_clock: WallClockReport { solve_ms, repair_ms },
     }
 }
 
@@ -445,6 +598,58 @@ mod tests {
         // The jammer fires at t=60 which is the end of this short run, so
         // utility should be healthy throughout.
         assert!(report.mean_utility() > 0.3, "{}", report.mean_utility());
+    }
+
+    #[test]
+    fn builder_matches_struct_defaults() {
+        let built = RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(60.0))
+            .window(SimDuration::from_secs_f64(10.0))
+            .build();
+        let literal = quick_config();
+        assert_eq!(built.duration, literal.duration);
+        assert_eq!(built.window, literal.window);
+        assert_eq!(built.adaptive, literal.adaptive);
+        assert_eq!(built.repair_threshold, literal.repair_threshold);
+        assert_eq!(built.grid, literal.grid);
+        assert_eq!(built.solver, literal.solver);
+        assert_eq!(built.require_reachability, literal.require_reachability);
+    }
+
+    #[test]
+    fn recorder_traces_the_pipeline() {
+        use iobt_obs::Subsystem;
+
+        let scenario = persistent_surveillance(120, 5);
+        let (recorder, ring) = iobt_obs::Recorder::memory(100_000);
+        let cfg = RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(60.0))
+            .window(SimDuration::from_secs_f64(10.0))
+            .recorder(recorder.clone())
+            .build();
+        let report = run_mission(&scenario, &cfg);
+        let records = ring.records();
+        assert!(!records.is_empty());
+        // One recruitment, one solve, one window-closed per window.
+        let kind_count = |k: &str| records.iter().filter(|r| r.event.kind() == k).count();
+        assert_eq!(kind_count("recruitment"), 1);
+        assert_eq!(kind_count("solve"), 1);
+        assert_eq!(kind_count("window_closed"), report.windows.len());
+        // Netsim traffic flows through the same recorder with sim-time stamps.
+        assert!(records
+            .iter()
+            .any(|r| r.event.subsystem() == Subsystem::Netsim));
+        for pair in records.windows(2) {
+            assert!(pair[0].t_us <= pair[1].t_us, "sim-time goes backwards");
+        }
+        let digest = recorder.metrics_digest();
+        assert_eq!(digest.counter("core.windows"), Some(6));
+        assert_eq!(
+            digest.counter("netsim.msg_delivered"),
+            Some(report.digest.delivered)
+        );
+        // Wall clock is measured but lives outside the digest.
+        assert!(report.wall_clock.solve_ms >= 0.0);
     }
 
     #[test]

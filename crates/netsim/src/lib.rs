@@ -37,6 +37,8 @@ pub use stats::{NetStats, Summary};
 pub use terrain::{Clutter, Terrain};
 pub use time::{SimDuration, SimTime};
 
+pub use iobt_obs::Recorder;
+
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::{

@@ -43,6 +43,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
+use iobt_obs::{DropCause, Recorder, TraceEvent};
 use iobt_types::{EnergyBudget, NodeCatalog, NodeId, Point, RadioKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -243,6 +244,7 @@ pub struct SimulatorBuilder {
     mobility_step: SimDuration,
     retries: u32,
     idle_drain_w: f64,
+    recorder: Recorder,
 }
 
 impl SimulatorBuilder {
@@ -297,6 +299,15 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Attaches an observability recorder (default: disabled). The
+    /// simulator stamps the recorder's clock with sim time as events
+    /// dispatch and emits `netsim.*` trace events; a disabled recorder
+    /// costs one branch per site.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Builds the simulator. Behaviours are attached afterwards with
     /// [`Simulator::set_behavior`].
     pub fn build(self) -> Simulator {
@@ -343,6 +354,7 @@ impl SimulatorBuilder {
             retries: self.retries,
             mobility_step: self.mobility_step,
             idle_drain_w: self.idle_drain_w,
+            recorder: self.recorder,
         };
         core.push(SimTime::ZERO + self.mobility_step, Event::MobilityTick);
         Simulator {
@@ -367,6 +379,7 @@ struct Core {
     retries: u32,
     mobility_step: SimDuration,
     idle_drain_w: f64,
+    recorder: Recorder,
 }
 
 impl Core {
@@ -403,7 +416,12 @@ impl Core {
                         && n.sleep.is_none_or(|s| s.is_awake(now)),
                 })
                 .collect();
-            self.graph = Some(ConnectivityGraph::build(&nodes, &self.channel));
+            let built = ConnectivityGraph::build(&nodes, &self.channel);
+            self.recorder.record(TraceEvent::GraphRebuilt {
+                nodes: built.len() as u64,
+                edges: built.link_count() as u64,
+            });
+            self.graph = Some(built);
         }
         // lint: allow(panic) — the branch above just populated the option when it was empty
         self.graph.as_ref().expect("just built")
@@ -413,6 +431,10 @@ impl Core {
     /// or records the drop.
     fn transmit(&mut self, msg: Message) {
         self.stats.sent += 1;
+        self.recorder.record(TraceEvent::MsgSent {
+            from: msg.src().raw(),
+            to: msg.dst().raw(),
+        });
         let src_alive = self
             .nodes
             .get(&msg.src())
@@ -426,12 +448,14 @@ impl Core {
         if !src_alive || !dst_alive {
             self.stats.dropped += 1;
             self.stats.dropped_dead += 1;
+            self.record_drop(&msg, DropCause::Dead);
             return;
         }
         if !self.is_active(msg.src()) || !self.is_active(msg.dst()) {
             // Alive but inside a sleep phase of the duty cycle.
             self.stats.dropped += 1;
             self.stats.dropped_asleep += 1;
+            self.record_drop(&msg, DropCause::Asleep);
             return;
         }
         // Split borrows: the lazily-built graph is immutable while the
@@ -442,6 +466,7 @@ impl Core {
         let Some(route) = graph.route_with(&mut self.route_scratch, msg.src(), msg.dst()) else {
             self.stats.dropped += 1;
             self.stats.dropped_no_route += 1;
+            self.record_drop(&msg, DropCause::NoRoute);
             return;
         };
         let size_bits = msg.size_bits();
@@ -450,6 +475,12 @@ impl Core {
         for hop in route.windows(2) {
             let (from, to) = (hop[0], hop[1]);
             let Some(link) = self.graph().link(from, to) else {
+                // The topology changed underneath the route (e.g. a relay
+                // depleted while forwarding): fall back to the drop path.
+                self.recorder.record(TraceEvent::RouteFallback {
+                    from: from.raw(),
+                    to: to.raw(),
+                });
                 success = false;
                 break;
             };
@@ -475,7 +506,16 @@ impl Core {
         } else {
             self.stats.dropped += 1;
             self.stats.dropped_channel += 1;
+            self.record_drop(&msg, DropCause::Channel);
         }
+    }
+
+    fn record_drop(&self, msg: &Message, cause: DropCause) {
+        self.recorder.record(TraceEvent::MsgDropped {
+            from: msg.src().raw(),
+            to: msg.dst().raw(),
+            cause,
+        });
     }
 
     /// Tries a hop up to `retries + 1` times; returns success and the
@@ -501,6 +541,8 @@ impl Core {
             if n.energy.is_depleted() && n.alive {
                 n.alive = false;
                 self.graph = None;
+                self.recorder
+                    .record(TraceEvent::NodeDepleted { node: node.raw() });
             }
         }
     }
@@ -525,10 +567,14 @@ impl Core {
                 self.stats.energy_spent_j += idle;
                 if n.energy.is_depleted() {
                     n.alive = false;
+                    self.recorder
+                        .record(TraceEvent::NodeDepleted { node: id.raw() });
                 }
             }
         }
         self.graph = None;
+        self.recorder
+            .set_gauge("netsim.energy_spent_j", self.stats.energy_spent_j);
         let next = self.now + self.mobility_step;
         self.push(next, Event::MobilityTick);
     }
@@ -555,6 +601,7 @@ impl Simulator {
             mobility_step: SimDuration::from_millis(1_000),
             retries: 3,
             idle_drain_w: 0.01,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -589,6 +636,12 @@ impl Simulator {
     /// Accumulated network statistics.
     pub fn stats(&self) -> &NetStats {
         &self.core.stats
+    }
+
+    /// The observability recorder this simulator records into (disabled
+    /// unless one was attached via [`SimulatorBuilder::recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.core.recorder
     }
 
     /// Whether a node is up (alive and not energy-depleted).
@@ -651,10 +704,14 @@ impl Simulator {
             // lint: allow(panic) — the loop condition peeked this entry, so pop cannot fail
             let Reverse(q) = self.core.queue.pop().expect("peeked");
             self.core.now = q.at;
+            // Stamp the shared observability clock before dispatching so
+            // every event recorded downstream carries this sim time.
+            self.core.recorder.set_time_us(q.at.as_micros());
             self.handle(q.event);
         }
         if self.core.now < deadline {
             self.core.now = deadline;
+            self.core.recorder.set_time_us(deadline.as_micros());
         }
     }
 
@@ -676,6 +733,7 @@ impl Simulator {
                 if !alive {
                     self.core.stats.dropped += 1;
                     self.core.stats.dropped_dead += 1;
+                    self.core.record_drop(&msg, DropCause::Dead);
                     return;
                 }
                 if !self.core.is_active(msg.dst()) {
@@ -683,11 +741,17 @@ impl Simulator {
                     // flight.
                     self.core.stats.dropped += 1;
                     self.core.stats.dropped_asleep += 1;
+                    self.core.record_drop(&msg, DropCause::Asleep);
                     return;
                 }
                 self.core.stats.delivered += 1;
                 let latency = self.core.now.saturating_since(msg.sent_at());
                 self.core.stats.latency_ms.record(latency.as_millis_f64());
+                self.core.recorder.record(TraceEvent::MsgDelivered {
+                    from: msg.src().raw(),
+                    to: msg.dst().raw(),
+                    latency_us: latency.as_micros(),
+                });
                 *self
                     .core
                     .stats
@@ -728,6 +792,9 @@ impl Simulator {
                 if let Some(n) = self.core.nodes.get_mut(&id) {
                     n.alive = false;
                     self.core.graph = None;
+                    self.core
+                        .recorder
+                        .record(TraceEvent::NodeDown { node: id.raw() });
                 }
             }
             Event::NodeUp(id) => {
@@ -735,12 +802,19 @@ impl Simulator {
                     if !n.energy.is_depleted() {
                         n.alive = true;
                         self.core.graph = None;
+                        self.core
+                            .recorder
+                            .record(TraceEvent::NodeUp { node: id.raw() });
                     }
                 }
             }
             Event::SetJammer { index, active } => {
                 self.core.channel.set_jammer_active(index, active);
                 self.core.graph = None;
+                self.core.recorder.record(TraceEvent::JammerSet {
+                    index: index as u64,
+                    on: active,
+                });
             }
         }
     }

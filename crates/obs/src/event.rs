@@ -1,0 +1,561 @@
+//! The trace-event taxonomy and its deterministic JSONL encoding.
+//!
+//! Every event names the subsystem that emitted it and carries only
+//! plain values (raw `u64` identifiers, integer microseconds, `f64`
+//! measurements) so this crate stays dependency-free and the encoding
+//! stays stable. Encoding is hand-rolled with a fixed key order —
+//! `serde_json` would also be deterministic, but an explicit encoder
+//! makes the byte-identical-trace guarantee auditable in one screen.
+
+use std::fmt::Write as _;
+
+/// The subsystem that emitted an event. Used for filtering and for the
+/// per-subsystem sampling controls in
+/// [`SamplingConfig`](crate::SamplingConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Subsystem {
+    /// The battlefield network simulator (`iobt-netsim`).
+    Netsim,
+    /// The mission runtime (`iobt-core`).
+    Core,
+    /// The composition/repair solvers (`iobt-synthesis`).
+    Synthesis,
+    /// The adaptation services (`iobt-adapt`).
+    Adapt,
+}
+
+impl Subsystem {
+    /// Stable lower-case name used in the JSONL schema (`"sub"` key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Subsystem::Netsim => "netsim",
+            Subsystem::Core => "core",
+            Subsystem::Synthesis => "synthesis",
+            Subsystem::Adapt => "adapt",
+        }
+    }
+
+    /// Parses the stable name back into a subsystem.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "netsim" => Some(Subsystem::Netsim),
+            "core" => Some(Subsystem::Core),
+            "synthesis" => Some(Subsystem::Synthesis),
+            "adapt" => Some(Subsystem::Adapt),
+            _ => None,
+        }
+    }
+
+    /// All subsystems, in sampling-slot order.
+    pub const ALL: [Subsystem; 4] = [
+        Subsystem::Netsim,
+        Subsystem::Core,
+        Subsystem::Synthesis,
+        Subsystem::Adapt,
+    ];
+
+    pub(crate) fn slot(self) -> usize {
+        match self {
+            Subsystem::Netsim => 0,
+            Subsystem::Core => 1,
+            Subsystem::Synthesis => 2,
+            Subsystem::Adapt => 3,
+        }
+    }
+}
+
+/// Why the simulator dropped a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// No route existed from source to destination.
+    NoRoute,
+    /// A hop lost the channel-loss coin flip on every retry.
+    Channel,
+    /// Source, relay or destination was dead (energy / churn / kill).
+    Dead,
+    /// Source or destination was in a sleep-schedule off phase.
+    Asleep,
+}
+
+impl DropCause {
+    /// Stable lower-case name used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropCause::NoRoute => "no_route",
+            DropCause::Channel => "channel",
+            DropCause::Dead => "dead",
+            DropCause::Asleep => "asleep",
+        }
+    }
+}
+
+/// A structured trace event. Identifiers are raw `u64`s (see
+/// `NodeId::raw`) so `iobt-obs` sits below every other crate in the
+/// dependency graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    // -- netsim ----------------------------------------------------------
+    /// A message was handed to the radio for transmission.
+    MsgSent {
+        /// Source node id.
+        from: u64,
+        /// Destination node id.
+        to: u64,
+    },
+    /// A message reached its destination.
+    MsgDelivered {
+        /// Source node id.
+        from: u64,
+        /// Destination node id.
+        to: u64,
+        /// End-to-end latency in integer microseconds of sim time.
+        latency_us: u64,
+    },
+    /// A message died in the network.
+    MsgDropped {
+        /// Source node id.
+        from: u64,
+        /// Destination node id.
+        to: u64,
+        /// Which failure mode killed it.
+        cause: DropCause,
+    },
+    /// A hop of a precomputed route vanished mid-transmission (the
+    /// topology changed underneath the message, e.g. a relay depleted
+    /// while forwarding) and the transmission fell back to the drop
+    /// path.
+    RouteFallback {
+        /// Source node id.
+        from: u64,
+        /// Destination node id.
+        to: u64,
+    },
+    /// The connectivity graph was (re)built after topology churn.
+    GraphRebuilt {
+        /// Nodes alive at rebuild time.
+        nodes: u64,
+        /// Undirected edges in the rebuilt graph.
+        edges: u64,
+    },
+    /// A node exhausted its battery and died.
+    NodeDepleted {
+        /// Node id.
+        node: u64,
+    },
+    /// A node was forced down (churn / disruption / kill).
+    NodeDown {
+        /// Node id.
+        node: u64,
+    },
+    /// A node came back up.
+    NodeUp {
+        /// Node id.
+        node: u64,
+    },
+    /// A jammer was switched on or off.
+    JammerSet {
+        /// Index into the scenario's jammer list.
+        index: u64,
+        /// New state.
+        on: bool,
+    },
+
+    // -- core ------------------------------------------------------------
+    /// Discovery + recruitment finished.
+    Recruitment {
+        /// Gray/blue candidates considered.
+        candidates: u64,
+        /// Assets actually recruited.
+        recruited: u64,
+    },
+    /// An execution window closed and its utility was scored.
+    WindowClosed {
+        /// Zero-based window index.
+        window: u64,
+        /// Reports delivered inside the window.
+        delivered: u64,
+        /// Window utility in `[0, 1]`.
+        utility: f64,
+    },
+    /// The repair reflex fired: utility fell below the threshold.
+    RepairTriggered {
+        /// Window that triggered the reflex.
+        window: u64,
+        /// Observed utility that tripped the threshold.
+        utility: f64,
+        /// The configured repair threshold.
+        threshold: f64,
+    },
+    /// A composition repair was computed and deployed.
+    RepairApplied {
+        /// Window in which the repair landed.
+        window: u64,
+        /// Nodes added by the repair.
+        added: u64,
+        /// Whether the repaired composition satisfies the mission.
+        satisfied: bool,
+    },
+
+    // -- synthesis -------------------------------------------------------
+    /// A composition solve completed (on the calling thread).
+    Solve {
+        /// Stable solver name (`"greedy"`, `"anneal"`, …).
+        solver: &'static str,
+        /// Budget steps consumed (coverage evaluations).
+        steps: u64,
+        /// CELF lazy-heap pushes (0 for non-greedy solvers).
+        heap_pushes: u64,
+        /// CELF stale-entry refreshes (0 for non-greedy solvers).
+        heap_refreshes: u64,
+        /// Candidates selected.
+        selected: u64,
+        /// Whether the mission requirement was satisfied.
+        satisfied: bool,
+    },
+    /// One member of a portfolio race finished (reported after join, in
+    /// deterministic member order).
+    PortfolioMember {
+        /// Stable member solver name.
+        member: &'static str,
+        /// Whether this member satisfied the mission.
+        satisfied: bool,
+        /// Cost of the member's composition.
+        cost: f64,
+        /// Candidates the member selected.
+        selected: u64,
+        /// Whether this member's result was chosen as the winner.
+        winner: bool,
+    },
+
+    // -- adapt -----------------------------------------------------------
+    /// An actuation request passed through the §VI safety interlock.
+    Actuation {
+        /// Requesting node id.
+        requester: u64,
+        /// Target actuator id.
+        actuator: u64,
+        /// Stable decision name (`"approved"`, `"withheld_occupied"`,
+        /// `"denied_no_authorization"`).
+        decision: &'static str,
+    },
+    /// One epoch of resource allocation was applied.
+    Allocation {
+        /// Zero-based epoch index.
+        epoch: u64,
+        /// Regions allocated this epoch.
+        regions: u64,
+        /// Samples that hit the saturation penalty this epoch.
+        saturated: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The subsystem this event belongs to.
+    pub fn subsystem(&self) -> Subsystem {
+        match self {
+            TraceEvent::MsgSent { .. }
+            | TraceEvent::MsgDelivered { .. }
+            | TraceEvent::MsgDropped { .. }
+            | TraceEvent::RouteFallback { .. }
+            | TraceEvent::GraphRebuilt { .. }
+            | TraceEvent::NodeDepleted { .. }
+            | TraceEvent::NodeDown { .. }
+            | TraceEvent::NodeUp { .. }
+            | TraceEvent::JammerSet { .. } => Subsystem::Netsim,
+            TraceEvent::Recruitment { .. }
+            | TraceEvent::WindowClosed { .. }
+            | TraceEvent::RepairTriggered { .. }
+            | TraceEvent::RepairApplied { .. } => Subsystem::Core,
+            TraceEvent::Solve { .. } | TraceEvent::PortfolioMember { .. } => Subsystem::Synthesis,
+            TraceEvent::Actuation { .. } | TraceEvent::Allocation { .. } => Subsystem::Adapt,
+        }
+    }
+
+    /// Stable snake-case event name used in the JSONL schema (`"kind"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::MsgSent { .. } => "msg_sent",
+            TraceEvent::MsgDelivered { .. } => "msg_delivered",
+            TraceEvent::MsgDropped { .. } => "msg_dropped",
+            TraceEvent::RouteFallback { .. } => "route_fallback",
+            TraceEvent::GraphRebuilt { .. } => "graph_rebuilt",
+            TraceEvent::NodeDepleted { .. } => "node_depleted",
+            TraceEvent::NodeDown { .. } => "node_down",
+            TraceEvent::NodeUp { .. } => "node_up",
+            TraceEvent::JammerSet { .. } => "jammer_set",
+            TraceEvent::Recruitment { .. } => "recruitment",
+            TraceEvent::WindowClosed { .. } => "window_closed",
+            TraceEvent::RepairTriggered { .. } => "repair_triggered",
+            TraceEvent::RepairApplied { .. } => "repair_applied",
+            TraceEvent::Solve { .. } => "solve",
+            TraceEvent::PortfolioMember { .. } => "portfolio_member",
+            TraceEvent::Actuation { .. } => "actuation",
+            TraceEvent::Allocation { .. } => "allocation",
+        }
+    }
+}
+
+/// One stamped trace record: the sim-time clock at emission, a monotone
+/// per-recorder sequence number, and the event payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time at emission, integer microseconds.
+    pub t_us: u64,
+    /// Monotone sequence number (ties on `t_us` stay ordered).
+    pub seq: u64,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// Appends `v` as a JSON number. `f64` uses Rust's shortest-roundtrip
+/// `Display`, which is deterministic for identical bit patterns; non-
+/// finite values (never produced by the platform) encode as `null`.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Infallible: fmt::Write for String never errors.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_kv_u64(out: &mut String, key: &str, v: u64) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn push_kv_f64(out: &mut String, key: &str, v: f64) {
+    let _ = write!(out, ",\"{key}\":");
+    push_f64(out, v);
+}
+
+fn push_kv_bool(out: &mut String, key: &str, v: bool) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn push_kv_str(out: &mut String, key: &str, v: &str) {
+    // All string payloads are static snake_case names — no escaping
+    // needed, but guard anyway so the encoder can never emit bad JSON.
+    let _ = write!(out, ",\"{key}\":\"");
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl TraceRecord {
+    /// Appends this record as one JSON object + `'\n'` to `out`.
+    ///
+    /// Key order is fixed (`seq`, `t_us`, `sub`, `kind`, then payload
+    /// fields in declaration order) so traces from identical runs are
+    /// byte-identical.
+    pub fn encode_jsonl(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"t_us\":{},\"sub\":\"{}\",\"kind\":\"{}\"",
+            self.seq,
+            self.t_us,
+            self.event.subsystem().as_str(),
+            self.event.kind()
+        );
+        match &self.event {
+            TraceEvent::MsgSent { from, to } | TraceEvent::RouteFallback { from, to } => {
+                push_kv_u64(out, "from", *from);
+                push_kv_u64(out, "to", *to);
+            }
+            TraceEvent::MsgDelivered {
+                from,
+                to,
+                latency_us,
+            } => {
+                push_kv_u64(out, "from", *from);
+                push_kv_u64(out, "to", *to);
+                push_kv_u64(out, "latency_us", *latency_us);
+            }
+            TraceEvent::MsgDropped { from, to, cause } => {
+                push_kv_u64(out, "from", *from);
+                push_kv_u64(out, "to", *to);
+                push_kv_str(out, "cause", cause.as_str());
+            }
+            TraceEvent::GraphRebuilt { nodes, edges } => {
+                push_kv_u64(out, "nodes", *nodes);
+                push_kv_u64(out, "edges", *edges);
+            }
+            TraceEvent::NodeDepleted { node }
+            | TraceEvent::NodeDown { node }
+            | TraceEvent::NodeUp { node } => {
+                push_kv_u64(out, "node", *node);
+            }
+            TraceEvent::JammerSet { index, on } => {
+                push_kv_u64(out, "index", *index);
+                push_kv_bool(out, "on", *on);
+            }
+            TraceEvent::Recruitment {
+                candidates,
+                recruited,
+            } => {
+                push_kv_u64(out, "candidates", *candidates);
+                push_kv_u64(out, "recruited", *recruited);
+            }
+            TraceEvent::WindowClosed {
+                window,
+                delivered,
+                utility,
+            } => {
+                push_kv_u64(out, "window", *window);
+                push_kv_u64(out, "delivered", *delivered);
+                push_kv_f64(out, "utility", *utility);
+            }
+            TraceEvent::RepairTriggered {
+                window,
+                utility,
+                threshold,
+            } => {
+                push_kv_u64(out, "window", *window);
+                push_kv_f64(out, "utility", *utility);
+                push_kv_f64(out, "threshold", *threshold);
+            }
+            TraceEvent::RepairApplied {
+                window,
+                added,
+                satisfied,
+            } => {
+                push_kv_u64(out, "window", *window);
+                push_kv_u64(out, "added", *added);
+                push_kv_bool(out, "satisfied", *satisfied);
+            }
+            TraceEvent::Solve {
+                solver,
+                steps,
+                heap_pushes,
+                heap_refreshes,
+                selected,
+                satisfied,
+            } => {
+                push_kv_str(out, "solver", solver);
+                push_kv_u64(out, "steps", *steps);
+                push_kv_u64(out, "heap_pushes", *heap_pushes);
+                push_kv_u64(out, "heap_refreshes", *heap_refreshes);
+                push_kv_u64(out, "selected", *selected);
+                push_kv_bool(out, "satisfied", *satisfied);
+            }
+            TraceEvent::PortfolioMember {
+                member,
+                satisfied,
+                cost,
+                selected,
+                winner,
+            } => {
+                push_kv_str(out, "member", member);
+                push_kv_bool(out, "satisfied", *satisfied);
+                push_kv_f64(out, "cost", *cost);
+                push_kv_u64(out, "selected", *selected);
+                push_kv_bool(out, "winner", *winner);
+            }
+            TraceEvent::Actuation {
+                requester,
+                actuator,
+                decision,
+            } => {
+                push_kv_u64(out, "requester", *requester);
+                push_kv_u64(out, "actuator", *actuator);
+                push_kv_str(out, "decision", decision);
+            }
+            TraceEvent::Allocation {
+                epoch,
+                regions,
+                saturated,
+            } => {
+                push_kv_u64(out, "epoch", *epoch);
+                push_kv_u64(out, "regions", *regions);
+                push_kv_u64(out, "saturated", *saturated);
+            }
+        }
+        out.push_str("}\n");
+    }
+
+    /// Encodes this record as an owned JSONL line (including `'\n'`).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.encode_jsonl(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_subsystems_are_consistent() {
+        let e = TraceEvent::MsgDropped {
+            from: 1,
+            to: 2,
+            cause: DropCause::NoRoute,
+        };
+        assert_eq!(e.subsystem(), Subsystem::Netsim);
+        assert_eq!(e.kind(), "msg_dropped");
+        for sub in Subsystem::ALL {
+            assert_eq!(Subsystem::parse(sub.as_str()), Some(sub));
+        }
+        assert_eq!(Subsystem::parse("bogus"), None);
+    }
+
+    #[test]
+    fn jsonl_encoding_has_fixed_key_order() {
+        let r = TraceRecord {
+            t_us: 1_500_000,
+            seq: 7,
+            event: TraceEvent::MsgDelivered {
+                from: 3,
+                to: 9,
+                latency_us: 2_250,
+            },
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            "{\"seq\":7,\"t_us\":1500000,\"sub\":\"netsim\",\"kind\":\"msg_delivered\",\
+             \"from\":3,\"to\":9,\"latency_us\":2250}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_floats_use_shortest_roundtrip() {
+        let r = TraceRecord {
+            t_us: 0,
+            seq: 0,
+            event: TraceEvent::WindowClosed {
+                window: 2,
+                delivered: 10,
+                utility: 0.5,
+            },
+        };
+        assert!(r.to_jsonl().contains("\"utility\":0.5"));
+        let nan = TraceRecord {
+            t_us: 0,
+            seq: 0,
+            event: TraceEvent::WindowClosed {
+                window: 0,
+                delivered: 0,
+                utility: f64::NAN,
+            },
+        };
+        assert!(nan.to_jsonl().contains("\"utility\":null"));
+    }
+
+    #[test]
+    fn string_escaping_guards_control_characters() {
+        let mut s = String::new();
+        push_kv_str(&mut s, "k", "a\"b\\c\nd\u{1}");
+        assert_eq!(s, ",\"k\":\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,389 @@
+//! The [`Recorder`] handle threaded through simulator, runtime, solver
+//! and adaptation constructors.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
+
+use crate::event::{DropCause, Subsystem, TraceEvent, TraceRecord};
+use crate::metrics::{
+    MetricsDigest, MetricsRegistry, LATENCY_MS_BOUNDS, SOLVER_STEP_BOUNDS, UTILITY_BOUNDS,
+};
+use crate::sink::{JsonlSink, NullSink, RingHandle, RingSink, TraceSink};
+
+/// Per-subsystem sampling: keep every `n`-th event of a subsystem in
+/// the *trace sink*. `1` keeps everything (default), `0` keeps nothing.
+/// Sampling is a deterministic modulus over the subsystem's emission
+/// count, so the same run always keeps the same events. Metrics are
+/// **not** sampled — every event updates the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingConfig {
+    every_nth: [u32; 4],
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig { every_nth: [1; 4] }
+    }
+}
+
+impl SamplingConfig {
+    /// Keeps every event of every subsystem.
+    pub fn keep_all() -> Self {
+        Self::default()
+    }
+
+    /// Applies the same `every_nth` to all subsystems.
+    pub fn all(n: u32) -> Self {
+        SamplingConfig { every_nth: [n; 4] }
+    }
+
+    /// Sets the sampling interval for one subsystem.
+    pub fn with(mut self, sub: Subsystem, every_nth: u32) -> Self {
+        self.every_nth[sub.slot()] = every_nth;
+        self
+    }
+
+    /// The sampling interval for a subsystem.
+    pub fn interval(&self, sub: Subsystem) -> u32 {
+        self.every_nth[sub.slot()]
+    }
+
+    fn keeps(&self, sub: Subsystem, emitted_before: u64) -> bool {
+        match self.every_nth[sub.slot()] {
+            0 => false,
+            n => emitted_before.is_multiple_of(u64::from(n)),
+        }
+    }
+}
+
+struct Inner {
+    t_us: u64,
+    seq: u64,
+    emitted: [u64; 4],
+    sampling: SamplingConfig,
+    metrics: MetricsRegistry,
+    sink: Box<dyn TraceSink>,
+}
+
+impl Inner {
+    fn record(&mut self, t_us: u64, event: TraceEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        update_metrics(&mut self.metrics, &event);
+        let sub = event.subsystem();
+        let emitted_before = self.emitted[sub.slot()];
+        self.emitted[sub.slot()] += 1;
+        if self.sampling.keeps(sub, emitted_before) {
+            self.sink.accept(&TraceRecord { t_us, seq, event });
+        }
+    }
+}
+
+/// A cheap-to-clone observability handle. Clones share one clock, one
+/// sequence counter, one metrics registry and one sink, so a recorder
+/// handed to the simulator and to the runtime produces a single merged,
+/// deterministically ordered trace.
+///
+/// A *disabled* recorder (the default) is a `None` handle: every
+/// recording site reduces to one branch, which is what keeps the
+/// no-observability configuration at baseline speed.
+///
+/// `Recorder` is intentionally not `Send` (reference-counted): the
+/// portfolio solver's worker threads hand their outcomes back to the
+/// calling thread, which records them after the join in deterministic
+/// member order.
+#[derive(Clone, Default)]
+pub struct Recorder(Option<Rc<RefCell<Inner>>>);
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            None => f.write_str("Recorder(disabled)"),
+            Some(inner) => match inner.try_borrow() {
+                Ok(i) => write!(f, "Recorder(t_us={}, seq={})", i.t_us, i.seq),
+                Err(_) => f.write_str("Recorder(enabled, borrowed)"),
+            },
+        }
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: records nothing, costs one branch per site.
+    pub fn disabled() -> Self {
+        Recorder(None)
+    }
+
+    /// An enabled recorder over an arbitrary sink.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
+        Recorder(Some(Rc::new(RefCell::new(Inner {
+            t_us: 0,
+            seq: 0,
+            emitted: [0; 4],
+            sampling: SamplingConfig::default(),
+            metrics: MetricsRegistry::new(),
+            sink,
+        }))))
+    }
+
+    /// Metrics-only mode: counters/gauges/histograms are kept, trace
+    /// records are discarded ([`NullSink`]).
+    pub fn null() -> Self {
+        Self::with_sink(Box::new(NullSink))
+    }
+
+    /// Records into a bounded in-memory ring; returns the recorder and
+    /// the handle used to read the buffered records back.
+    pub fn memory(capacity: usize) -> (Self, RingHandle) {
+        let (sink, handle) = RingSink::new(capacity);
+        (Self::with_sink(Box::new(sink)), handle)
+    }
+
+    /// Streams JSON lines into `writer` (see [`JsonlSink`]).
+    pub fn jsonl<W: Write + 'static>(writer: W) -> Self {
+        Self::with_sink(Box::new(JsonlSink::new(writer)))
+    }
+
+    /// Replaces the sampling configuration (builder style).
+    pub fn with_sampling(self, sampling: SamplingConfig) -> Self {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().sampling = sampling;
+        }
+        self
+    }
+
+    /// True when this handle actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Advances the shared sim-time clock (integer microseconds).
+    /// Call sites stamp the clock before dispatching events; the clock
+    /// never moves backwards on its own.
+    pub fn set_time_us(&self, t_us: u64) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().t_us = t_us;
+        }
+    }
+
+    /// The current sim-time clock (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.borrow().t_us,
+            None => 0,
+        }
+    }
+
+    /// Records an event at the current sim time.
+    pub fn record(&self, event: TraceEvent) {
+        if let Some(inner) = &self.0 {
+            let mut i = inner.borrow_mut();
+            let t = i.t_us;
+            i.record(t, event);
+        }
+    }
+
+    /// Records an event at an explicit sim time without touching the
+    /// shared clock (used by callers that carry their own timeline,
+    /// e.g. the actuation safety interlock's epoch seconds).
+    pub fn record_at(&self, t_us: u64, event: TraceEvent) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().record(t_us, event);
+        }
+    }
+
+    /// Adds `by` to a named counter (no trace record).
+    pub fn inc(&self, name: &'static str, by: u64) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().metrics.inc(name, by);
+        }
+    }
+
+    /// Sets a named gauge (no trace record).
+    pub fn set_gauge(&self, name: &'static str, v: f64) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().metrics.set_gauge(name, v);
+        }
+    }
+
+    /// Records into a named histogram (no trace record).
+    pub fn observe(&self, name: &'static str, bounds: &[f64], v: f64) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().metrics.observe(name, bounds, v);
+        }
+    }
+
+    /// Freezes the metrics registry ([`MetricsDigest::default`] when
+    /// disabled).
+    pub fn metrics_digest(&self) -> MetricsDigest {
+        match &self.0 {
+            Some(inner) => inner.borrow().metrics.digest(),
+            None => MetricsDigest::default(),
+        }
+    }
+
+    /// Flushes the sink (e.g. the JSONL writer's buffer).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().sink.flush();
+        }
+    }
+}
+
+/// Folds an event into the registry. Every event increments at least
+/// one counter, so the digest alone reconstructs the event mix even
+/// under aggressive trace sampling.
+fn update_metrics(m: &mut MetricsRegistry, event: &TraceEvent) {
+    match event {
+        TraceEvent::MsgSent { .. } => m.inc("netsim.msg_sent", 1),
+        TraceEvent::MsgDelivered { latency_us, .. } => {
+            m.inc("netsim.msg_delivered", 1);
+            m.observe(
+                "netsim.latency_ms",
+                &LATENCY_MS_BOUNDS,
+                *latency_us as f64 / 1_000.0,
+            );
+        }
+        TraceEvent::MsgDropped { cause, .. } => {
+            m.inc("netsim.msg_dropped", 1);
+            let name = match cause {
+                DropCause::NoRoute => "netsim.drop.no_route",
+                DropCause::Channel => "netsim.drop.channel",
+                DropCause::Dead => "netsim.drop.dead",
+                DropCause::Asleep => "netsim.drop.asleep",
+            };
+            m.inc(name, 1);
+        }
+        TraceEvent::RouteFallback { .. } => m.inc("netsim.route_fallback", 1),
+        TraceEvent::GraphRebuilt { .. } => m.inc("netsim.graph_rebuilds", 1),
+        TraceEvent::NodeDepleted { .. } => m.inc("netsim.node_depleted", 1),
+        TraceEvent::NodeDown { .. } => m.inc("netsim.node_down", 1),
+        TraceEvent::NodeUp { .. } => m.inc("netsim.node_up", 1),
+        TraceEvent::JammerSet { .. } => m.inc("netsim.jammer_toggles", 1),
+        TraceEvent::Recruitment { recruited, .. } => {
+            m.inc("core.recruitments", 1);
+            m.set_gauge("core.recruited", *recruited as f64);
+        }
+        TraceEvent::WindowClosed { utility, .. } => {
+            m.inc("core.windows", 1);
+            m.observe("core.window_utility", &UTILITY_BOUNDS, *utility);
+        }
+        TraceEvent::RepairTriggered { .. } => m.inc("core.repairs_triggered", 1),
+        TraceEvent::RepairApplied { .. } => m.inc("core.repairs_applied", 1),
+        TraceEvent::Solve { steps, .. } => {
+            m.inc("synthesis.solves", 1);
+            m.observe(
+                "synthesis.solve_steps",
+                &SOLVER_STEP_BOUNDS,
+                *steps as f64,
+            );
+        }
+        TraceEvent::PortfolioMember { .. } => m.inc("synthesis.portfolio_members", 1),
+        TraceEvent::Actuation { decision, .. } => {
+            m.inc("adapt.actuations", 1);
+            let name = match *decision {
+                "approved" => "adapt.actuation.approved",
+                "withheld_occupied" => "adapt.actuation.withheld_occupied",
+                "denied_no_authorization" => "adapt.actuation.denied_no_authorization",
+                _ => "adapt.actuation.other",
+            };
+            m.inc(name, 1);
+        }
+        TraceEvent::Allocation { .. } => m.inc("adapt.alloc_epochs", 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.set_time_us(10);
+        r.record(TraceEvent::MsgSent { from: 1, to: 2 });
+        r.inc("x", 1);
+        assert_eq!(r.now_us(), 0);
+        assert!(r.metrics_digest().is_empty());
+    }
+
+    #[test]
+    fn clones_share_clock_sequence_and_metrics() {
+        let (a, ring) = Recorder::memory(16);
+        let b = a.clone();
+        a.set_time_us(5);
+        b.record(TraceEvent::MsgSent { from: 1, to: 2 });
+        a.record(TraceEvent::MsgSent { from: 2, to: 3 });
+        let records = ring.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].t_us, 5);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[1].seq, 1);
+        assert_eq!(a.metrics_digest().counter("netsim.msg_sent"), Some(2));
+        assert_eq!(a.metrics_digest(), b.metrics_digest());
+    }
+
+    #[test]
+    fn sampling_gates_sink_but_not_metrics() {
+        let sampling = SamplingConfig::keep_all().with(Subsystem::Netsim, 3);
+        let (r, ring) = Recorder::memory(64);
+        let r = r.with_sampling(sampling);
+        for i in 0..9 {
+            r.record(TraceEvent::MsgSent { from: i, to: 0 });
+        }
+        // Events 0, 3, 6 kept.
+        assert_eq!(ring.len(), 3);
+        assert_eq!(r.metrics_digest().counter("netsim.msg_sent"), Some(9));
+        // Other subsystems are unaffected.
+        r.record(TraceEvent::RepairTriggered {
+            window: 0,
+            utility: 0.1,
+            threshold: 0.5,
+        });
+        assert_eq!(ring.len(), 4);
+    }
+
+    #[test]
+    fn sampling_zero_disables_a_subsystem_trace() {
+        let (r, ring) = Recorder::memory(8);
+        let r = r.with_sampling(SamplingConfig::keep_all().with(Subsystem::Netsim, 0));
+        r.record(TraceEvent::MsgSent { from: 1, to: 2 });
+        assert!(ring.is_empty());
+        assert_eq!(r.metrics_digest().counter("netsim.msg_sent"), Some(1));
+    }
+
+    #[test]
+    fn record_at_leaves_clock_untouched() {
+        let (r, ring) = Recorder::memory(8);
+        r.set_time_us(100);
+        r.record_at(
+            7_000_000,
+            TraceEvent::Actuation {
+                requester: 1,
+                actuator: 2,
+                decision: "approved",
+            },
+        );
+        assert_eq!(r.now_us(), 100);
+        assert_eq!(ring.records()[0].t_us, 7_000_000);
+        assert_eq!(
+            r.metrics_digest().counter("adapt.actuation.approved"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn null_recorder_keeps_metrics_only() {
+        let r = Recorder::null();
+        r.record(TraceEvent::MsgDropped {
+            from: 1,
+            to: 2,
+            cause: DropCause::Channel,
+        });
+        let d = r.metrics_digest();
+        assert_eq!(d.counter("netsim.msg_dropped"), Some(1));
+        assert_eq!(d.counter("netsim.drop.channel"), Some(1));
+    }
+}

@@ -17,9 +17,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::problem::CompositionProblem;
-use crate::solvers::{greedy_extend, CompositionResult, Solver};
+use crate::solvers::{greedy_extend, CompositionResult, SolveStats, Solver};
 
-/// Outcome of a repair pass.
+/// Outcome of a repair pass. Selection-determined only — wall-clock
+/// timing lives in the separate channel of [`repair_with_timed`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RepairResult {
     /// The repaired selection (survivors + replacements), sorted.
@@ -30,8 +31,6 @@ pub struct RepairResult {
     pub coverage: f64,
     /// Whether the requirement is met again.
     pub satisfied: bool,
-    /// Repair wall-clock time in milliseconds.
-    pub elapsed_ms: f64,
 }
 
 /// Repairs `previous` after the nodes in `failed` (by id) are lost, using
@@ -62,7 +61,6 @@ pub fn repair_with(
     failed: &BTreeSet<NodeId>,
     solver: Solver,
 ) -> RepairResult {
-    let start = Instant::now(); // lint: allow(wall-clock) — reporting only: elapsed_ms never influences the repair
     let survivors: Vec<usize> = previous
         .selected
         .iter()
@@ -95,7 +93,7 @@ pub fn repair_with(
             }
             added
         }
-        _ => greedy_extend(problem, &mut counter, eligible),
+        _ => greedy_extend(problem, &mut counter, eligible, &mut SolveStats::default()),
     };
     let mut selected = survivors;
     selected.extend_from_slice(&added);
@@ -106,8 +104,21 @@ pub fn repair_with(
         selected,
         added,
         coverage,
-        elapsed_ms: start.elapsed().as_secs_f64() * 1_000.0,
     }
+}
+
+/// [`repair_with`] plus a wall-clock timing channel in milliseconds —
+/// the reporting companion benches and the runtime's `WallClockReport`
+/// use. The timing can never influence the repair itself.
+pub fn repair_with_timed(
+    problem: &CompositionProblem,
+    previous: &CompositionResult,
+    failed: &BTreeSet<NodeId>,
+    solver: Solver,
+) -> (RepairResult, f64) {
+    let start = Instant::now(); // lint: allow(wall-clock) — reporting only: the timing channel never influences the repair
+    let result = repair_with(problem, previous, failed, solver);
+    (result, start.elapsed().as_secs_f64() * 1_000.0)
 }
 
 #[cfg(test)]

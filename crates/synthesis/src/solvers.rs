@@ -17,13 +17,16 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
+use iobt_obs::{Recorder, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::coverage::CoverageCounter;
 use crate::problem::CompositionProblem;
 
-/// A solver's output.
+/// A solver's output. Contains only selection-determined fields, so two
+/// solves of the same `(problem, solver)` compare equal; wall-clock
+/// timing lives outside the result (see [`Solver::solve_timed`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompositionResult {
     /// Selected candidate indices, sorted ascending.
@@ -34,8 +37,49 @@ pub struct CompositionResult {
     pub cost: f64,
     /// Whether the mission requirement was met.
     pub satisfied: bool,
-    /// Wall-clock solve time in milliseconds.
-    pub elapsed_ms: f64,
+}
+
+/// Deterministic work counters accumulated during a solve: how many
+/// budget steps (coverage-gain evaluations / move proposals / subset
+/// evaluations) were spent and how the CELF lazy heap behaved. Stats are
+/// pure functions of `(problem, solver)` — they feed the observability
+/// layer, never the selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Solver steps consumed (the unit [`SolverBudget`] counts).
+    pub steps: u64,
+    /// Entries pushed onto the CELF lazy heap (initial + refreshed).
+    pub heap_pushes: u64,
+    /// Stale heap entries that had to be re-evaluated.
+    pub heap_refreshes: u64,
+}
+
+impl SolveStats {
+    /// Accumulates another stats block (used by the portfolio to sum its
+    /// members).
+    pub fn absorb(&mut self, other: SolveStats) {
+        self.steps += other.steps;
+        self.heap_pushes += other.heap_pushes;
+        self.heap_refreshes += other.heap_refreshes;
+    }
+}
+
+/// How one member of a portfolio race fared. Reported in member order
+/// (never finish order), so the list is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberOutcome {
+    /// Stable member label (`"greedy"`, `"anneal_a"`, …).
+    pub member: &'static str,
+    /// Whether the member satisfied the mission requirement.
+    pub satisfied: bool,
+    /// Cost of the member's selection.
+    pub cost: f64,
+    /// Number of candidates the member selected.
+    pub selected: usize,
+    /// Whether this member's selection was adopted as the winner.
+    pub winner: bool,
+    /// The member's own work counters.
+    pub stats: SolveStats,
 }
 
 /// A deterministic computation budget for the randomized/enumerative
@@ -46,9 +90,9 @@ pub struct CompositionResult {
 /// same seed could afford 10k annealing moves on one run and 9k on the
 /// next, and select different nodes. Step budgets keep every solve
 /// bit-reproducible for a fixed `(problem, budget, seed)`. Wall-clock
-/// appears only in [`CompositionResult::elapsed_ms`], which is pure
-/// reporting and never feeds back into a selection (`iobt-lint` rule R2
-/// enforces this).
+/// appears only in the timing channel of [`Solver::solve_timed`], which
+/// is pure reporting and never feeds back into a selection (`iobt-lint`
+/// rule R2 enforces this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverBudget {
     steps: u64,
@@ -125,22 +169,89 @@ impl std::fmt::Display for Solver {
 }
 
 impl Solver {
+    /// Stable lower-case solver family name (used in trace events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Solver::Greedy => "greedy",
+            Solver::Anneal { .. } => "anneal",
+            Solver::Random { .. } => "random",
+            Solver::Exhaustive => "exhaustive",
+            Solver::Portfolio { .. } => "portfolio",
+        }
+    }
+
     /// Runs the solver on a problem instance.
     pub fn solve(&self, problem: &CompositionProblem) -> CompositionResult {
-        let start = Instant::now(); // lint: allow(wall-clock) — reporting only: elapsed_ms never influences a selection
+        self.solve_inner(problem).0
+    }
+
+    /// Runs the solver and returns its deterministic work counters
+    /// alongside the result.
+    pub fn solve_with_stats(&self, problem: &CompositionProblem) -> (CompositionResult, SolveStats) {
+        let (result, stats, _) = self.solve_inner(problem);
+        (result, stats)
+    }
+
+    /// Runs the solver and records a [`TraceEvent::Solve`] (plus one
+    /// [`TraceEvent::PortfolioMember`] per member, in member order) on
+    /// `recorder`. Recording happens on the calling thread after any
+    /// worker threads have joined, so the trace order is deterministic.
+    pub fn solve_observed(
+        &self,
+        problem: &CompositionProblem,
+        recorder: &Recorder,
+    ) -> CompositionResult {
+        let (result, stats, members) = self.solve_inner(problem);
+        for m in &members {
+            recorder.record(TraceEvent::PortfolioMember {
+                member: m.member,
+                satisfied: m.satisfied,
+                cost: m.cost,
+                selected: m.selected as u64,
+                winner: m.winner,
+            });
+        }
+        recorder.record(TraceEvent::Solve {
+            solver: self.name(),
+            steps: stats.steps,
+            heap_pushes: stats.heap_pushes,
+            heap_refreshes: stats.heap_refreshes,
+            selected: result.selected.len() as u64,
+            satisfied: result.satisfied,
+        });
+        result
+    }
+
+    /// Runs the solver and reports the wall-clock time it took, in
+    /// milliseconds. The timing is a reporting channel only — it is not
+    /// part of [`CompositionResult`] and can never influence a selection.
+    pub fn solve_timed(&self, problem: &CompositionProblem) -> (CompositionResult, f64) {
+        let start = Instant::now(); // lint: allow(wall-clock) — reporting only: the timing channel never influences a selection
+        let result = self.solve(problem);
+        (result, start.elapsed().as_secs_f64() * 1_000.0)
+    }
+
+    fn solve_inner(
+        &self,
+        problem: &CompositionProblem,
+    ) -> (CompositionResult, SolveStats, Vec<MemberOutcome>) {
+        let mut stats = SolveStats::default();
         let mut selected = match *self {
-            Solver::Greedy => greedy(problem),
-            Solver::Anneal { iterations, seed } => {
-                anneal(problem, SolverBudget::steps(iterations as u64), seed)
-            }
-            Solver::Random { seed } => random_baseline(problem, seed),
-            Solver::Exhaustive => exhaustive(problem),
+            Solver::Greedy => greedy(problem, &mut stats),
+            Solver::Anneal { iterations, seed } => anneal(
+                problem,
+                SolverBudget::steps(iterations as u64),
+                seed,
+                &mut stats,
+            ),
+            Solver::Random { seed } => random_baseline(problem, seed, &mut stats),
+            Solver::Exhaustive => exhaustive(problem, &mut stats),
             Solver::Portfolio { iterations, seed } => {
-                return portfolio(problem, iterations, seed, start);
+                return portfolio(problem, iterations, seed);
             }
         };
         selected.sort_unstable();
-        finish(problem, selected, start)
+        (finish(problem, selected), stats, Vec::new())
     }
 
     /// The member solvers a [`Solver::Portfolio`] with these parameters
@@ -164,11 +275,11 @@ impl Solver {
     }
 }
 
-fn finish(
-    problem: &CompositionProblem,
-    selected: Vec<usize>,
-    start: Instant,
-) -> CompositionResult {
+/// Stable labels for the five portfolio members, aligned with
+/// [`Solver::portfolio_members`] order.
+const PORTFOLIO_MEMBER_LABELS: [&str; 5] = ["greedy", "anneal_a", "anneal_b", "anneal_c", "random"];
+
+pub(crate) fn finish(problem: &CompositionProblem, selected: Vec<usize>) -> CompositionResult {
     let coverage = problem.coverage_fraction(&selected);
     let cost = problem.cost(&selected);
     CompositionResult {
@@ -176,7 +287,6 @@ fn finish(
         selected,
         coverage,
         cost,
-        elapsed_ms: start.elapsed().as_secs_f64() * 1_000.0,
     }
 }
 
@@ -242,6 +352,7 @@ pub(crate) fn greedy_extend(
     problem: &CompositionProblem,
     counter: &mut CoverageCounter,
     eligible: impl Fn(usize) -> bool,
+    stats: &mut SolveStats,
 ) -> Vec<usize> {
     let needed = problem.pairs_needed();
     let mut heap = BinaryHeap::with_capacity(problem.candidates.len());
@@ -249,8 +360,10 @@ pub(crate) fn greedy_extend(
         if !eligible(i) {
             continue;
         }
+        stats.steps += 1;
         let gain = counter.gain(&cand.covers);
         if gain > 0 {
+            stats.heap_pushes += 1;
             heap.push(CelfEntry {
                 gain,
                 cost: cand.cost,
@@ -271,8 +384,11 @@ pub(crate) fn greedy_extend(
             }
             // Stale upper bound: refresh and reinsert (zero gains are
             // dropped — submodularity says they can never recover).
+            stats.steps += 1;
+            stats.heap_refreshes += 1;
             let gain = counter.gain(&problem.candidates[top.idx].covers);
             if gain > 0 {
+                stats.heap_pushes += 1;
                 heap.push(CelfEntry {
                     gain,
                     stamp,
@@ -289,9 +405,9 @@ pub(crate) fn greedy_extend(
 
 /// Greedy marginal-gain-per-cost selection (lazy CELF evaluation). Stops
 /// when the requirement is met or no candidate adds coverage.
-fn greedy(problem: &CompositionProblem) -> Vec<usize> {
+fn greedy(problem: &CompositionProblem, stats: &mut SolveStats) -> Vec<usize> {
     let mut counter = problem.counter_for(&[]);
-    greedy_extend(problem, &mut counter, |_| true)
+    greedy_extend(problem, &mut counter, |_| true, stats)
 }
 
 /// Reference greedy: full rescan of every candidate per selection, using
@@ -340,13 +456,18 @@ pub fn greedy_scan(problem: &CompositionProblem) -> Vec<usize> {
 /// Move deltas are evaluated incrementally against a [`CoverageCounter`]
 /// — `O(pairs the node covers)` per proposal instead of re-scoring the
 /// whole selection.
-fn anneal(problem: &CompositionProblem, mut budget: SolverBudget, seed: u64) -> Vec<usize> {
+fn anneal(
+    problem: &CompositionProblem,
+    mut budget: SolverBudget,
+    seed: u64,
+    stats: &mut SolveStats,
+) -> Vec<usize> {
     let n = problem.candidates.len();
     if n == 0 {
         return Vec::new();
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut current = greedy(problem);
+    let mut current = greedy(problem, stats);
     let mut in_set = vec![false; n];
     for &i in &current {
         in_set[i] = true;
@@ -364,6 +485,7 @@ fn anneal(problem: &CompositionProblem, mut budget: SolverBudget, seed: u64) -> 
     let mut temperature = 5.0f64;
     let cooling = 0.995f64;
     while budget.consume() {
+        stats.steps += 1;
         // Propose a move and score it without applying.
         let add = current.is_empty() || rng.gen::<f64>() < 0.5;
         let (idx, pos, proposed_score) = if add {
@@ -409,7 +531,7 @@ fn anneal(problem: &CompositionProblem, mut budget: SolverBudget, seed: u64) -> 
 
 /// Adds uniformly random unused candidates until the requirement is met
 /// or everything is selected.
-fn random_baseline(problem: &CompositionProblem, seed: u64) -> Vec<usize> {
+fn random_baseline(problem: &CompositionProblem, seed: u64, stats: &mut SolveStats) -> Vec<usize> {
     let n = problem.candidates.len();
     if n == 0 {
         return Vec::new();
@@ -428,6 +550,7 @@ fn random_baseline(problem: &CompositionProblem, seed: u64) -> Vec<usize> {
         if counter.satisfied() >= needed {
             break;
         }
+        stats.steps += 1;
         counter.add(&problem.candidates[i].covers);
         selected.push(i);
     }
@@ -440,13 +563,13 @@ const EXHAUSTIVE_BUDGET: SolverBudget = SolverBudget::steps(1 << 20);
 
 /// Exact minimum-cost satisfying subset by subset enumeration. Falls back
 /// to greedy when the enumeration would blow [`EXHAUSTIVE_BUDGET`].
-fn exhaustive(problem: &CompositionProblem) -> Vec<usize> {
+fn exhaustive(problem: &CompositionProblem, stats: &mut SolveStats) -> Vec<usize> {
     let n = problem.candidates.len();
     if n == 0 {
         return Vec::new();
     }
     if n >= 64 || !EXHAUSTIVE_BUDGET.covers(1u64 << n) {
-        return greedy(problem);
+        return greedy(problem, stats);
     }
     // The empty selection is valid when the requirement is trivially met
     // (e.g. required fraction zero).
@@ -455,6 +578,7 @@ fn exhaustive(problem: &CompositionProblem) -> Vec<usize> {
     }
     let mut best: Option<(f64, Vec<usize>)> = None;
     for mask in 1u32..(1u32 << n) {
+        stats.steps += 1;
         let selection: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
         let cost = problem.cost(&selection);
         if let Some((bc, _)) = &best {
@@ -466,7 +590,10 @@ fn exhaustive(problem: &CompositionProblem) -> Vec<usize> {
             best = Some((cost, selection));
         }
     }
-    best.map(|(_, s)| s).unwrap_or_else(|| greedy(problem))
+    match best {
+        Some((_, s)) => s,
+        None => greedy(problem, stats),
+    }
 }
 
 /// Races the portfolio members on scoped threads and picks the winner
@@ -476,13 +603,12 @@ fn portfolio(
     problem: &CompositionProblem,
     iterations: usize,
     seed: u64,
-    start: Instant,
-) -> CompositionResult {
+) -> (CompositionResult, SolveStats, Vec<MemberOutcome>) {
     let members = Solver::portfolio_members(iterations, seed);
-    let results: Vec<CompositionResult> = std::thread::scope(|scope| {
+    let results: Vec<(CompositionResult, SolveStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = members
             .iter()
-            .map(|member| scope.spawn(move || member.solve(problem)))
+            .map(|member| scope.spawn(move || member.solve_with_stats(problem)))
             .collect();
         // Joining in spawn order keeps the result list aligned with
         // `members` regardless of which thread finishes first.
@@ -492,23 +618,44 @@ fn portfolio(
             .map(|h| h.join().expect("portfolio member panicked"))
             .collect()
     });
-    let mut winner: Option<&CompositionResult> = None;
-    for r in &results {
+    let mut winner: Option<usize> = None;
+    for (i, (r, _)) in results.iter().enumerate() {
         let better = match winner {
             None => true,
-            Some(w) => match (r.satisfied, w.satisfied) {
-                (true, false) => true,
-                (false, true) => false,
-                (true, true) => r.cost < w.cost,
-                (false, false) => r.coverage > w.coverage,
-            },
+            Some(w) => {
+                let w = &results[w].0;
+                match (r.satisfied, w.satisfied) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    (true, true) => r.cost < w.cost,
+                    (false, false) => r.coverage > w.coverage,
+                }
+            }
         };
         if better {
-            winner = Some(r);
+            winner = Some(i);
         }
     }
-    let selected = winner.map(|w| w.selected.clone()).unwrap_or_default();
-    finish(problem, selected, start)
+    let mut stats = SolveStats::default();
+    let outcomes: Vec<MemberOutcome> = results
+        .iter()
+        .enumerate()
+        .map(|(i, (r, s))| {
+            stats.absorb(*s);
+            MemberOutcome {
+                member: PORTFOLIO_MEMBER_LABELS.get(i).copied().unwrap_or("extra"),
+                satisfied: r.satisfied,
+                cost: r.cost,
+                selected: r.selected.len(),
+                winner: winner == Some(i),
+                stats: *s,
+            }
+        })
+        .collect();
+    let selected = winner
+        .map(|w| results[w].0.selected.clone())
+        .unwrap_or_default();
+    (finish(problem, selected), stats, outcomes)
 }
 
 #[cfg(test)]
@@ -645,7 +792,7 @@ mod tests {
                 .build();
             let p = CompositionProblem::from_mission(&mission, &specs, 6);
             assert_eq!(
-                greedy(&p),
+                greedy(&p, &mut SolveStats::default()),
                 greedy_scan(&p),
                 "CELF must match the scan reference (seed {seed})"
             );
@@ -765,7 +912,7 @@ mod tests {
                     .min_trust(0.3)
                     .build();
                 let p = CompositionProblem::from_mission(&mission, &specs, 4);
-                prop_assert_eq!(greedy(&p), greedy_scan(&p));
+                prop_assert_eq!(greedy(&p, &mut SolveStats::default()), greedy_scan(&p));
             }
 
             /// Annealing never produces an unsatisfied result when greedy
@@ -820,13 +967,13 @@ mod tests {
             nodes.push(node_at(i, (i * 13 % 300) as f64, (i * 29 % 300) as f64, 40.0));
         }
         let p = CompositionProblem::from_mission(&grid_mission(1, 0.95), &nodes, 5);
-        let a = anneal(&p, SolverBudget::steps(1_000), 7);
-        let b = anneal(&p, SolverBudget::steps(1_000), 7);
+        let a = anneal(&p, SolverBudget::steps(1_000), 7, &mut SolveStats::default());
+        let b = anneal(&p, SolverBudget::steps(1_000), 7, &mut SolveStats::default());
         assert_eq!(a, b, "same budget and seed, same trajectory");
         // A different budget is allowed to land elsewhere, but must itself
         // be reproducible.
-        let c = anneal(&p, SolverBudget::steps(250), 7);
-        let d = anneal(&p, SolverBudget::steps(250), 7);
+        let c = anneal(&p, SolverBudget::steps(250), 7, &mut SolveStats::default());
+        let d = anneal(&p, SolverBudget::steps(250), 7, &mut SolveStats::default());
         assert_eq!(c, d);
     }
 

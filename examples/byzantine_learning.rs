@@ -6,7 +6,7 @@
 //! cargo run --release --example byzantine_learning
 //! ```
 
-use iobt::learning::prelude::*;
+use iobt::prelude::*;
 
 fn main() {
     let d = logistic_dataset(2_000, 8, 5.0, 1);

@@ -7,12 +7,7 @@
 //! cargo run --release --example command_intent
 //! ```
 
-use iobt::adapt::{
-    ActuationController, ActuationDecision, HumanAuthorization, IntentGame,
-};
-use iobt::core::prelude::*;
-use iobt::synthesis::Solver;
-use iobt::types::prelude::*;
+use iobt::prelude::*;
 
 fn main() {
     // 1. Intent decomposition: three objectives with weights 6/3/1; forty
@@ -45,12 +40,7 @@ fn main() {
         .coverage_fraction(0.8)
         .min_trust(0.3)
         .build();
-    let plan = iobt::core::allocate_missions(
-        &specs,
-        &[surveillance, evacuation],
-        6,
-        Solver::Greedy,
-    );
+    let plan = allocate_missions(&specs, &[surveillance, evacuation], 6, Solver::Greedy);
     for a in &plan.allocations {
         println!(
             "  {} [{}]: {} assets, coverage {:.0}% (standalone would be {:.0}%)",
@@ -70,7 +60,8 @@ fn main() {
     // 3. Safety: a demolition request near a damaged building — §VI's
     //    example — stays behind the human-authority and occupancy gates.
     println!("\n-- actuation interlocks (§VI) --");
-    let mut safety = ActuationController::new(0.3, 60.0);
+    let (recorder, trace) = Recorder::memory(64);
+    let mut safety = ActuationController::new(0.3, 60.0).with_recorder(recorder);
     let robot = NodeId::new(42);
     let show = |d: ActuationDecision| match d {
         ActuationDecision::Approved => "APPROVED",
@@ -90,5 +81,9 @@ fn main() {
     println!("  t=25s  authorized but zone occupied : {}", show(d));
     let d = safety.request(robot, ActuatorKind::Demolition, 1, 300.0);
     println!("  t=300s occupancy decayed            : {}", show(d));
-    println!("  audit log holds {} entries", safety.audit_log().len());
+    println!(
+        "  audit log holds {} entries, trace holds {} actuation events",
+        safety.audit_log().len(),
+        trace.records().len()
+    );
 }

@@ -4,29 +4,49 @@
 //!
 //! ```sh
 //! cargo run --release --example evacuation
+//! # Write the adaptive run's full JSONL trace for offline analysis:
+//! cargo run --release --example evacuation -- --trace evacuation.jsonl
 //! ```
 
-use iobt::core::prelude::*;
-use iobt::netsim::{SimDuration, SimTime};
+use std::fs::File;
+use std::io::BufWriter;
 
-fn run(adaptive: bool) -> MissionReport {
+use iobt::prelude::*;
+
+fn run(adaptive: bool, recorder: Recorder) -> MissionReport {
     let mut scenario = urban_evacuation(220, 7);
     scenario.disruptions = vec![Disruption::JammerOn {
         at: SimTime::from_secs_f64(60.0),
         index: 0,
     }];
-    let config = RunConfig {
-        duration: SimDuration::from_secs_f64(180.0),
-        adaptive,
-        ..RunConfig::default()
-    };
+    let config = RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(180.0))
+        .adaptive(adaptive)
+        .recorder(recorder)
+        .build();
     run_mission(&scenario, &config)
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1));
+    let recorder = match trace_path {
+        Some(path) => match File::create(path) {
+            Ok(file) => Recorder::jsonl(BufWriter::new(file)),
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => Recorder::disabled(),
+    };
+
     println!("urban evacuation, 220 nodes, jammer fires at t=60 s\n");
-    let adaptive = run(true);
-    let static_plan = run(false);
+    let adaptive = run(true, recorder.clone());
+    let static_plan = run(false, Recorder::disabled());
 
     println!("{:<8} {:^22} {:^22}", "window", "adaptive", "static plan");
     for (a, s) in adaptive.windows.iter().zip(&static_plan.windows) {
@@ -54,6 +74,16 @@ fn main() {
         "repairs          : adaptive {} vs static {}",
         adaptive.repairs, static_plan.repairs
     );
+    if let Some(path) = trace_path {
+        recorder.flush();
+        let digest = recorder.metrics_digest();
+        println!(
+            "\ntrace            : {} sends / {} deliveries traced -> {path} \
+             (inspect with `iobt-trace --summary {path}`)",
+            digest.counter("netsim.msg_sent").unwrap_or(0),
+            digest.counter("netsim.msg_delivered").unwrap_or(0),
+        );
+    }
     println!(
         "\nThe adaptive runtime notices selected sensors going silent under \
          the jammer\nand re-covers their cells from spare assets outside the \

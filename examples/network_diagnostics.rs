@@ -7,7 +7,7 @@
 //! cargo run --release --example network_diagnostics
 //! ```
 
-use iobt::tomography::prelude::*;
+use iobt::prelude::*;
 
 fn main() {
     // A 35-node tactical mesh: random connected graph with redundancy.

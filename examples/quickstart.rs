@@ -5,8 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use iobt::core::prelude::*;
-use iobt::netsim::SimDuration;
+use iobt::prelude::*;
 
 fn main() {
     // A persistent-surveillance operation over a 3 km sector with 250
@@ -20,10 +19,9 @@ fn main() {
         scenario.catalog.affiliation_counts()
     );
 
-    let config = RunConfig {
-        duration: SimDuration::from_secs_f64(120.0),
-        ..RunConfig::default()
-    };
+    let config = RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(120.0))
+        .build();
     let report = run_mission(&scenario, &config);
 
     println!("\n--- mission report ---");

@@ -6,7 +6,7 @@
 //! cargo run --release --example social_sensing
 //! ```
 
-use iobt::truth::prelude::*;
+use iobt::prelude::*;
 
 fn main() {
     // 80 civilian sources report on 150 binary claims ("street X blocked",

@@ -1,8 +1,7 @@
 //! Integration: the adaptive reflexes measurably help under disruption
 //! (netsim + discovery + synthesis + adapt working together).
 
-use iobt::core::prelude::*;
-use iobt::netsim::{SimDuration, SimTime};
+use iobt::prelude::*;
 
 fn jammed_evacuation(seed: u64) -> Scenario {
     let mut scenario = urban_evacuation(220, seed);
@@ -14,11 +13,10 @@ fn jammed_evacuation(seed: u64) -> Scenario {
 }
 
 fn config(adaptive: bool) -> RunConfig {
-    RunConfig {
-        duration: SimDuration::from_secs_f64(150.0),
-        adaptive,
-        ..RunConfig::default()
-    }
+    RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(150.0))
+        .adaptive(adaptive)
+        .build()
 }
 
 #[test]
@@ -62,11 +60,10 @@ fn node_attrition_triggers_repair_in_surveillance() {
     );
     let report = run_mission(
         &scenario,
-        &RunConfig {
-            duration: SimDuration::from_secs_f64(120.0),
-            repair_threshold: 0.95,
-            ..RunConfig::default()
-        },
+        &RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(120.0))
+            .repair_threshold(0.95)
+            .build(),
     );
     // The killed nodes may or may not be in the selected composition, so
     // the repair count is scenario-dependent; what must hold: the run

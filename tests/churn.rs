@@ -1,9 +1,7 @@
 //! Integration: churn as a normal operating regime (§III) — stochastic
 //! failure processes against the mission runtime and the repair reflex.
 
-use iobt::core::prelude::*;
-use iobt::netsim::{ChurnProcess, SimDuration, SimTime};
-use iobt::types::{Affiliation, NodeId};
+use iobt::prelude::*;
 
 /// Applies a churn plan to a scenario as explicit disruptions (failures
 /// only — battle damage).
@@ -25,12 +23,11 @@ fn scenario_with_churn(seed: u64, mtbf_s: f64) -> Scenario {
 }
 
 fn config(adaptive: bool) -> RunConfig {
-    RunConfig {
-        duration: SimDuration::from_secs_f64(120.0),
-        adaptive,
-        repair_threshold: 0.9,
-        ..RunConfig::default()
-    }
+    RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(120.0))
+        .adaptive(adaptive)
+        .repair_threshold(0.9)
+        .build()
 }
 
 #[test]

@@ -2,13 +2,7 @@
 //! populations — multi-mission arbitration, intent games, human trust
 //! calibration, and safety interlocks.
 
-use iobt::adapt::{ActuationController, ActuationDecision, HumanAuthorization, IntentGame};
-use iobt::core::prelude::*;
-use iobt::core::{calibrate_human_trust, diagnose_failures, NetworkModel};
-use iobt::netsim::Simulator;
-use iobt::synthesis::Solver;
-use iobt::truth::{discover, EmConfig, ScenarioBuilder};
-use iobt::types::prelude::*;
+use iobt::prelude::*;
 
 #[test]
 fn critical_mission_outranks_normal_on_a_real_population() {
@@ -26,12 +20,7 @@ fn critical_mission_outranks_normal_on_a_real_population() {
         .coverage_fraction(0.7)
         .min_trust(0.3)
         .build();
-    let plan = iobt::core::allocate_missions(
-        &specs,
-        &[normal.clone(), critical.clone()],
-        6,
-        Solver::Greedy,
-    );
+    let plan = allocate_missions(&specs, &[normal.clone(), critical.clone()], 6, Solver::Greedy);
     assert_eq!(plan.allocations[0].mission.id(), critical.id());
     // The first-served mission never pays a contention cost.
     let first = &plan.allocations[0];

@@ -1,12 +1,8 @@
 //! Integration: every public entry point is reproducible given the same
 //! seeds — the property all experiment harnesses rely on.
 
-use iobt::core::prelude::*;
-use iobt::learning::prelude::*;
-use iobt::netsim::SimDuration;
-use iobt::truth::prelude::*;
+use iobt::prelude::*;
 use iobt::types::catalog::PopulationBuilder;
-use iobt::types::Rect;
 
 #[test]
 fn populations_are_reproducible() {
@@ -33,10 +29,9 @@ fn scenarios_are_reproducible() {
 #[test]
 fn missions_are_reproducible() {
     let scenario = urban_evacuation(120, 21);
-    let cfg = RunConfig {
-        duration: SimDuration::from_secs_f64(50.0),
-        ..RunConfig::default()
-    };
+    let cfg = RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(50.0))
+        .build();
     let a = run_mission(&scenario, &cfg);
     let b = run_mission(&scenario, &cfg);
     assert_eq!(a.windows, b.windows);
@@ -58,10 +53,9 @@ fn missions_are_reproducible() {
 #[test]
 fn f1_end_state_digest_is_identical_across_runs() {
     let scenario = urban_evacuation(120, 21);
-    let cfg = RunConfig {
-        duration: SimDuration::from_secs_f64(50.0),
-        ..RunConfig::default()
-    };
+    let cfg = RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(50.0))
+        .build();
     let a = run_mission(&scenario, &cfg);
     let b = run_mission(&scenario, &cfg);
 

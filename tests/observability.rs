@@ -1,0 +1,141 @@
+//! Integration: the observability layer is itself deterministic — the
+//! property that makes traces diffable across runs, machines, and CI.
+
+use iobt::prelude::*;
+
+fn f1_scenario() -> Scenario {
+    let mut scenario = urban_evacuation(150, 7);
+    scenario.disruptions = vec![Disruption::JammerOn {
+        at: SimTime::from_secs_f64(30.0),
+        index: 0,
+    }];
+    scenario
+}
+
+fn traced_run(sink: SharedBytes) -> (MissionReport, MetricsDigest) {
+    let recorder = Recorder::jsonl(sink);
+    let config = RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(60.0))
+        .recorder(recorder.clone())
+        .build();
+    let report = run_mission(&f1_scenario(), &config);
+    recorder.flush();
+    (report, recorder.metrics_digest())
+}
+
+/// The golden-trace property: the f1 evacuation vignette, run twice with
+/// the same seed and a JSONL sink, must produce *byte-identical* traces
+/// and equal metrics digests. Sim-time timestamps and deterministic event
+/// ordering are exactly what make this possible; a single wall-clock
+/// timestamp or hash-ordered iteration anywhere in the hot path breaks it.
+#[test]
+fn f1_jsonl_traces_are_byte_identical_across_runs() {
+    let bytes_a = SharedBytes::new();
+    let bytes_b = SharedBytes::new();
+    let (report_a, digest_a) = traced_run(bytes_a.clone());
+    let (report_b, digest_b) = traced_run(bytes_b.clone());
+
+    assert!(!bytes_a.is_empty(), "the run must produce trace output");
+    assert_eq!(
+        bytes_a.to_vec(),
+        bytes_b.to_vec(),
+        "same scenario + seed must serialize to byte-identical JSONL"
+    );
+    assert_eq!(digest_a, digest_b, "metrics digests must agree");
+    assert_eq!(
+        digest_a.fingerprint(),
+        digest_b.fingerprint(),
+        "digest fingerprints must agree"
+    );
+    assert_eq!(report_a.digest, report_b.digest);
+
+    // The trace is valid single-line JSON with the stable leading keys.
+    let text = bytes_a.to_string_lossy();
+    let mut lines = 0usize;
+    for line in text.lines() {
+        assert!(line.starts_with("{\"seq\":"), "bad line: {line}");
+        assert!(line.ends_with('}'), "bad line: {line}");
+        assert!(line.contains("\"t_us\":") && line.contains("\"sub\":"));
+        lines += 1;
+    }
+    assert!(lines > 100, "a 60 s mission should trace many events: {lines}");
+
+    // Metrics agree with the report's own accounting.
+    assert_eq!(
+        digest_a.counter("netsim.msg_delivered"),
+        Some(report_a.digest.delivered)
+    );
+    assert_eq!(
+        digest_a.counter("core.windows").unwrap_or(0),
+        report_a.windows.len() as u64
+    );
+}
+
+/// A metrics-only (NullSink) recorder must observe the same counters as a
+/// full JSONL recorder, and attaching either must not change the mission
+/// outcome relative to a disabled recorder.
+#[test]
+fn sinks_do_not_change_the_mission_and_metrics_agree() {
+    let scenario = f1_scenario();
+    let quick = |recorder: Recorder| {
+        let config = RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(40.0))
+            .recorder(recorder)
+            .build();
+        run_mission(&scenario, &config)
+    };
+
+    let disabled = quick(Recorder::disabled());
+    let null_recorder = Recorder::null();
+    let with_null = quick(null_recorder.clone());
+    let bytes = SharedBytes::new();
+    let jsonl_recorder = Recorder::jsonl(bytes.clone());
+    let with_jsonl = quick(jsonl_recorder.clone());
+
+    assert_eq!(disabled.digest, with_null.digest);
+    assert_eq!(disabled.digest, with_jsonl.digest);
+    assert_eq!(disabled.windows, with_null.windows);
+
+    let null_digest = null_recorder.metrics_digest();
+    let jsonl_digest = jsonl_recorder.metrics_digest();
+    assert!(!null_digest.is_empty());
+    assert_eq!(null_digest, jsonl_digest, "sinks must not affect metrics");
+    // Disabled recorders observe nothing at all.
+    assert!(Recorder::disabled().metrics_digest().is_empty());
+}
+
+/// Sampling drops sink records but keeps metrics exact, and sequence
+/// numbers still count every event (gaps reveal what sampling skipped).
+#[test]
+fn sampling_gates_the_sink_but_not_the_metrics() {
+    let scenario = f1_scenario();
+    let run = |sampling: SamplingConfig| {
+        let (recorder, ring) = Recorder::memory(1 << 20);
+        let recorder = recorder.with_sampling(sampling);
+        let config = RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(40.0))
+            .recorder(recorder.clone())
+            .build();
+        run_mission(&scenario, &config);
+        (recorder.metrics_digest(), ring.records())
+    };
+
+    let (full_digest, full_records) = run(SamplingConfig::keep_all());
+    let (sampled_digest, sampled_records) =
+        run(SamplingConfig::keep_all().with(Subsystem::Netsim, 10));
+
+    assert_eq!(full_digest, sampled_digest, "metrics never sampled");
+    assert!(
+        sampled_records.len() < full_records.len(),
+        "sampling must drop netsim records: {} vs {}",
+        sampled_records.len(),
+        full_records.len()
+    );
+    // Core events survive untouched.
+    let core_count = |rs: &[TraceRecord]| {
+        rs.iter()
+            .filter(|r| r.event.subsystem() == Subsystem::Core)
+            .count()
+    };
+    assert_eq!(core_count(&full_records), core_count(&sampled_records));
+}

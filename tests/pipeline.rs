@@ -1,14 +1,12 @@
 //! Cross-crate integration: the full mission pipeline on every scenario
 //! family.
 
-use iobt::core::prelude::*;
-use iobt::netsim::SimDuration;
+use iobt::prelude::*;
 
 fn quick() -> RunConfig {
-    RunConfig {
-        duration: SimDuration::from_secs_f64(60.0),
-        ..RunConfig::default()
-    }
+    RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(60.0))
+        .build()
 }
 
 fn check_report_invariants(report: &MissionReport) {

@@ -1,10 +1,7 @@
 //! Integration: the learning/diagnostic services hold their headline
 //! properties when wired together the way the runtime uses them.
 
-use iobt::adapt::{hotspot_trace, simulate, AllocationPolicy};
-use iobt::learning::prelude::*;
-use iobt::tomography::prelude::*;
-use iobt::truth::prelude::*;
+use iobt::prelude::*;
 
 #[test]
 fn em_beats_majority_under_adversarial_sources() {
