@@ -51,6 +51,10 @@ pub enum ActuationDecision {
     /// Denied: the actuator needs a human authorization that is missing
     /// or expired.
     DeniedNoAuthorization,
+    /// Denied: the mission is running degraded (sensing shed by the
+    /// graceful-degradation ladder), so an actuator that is normally
+    /// autonomous was requested without a human authorization.
+    DeniedDegraded,
 }
 
 /// One audit-log entry.
@@ -93,6 +97,7 @@ pub struct ActuationController {
     authorizations: Vec<HumanAuthorization>,
     audit: Vec<AuditEntry>,
     recorder: Recorder,
+    degraded: bool,
 }
 
 impl ActuationController {
@@ -107,7 +112,23 @@ impl ActuationController {
             authorizations: Vec::new(),
             audit: Vec::new(),
             recorder: Recorder::disabled(),
+            degraded: false,
         }
+    }
+
+    /// Marks the mission as degraded (or recovered). While degraded the
+    /// controller assumes its occupancy picture is partial — sensing has
+    /// been shed — so it tightens both interlocks: the occupancy
+    /// threshold is halved, and *every* actuator needs a live human
+    /// authorization, not just the kinds flagged for it (§VI: when the
+    /// machine knows less, the human decides more).
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// Whether the controller is in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Attaches a [`Recorder`]; every decision from [`request`](Self::request)
@@ -149,15 +170,21 @@ impl ActuationController {
         zone: u32,
         now_s: f64,
     ) -> ActuationDecision {
-        let decision = if self.occupancy_belief(zone, now_s) > self.occupancy_threshold {
+        let threshold = if self.degraded {
+            self.occupancy_threshold * 0.5
+        } else {
+            self.occupancy_threshold
+        };
+        let authorized = self.authorizations.iter().any(|a| {
+            a.actuator == actuator && a.zone == zone && a.expires_at_s >= now_s
+        });
+        let decision = if self.occupancy_belief(zone, now_s) > threshold {
             // The occupancy interlock overrides even authorized fires.
             ActuationDecision::WithheldOccupied
-        } else if actuator.requires_human_authorization()
-            && !self.authorizations.iter().any(|a| {
-                a.actuator == actuator && a.zone == zone && a.expires_at_s >= now_s
-            })
-        {
+        } else if actuator.requires_human_authorization() && !authorized {
             ActuationDecision::DeniedNoAuthorization
+        } else if self.degraded && !authorized {
+            ActuationDecision::DeniedDegraded
         } else {
             ActuationDecision::Approved
         };
@@ -177,6 +204,7 @@ impl ActuationController {
                     ActuationDecision::Approved => "approved",
                     ActuationDecision::WithheldOccupied => "withheld_occupied",
                     ActuationDecision::DeniedNoAuthorization => "denied_no_authorization",
+                    ActuationDecision::DeniedDegraded => "denied_degraded",
                 },
             },
         );
@@ -290,6 +318,73 @@ mod tests {
         assert!(c.occupancy_belief(3, 1.0) > 0.45);
         assert!(c.occupancy_belief(3, 500.0) < 0.01);
         assert_eq!(c.occupancy_belief(99, 0.0), 0.0);
+    }
+
+    #[test]
+    fn degraded_mode_requires_authorization_for_everything() {
+        let mut c = controller();
+        assert!(!c.is_degraded());
+        c.set_degraded(true);
+        assert!(c.is_degraded());
+        // Markers are normally autonomous; degraded they need a human.
+        let d = c.request(NodeId::new(1), ActuatorKind::Marker, 0, 10.0);
+        assert_eq!(d, ActuationDecision::DeniedDegraded);
+        c.grant(HumanAuthorization {
+            authorizer: NodeId::new(99),
+            actuator: ActuatorKind::Marker,
+            zone: 0,
+            expires_at_s: 100.0,
+        });
+        let d = c.request(NodeId::new(1), ActuatorKind::Marker, 0, 20.0);
+        assert_eq!(d, ActuationDecision::Approved);
+        // Flagged kinds keep their sharper denial reason.
+        let d = c.request(NodeId::new(1), ActuatorKind::Demolition, 0, 20.0);
+        assert_eq!(d, ActuationDecision::DeniedNoAuthorization);
+        // Recovery restores autonomous operation.
+        c.set_degraded(false);
+        let d = c.request(NodeId::new(1), ActuatorKind::Marker, 5, 30.0);
+        assert_eq!(d, ActuationDecision::Approved);
+    }
+
+    #[test]
+    fn degraded_mode_halves_the_occupancy_threshold() {
+        let mut c = controller(); // threshold 0.3
+        c.report_occupancy(0, 0.2, 10.0);
+        // 0.2 clears the normal 0.3 threshold…
+        assert_eq!(
+            c.request(NodeId::new(1), ActuatorKind::Marker, 0, 10.0),
+            ActuationDecision::Approved
+        );
+        // …but not the degraded 0.15 one, regardless of authorization.
+        c.set_degraded(true);
+        c.grant(HumanAuthorization {
+            authorizer: NodeId::new(99),
+            actuator: ActuatorKind::Marker,
+            zone: 0,
+            expires_at_s: 100.0,
+        });
+        assert_eq!(
+            c.request(NodeId::new(1), ActuatorKind::Marker, 0, 10.0),
+            ActuationDecision::WithheldOccupied
+        );
+    }
+
+    #[test]
+    fn degraded_denials_are_traced() {
+        let (recorder, ring) = Recorder::memory(8);
+        let mut c = controller().with_recorder(recorder);
+        c.set_degraded(true);
+        c.request(NodeId::new(4), ActuatorKind::Marker, 0, 1.0);
+        let records = ring.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0].event,
+            TraceEvent::Actuation {
+                requester: 4,
+                actuator: actuator_code(ActuatorKind::Marker),
+                decision: "denied_degraded",
+            }
+        );
     }
 
     #[test]

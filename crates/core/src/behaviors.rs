@@ -1,13 +1,19 @@
 //! Simulator behaviours used by the mission runtime.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use iobt_netsim::{Behavior, Context, Message, SimDuration, SimTime};
+use iobt_obs::TraceEvent;
 use iobt_types::NodeId;
 
 /// Message kind tag for periodic sensor reports.
 pub const KIND_REPORT: u32 = 1;
+/// Message kind tag for task assignments (command post → sensor).
+pub const KIND_TASK: u32 = 2;
+/// Message kind tag for task acknowledgements (sensor → command post).
+pub const KIND_TASK_ACK: u32 = 3;
 
 /// A delivered sensor report as logged by the command sink.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +47,12 @@ impl CommandSink {
 
 impl Behavior for CommandSink {
     fn on_message(&mut self, ctx: &mut Context<'_>, msg: &Message) {
-        if msg.kind() == KIND_REPORT {
+        // Reports carried by a compromised relay arrive with the
+        // integrity flag raised; they are never logged, so their senders
+        // look silent and the failure detector / repair reflex treats
+        // them as lost (§IV: discard what partially-trusted assets may
+        // have corrupted).
+        if msg.kind() == KIND_REPORT && !msg.tampered() {
             self.log.borrow_mut().push(DeliveredReport {
                 from: msg.src(),
                 at: ctx.now(),
@@ -50,23 +61,235 @@ impl Behavior for CommandSink {
     }
 }
 
+/// Counters for acknowledged task dissemination.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TaskingStats {
+    /// Task assignments issued by the runtime.
+    pub assigned: u64,
+    /// Assignments acknowledged by the tasked sensor.
+    pub acked: u64,
+    /// Retransmissions after an unacknowledged attempt.
+    pub retries: u64,
+    /// Assignments abandoned after the attempt cap.
+    pub abandoned: u64,
+    /// Reports or acks rejected because they arrived tampered.
+    pub tampered_rejected: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingTask {
+    attempts: u32,
+    next_at: SimTime,
+}
+
+/// Shared state between the runtime (which assigns tasks) and the
+/// [`TaskingSink`] behaviour (which disseminates them inside the sim).
+#[derive(Debug, Default)]
+pub struct TaskBoardInner {
+    pending: BTreeMap<NodeId, PendingTask>,
+    stats: TaskingStats,
+}
+
+impl TaskBoardInner {
+    /// Queues a task assignment for `node`; the sink will start sending
+    /// it at its next dissemination tick. Re-assigning a node already
+    /// pending is a no-op.
+    pub fn assign(&mut self, node: NodeId) {
+        if self
+            .pending
+            .insert(
+                node,
+                PendingTask {
+                    attempts: 0,
+                    next_at: SimTime::ZERO,
+                },
+            )
+            .is_none()
+        {
+            self.stats.assigned += 1;
+        }
+    }
+
+    /// Assignments still awaiting an ack.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> TaskingStats {
+        self.stats
+    }
+}
+
+/// Shared handle to the task board.
+pub type TaskBoard = Rc<RefCell<TaskBoardInner>>;
+
+/// Creates an empty shared task board.
+pub fn new_task_board() -> TaskBoard {
+    Rc::new(RefCell::new(TaskBoardInner::default()))
+}
+
+/// Command-post behaviour with acknowledged task dissemination: logs
+/// reports like [`CommandSink`] and, on a fixed tick, (re)transmits
+/// pending task assignments with deterministic capped exponential
+/// backoff — attempt `k` waits `retry_base × 2^(k-1)` before the next —
+/// until acked or the attempt cap is reached.
+#[derive(Debug)]
+pub struct TaskingSink {
+    log: ReportLog,
+    board: TaskBoard,
+    max_attempts: u32,
+    retry_base: SimDuration,
+}
+
+impl TaskingSink {
+    /// Creates a tasking sink. `max_attempts` is clamped to ≥ 1;
+    /// `retry_base` to ≥ 1 ms (the dissemination tick is a quarter of
+    /// it, so a zero base would busy-loop the event queue).
+    pub fn new(
+        log: ReportLog,
+        board: TaskBoard,
+        max_attempts: u32,
+        retry_base: SimDuration,
+    ) -> Self {
+        TaskingSink {
+            log,
+            board,
+            max_attempts: max_attempts.max(1),
+            retry_base: SimDuration::from_micros(retry_base.as_micros().max(1_000)),
+        }
+    }
+
+    fn tick(&self) -> SimDuration {
+        SimDuration::from_micros((self.retry_base.as_micros() / 4).max(250))
+    }
+
+    fn backoff(&self, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(20);
+        SimDuration::from_micros(self.retry_base.as_micros().saturating_mul(1 << exp))
+    }
+}
+
+impl Behavior for TaskingSink {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.tick(), 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        let now = ctx.now();
+        // Decide inside one board borrow, act (send/record) outside it.
+        let mut send: Vec<(NodeId, u32)> = Vec::new();
+        let mut dropped: Vec<(NodeId, u32)> = Vec::new();
+        {
+            let mut board = self.board.borrow_mut();
+            let due: Vec<NodeId> = board
+                .pending
+                .iter()
+                .filter(|(_, t)| t.next_at <= now)
+                .map(|(&n, _)| n)
+                .collect();
+            for node in due {
+                // lint: allow(panic) — `node` comes from the pending map two lines up
+                let task = board.pending.get_mut(&node).expect("pending task");
+                if task.attempts >= self.max_attempts {
+                    let attempts = task.attempts;
+                    board.pending.remove(&node);
+                    board.stats.abandoned += 1;
+                    dropped.push((node, attempts));
+                } else {
+                    task.attempts += 1;
+                    let attempts = task.attempts;
+                    task.next_at = now + self.backoff(attempts);
+                    if attempts > 1 {
+                        board.stats.retries += 1;
+                    }
+                    send.push((node, attempts));
+                }
+            }
+        }
+        for &(node, attempts) in &send {
+            if attempts > 1 {
+                ctx.recorder().record(TraceEvent::TaskRetry {
+                    node: node.raw(),
+                    attempt: u64::from(attempts),
+                });
+            }
+            ctx.send(node, KIND_TASK, Vec::new());
+        }
+        for &(node, attempts) in &dropped {
+            ctx.recorder().record(TraceEvent::TaskAbandoned {
+                node: node.raw(),
+                attempts: u64::from(attempts),
+            });
+        }
+        ctx.set_timer(self.tick(), 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, msg: &Message) {
+        if msg.tampered() {
+            self.board.borrow_mut().stats.tampered_rejected += 1;
+            return;
+        }
+        match msg.kind() {
+            KIND_REPORT => {
+                self.log.borrow_mut().push(DeliveredReport {
+                    from: msg.src(),
+                    at: ctx.now(),
+                });
+            }
+            KIND_TASK_ACK => {
+                let mut board = self.board.borrow_mut();
+                if board.pending.remove(&msg.src()).is_some() {
+                    board.stats.acked += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Sensor behaviour: sends a fixed-size report to the command post every
 /// `period`, jittered by up to 10% to avoid global synchronization.
+///
+/// Built with [`SensorReporter::new`] the reporter starts immediately;
+/// built with [`SensorReporter::dormant`] it stays silent until it
+/// receives a [`KIND_TASK`] message, which it acknowledges with
+/// [`KIND_TASK_ACK`] before starting its report stream (acked tasking).
 #[derive(Debug)]
 pub struct SensorReporter {
     sink: NodeId,
     period: SimDuration,
     payload_bytes: usize,
+    dormant: bool,
+    reporting: bool,
 }
 
 impl SensorReporter {
-    /// Creates a reporter targeting `sink`.
+    /// Creates a reporter targeting `sink` that starts immediately.
     pub fn new(sink: NodeId, period: SimDuration, payload_bytes: usize) -> Self {
         SensorReporter {
             sink,
             period,
             payload_bytes,
+            dormant: false,
+            reporting: false,
         }
+    }
+
+    /// Creates a reporter that stays dormant until tasked.
+    pub fn dormant(sink: NodeId, period: SimDuration, payload_bytes: usize) -> Self {
+        SensorReporter {
+            dormant: true,
+            ..SensorReporter::new(sink, period, payload_bytes)
+        }
+    }
+
+    fn start_reporting(&mut self, ctx: &mut Context<'_>) {
+        self.reporting = true;
+        // Desynchronize initial reports across the fleet.
+        let delay = SimDuration::from_micros(ctx.gen_below(self.period.as_micros().max(1)));
+        ctx.set_timer(delay, 0);
     }
 
     fn schedule_next(&self, ctx: &mut Context<'_>) {
@@ -80,14 +303,29 @@ impl SensorReporter {
 
 impl Behavior for SensorReporter {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        // Desynchronize initial reports across the fleet.
-        let delay = SimDuration::from_micros(ctx.gen_below(self.period.as_micros().max(1)));
-        ctx.set_timer(delay, 0);
+        if !self.dormant {
+            self.start_reporting(ctx);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if !self.reporting {
+            return;
+        }
         ctx.send(self.sink, KIND_REPORT, vec![0u8; self.payload_bytes]);
         self.schedule_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, msg: &Message) {
+        // A tampered task assignment is not trusted: no ack, no
+        // activation — the command post's bounded retry covers the gap.
+        if msg.kind() != KIND_TASK || msg.tampered() {
+            return;
+        }
+        ctx.send(msg.src(), KIND_TASK_ACK, Vec::new());
+        if self.dormant && !self.reporting {
+            self.start_reporting(ctx);
+        }
     }
 }
 
@@ -135,6 +373,89 @@ mod tests {
         assert!(log.iter().any(|r| r.from == NodeId::new(2)));
         // Timestamps are monotone.
         assert!(log.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn acked_tasking_activates_dormant_reporters() {
+        let mut sim = Simulator::builder(catalog()).seed(3).build();
+        let log = new_report_log();
+        let board = new_task_board();
+        board.borrow_mut().assign(NodeId::new(1));
+        board.borrow_mut().assign(NodeId::new(2));
+        board.borrow_mut().assign(NodeId::new(2)); // duplicate: no-op
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(TaskingSink::new(
+                log.clone(),
+                board.clone(),
+                4,
+                SimDuration::from_millis(200),
+            )),
+        );
+        for i in 1..3 {
+            sim.set_behavior(
+                NodeId::new(i),
+                Box::new(SensorReporter::dormant(
+                    NodeId::new(0),
+                    SimDuration::from_millis(500),
+                    64,
+                )),
+            );
+        }
+        sim.run_for(SimDuration::from_secs_f64(5.0));
+        let stats = board.borrow().stats();
+        assert_eq!(stats.assigned, 2, "duplicate assign must not double-count");
+        assert_eq!(stats.acked, 2, "both reachable sensors must ack");
+        assert_eq!(stats.abandoned, 0);
+        assert_eq!(board.borrow().outstanding(), 0);
+        let log = log.borrow();
+        assert!(
+            log.iter().any(|r| r.from == NodeId::new(1))
+                && log.iter().any(|r| r.from == NodeId::new(2)),
+            "tasked sensors must start reporting"
+        );
+    }
+
+    #[test]
+    fn unreachable_assignment_is_abandoned_after_the_attempt_cap() {
+        let mut sim = Simulator::builder(catalog()).seed(4).build();
+        let log = new_report_log();
+        let board = new_task_board();
+        // Node 2 is killed before the first dissemination tick: every
+        // task attempt is lost and the sink must give up at the cap.
+        sim.schedule_node_down(SimTime::ZERO, NodeId::new(2));
+        board.borrow_mut().assign(NodeId::new(2));
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(TaskingSink::new(
+                log.clone(),
+                board.clone(),
+                3,
+                SimDuration::from_millis(100),
+            )),
+        );
+        sim.run_for(SimDuration::from_secs_f64(5.0));
+        let stats = board.borrow().stats();
+        assert_eq!(stats.assigned, 1);
+        assert_eq!(stats.acked, 0);
+        assert_eq!(stats.retries, 2, "attempts 2 and 3 are retries");
+        assert_eq!(stats.abandoned, 1);
+        assert_eq!(board.borrow().outstanding(), 0);
+    }
+
+    #[test]
+    fn tasking_backoff_is_capped_exponential() {
+        let sink = TaskingSink::new(
+            new_report_log(),
+            new_task_board(),
+            4,
+            SimDuration::from_millis(100),
+        );
+        assert_eq!(sink.backoff(1), SimDuration::from_millis(100));
+        assert_eq!(sink.backoff(2), SimDuration::from_millis(200));
+        assert_eq!(sink.backoff(3), SimDuration::from_millis(400));
+        // The exponent is capped so huge attempt counts cannot overflow.
+        assert_eq!(sink.backoff(40), sink.backoff(21));
     }
 
     #[test]

@@ -40,16 +40,21 @@
 pub mod behaviors;
 pub mod diagnostics;
 pub mod humans;
+pub mod resilience;
 pub mod runtime;
 pub mod tasking;
 pub mod scenario;
 
-pub use behaviors::{new_report_log, CommandSink, DeliveredReport, ReportLog, SensorReporter};
+pub use behaviors::{
+    new_report_log, new_task_board, CommandSink, DeliveredReport, ReportLog, SensorReporter,
+    TaskBoard, TaskingSink, TaskingStats,
+};
 pub use diagnostics::{diagnose_failures, DiagnosisReport, NetworkModel};
 pub use humans::{calibrate_human_trust, CalibrationSummary};
+pub use resilience::{DegradationLadder, FailureDetector, LadderStep, MAX_LADDER_LEVEL};
 pub use runtime::{
-    run_mission, EndStateDigest, MissionReport, RunConfig, RunConfigBuilder, WallClockReport,
-    WindowStat,
+    run_mission, EndStateDigest, MissionReport, ResilienceReport, RunConfig, RunConfigBuilder,
+    WallClockReport, WindowStat,
 };
 pub use tasking::{allocate_missions, MissionAllocation, TaskingPlan};
 pub use scenario::{
@@ -59,6 +64,7 @@ pub use scenario::{
 
 pub use iobt_adapt as adapt;
 pub use iobt_discovery as discovery;
+pub use iobt_faults as faults;
 pub use iobt_obs as obs;
 pub use iobt_learning as learning;
 pub use iobt_netsim as netsim;
@@ -69,10 +75,12 @@ pub use iobt_types as types;
 
 /// Convenience re-exports for examples and integration tests.
 pub mod prelude {
+    pub use crate::resilience::{DegradationLadder, FailureDetector, LadderStep};
     pub use crate::runtime::{
-        run_mission, EndStateDigest, MissionReport, RunConfig, RunConfigBuilder, WallClockReport,
-        WindowStat,
+        run_mission, EndStateDigest, MissionReport, ResilienceReport, RunConfig, RunConfigBuilder,
+        WallClockReport, WindowStat,
     };
+    pub use iobt_faults::{generate_campaign, CampaignConfig, FaultKind, FaultPlan};
     pub use iobt_obs::{
         MetricsDigest, Recorder, SamplingConfig, SharedBytes, Subsystem, TraceEvent, TraceRecord,
     };

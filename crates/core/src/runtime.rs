@@ -11,9 +11,13 @@ use iobt_discovery::{
 use iobt_netsim::{SimDuration, Simulator};
 use iobt_obs::{Recorder, TraceEvent};
 use iobt_synthesis::{assess, failure_probability, repair_with, AssuranceReport, CompositionProblem, CompositionResult, Solver};
-use iobt_types::{NodeId, NodeSpec, TrustLedger};
+use iobt_types::{Mission, NodeId, NodeSpec, TrustLedger};
 
-use crate::behaviors::{new_report_log, CommandSink, SensorReporter};
+use crate::behaviors::{
+    new_report_log, new_task_board, CommandSink, SensorReporter, TaskBoard, TaskingSink,
+    TaskingStats,
+};
+use crate::resilience::{DegradationLadder, FailureDetector, LadderStep};
 use crate::scenario::{Disruption, Scenario};
 
 /// Execution configuration.
@@ -42,6 +46,36 @@ pub struct RunConfig {
     /// initial connectivity graph (§III-B network composition: selecting a
     /// sensor that cannot report is wasted coverage).
     pub require_reachability: bool,
+    /// Run the sim-time heartbeat failure detector between windows and
+    /// repair as soon as nodes are suspected, instead of waiting for the
+    /// window to close (requires `adaptive`). Off by default.
+    pub early_repair: bool,
+    /// Detector ticks per utility window when `early_repair` is on.
+    pub detector_ticks: u32,
+    /// A watched node is suspected after this many report periods of
+    /// silence.
+    pub suspicion_periods: f64,
+    /// Shed mission requirements down the graceful-degradation ladder
+    /// when utility stays critically low, and restore them when it
+    /// recovers (requires `adaptive`). Off by default.
+    pub degradation_ladder: bool,
+    /// Utility below this for `ladder_patience` consecutive windows
+    /// sheds one ladder level.
+    pub shed_threshold: f64,
+    /// Utility at or above this for `ladder_patience` consecutive
+    /// windows restores one ladder level.
+    pub restore_threshold: f64,
+    /// Consecutive windows required before the ladder moves.
+    pub ladder_patience: u32,
+    /// Disseminate task assignments as acknowledged messages with
+    /// bounded deterministic retries, instead of instantaneous
+    /// out-of-band activation. Off by default.
+    pub acked_tasking: bool,
+    /// Maximum task transmission attempts per assignment.
+    pub task_attempts: u32,
+    /// Base retry delay for task dissemination; attempt `k` backs off
+    /// `task_retry_base × 2^(k-1)`.
+    pub task_retry_base: SimDuration,
     /// Observability recorder threaded through the whole pipeline
     /// (simulator, solver, repair reflex). Disabled by default.
     pub recorder: Recorder,
@@ -58,6 +92,16 @@ impl Default for RunConfig {
             grid: 6,
             solver: Solver::Greedy,
             require_reachability: true,
+            early_repair: false,
+            detector_ticks: 4,
+            suspicion_periods: 3.0,
+            degradation_ladder: false,
+            shed_threshold: 0.45,
+            restore_threshold: 0.85,
+            ladder_patience: 2,
+            acked_tasking: false,
+            task_attempts: 4,
+            task_retry_base: SimDuration::from_millis(250),
             recorder: Recorder::disabled(),
         }
     }
@@ -139,6 +183,68 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Enables or disables between-window failure detection and early
+    /// repair (active only when `adaptive` is also on).
+    pub fn early_repair(mut self, enable: bool) -> Self {
+        self.config.early_repair = enable;
+        self
+    }
+
+    /// Sets the number of detector ticks per utility window.
+    pub fn detector_ticks(mut self, ticks: u32) -> Self {
+        self.config.detector_ticks = ticks;
+        self
+    }
+
+    /// Sets the suspicion threshold in report periods.
+    pub fn suspicion_periods(mut self, periods: f64) -> Self {
+        self.config.suspicion_periods = periods;
+        self
+    }
+
+    /// Enables or disables the graceful-degradation ladder (active only
+    /// when `adaptive` is also on).
+    pub fn degradation_ladder(mut self, enable: bool) -> Self {
+        self.config.degradation_ladder = enable;
+        self
+    }
+
+    /// Sets the ladder's shed threshold.
+    pub fn shed_threshold(mut self, threshold: f64) -> Self {
+        self.config.shed_threshold = threshold;
+        self
+    }
+
+    /// Sets the ladder's restore threshold.
+    pub fn restore_threshold(mut self, threshold: f64) -> Self {
+        self.config.restore_threshold = threshold;
+        self
+    }
+
+    /// Sets how many consecutive windows the ladder waits before moving.
+    pub fn ladder_patience(mut self, patience: u32) -> Self {
+        self.config.ladder_patience = patience;
+        self
+    }
+
+    /// Enables or disables acknowledged task dissemination.
+    pub fn acked_tasking(mut self, enable: bool) -> Self {
+        self.config.acked_tasking = enable;
+        self
+    }
+
+    /// Sets the task transmission attempt cap.
+    pub fn task_attempts(mut self, attempts: u32) -> Self {
+        self.config.task_attempts = attempts;
+        self
+    }
+
+    /// Sets the base retry delay for task dissemination.
+    pub fn task_retry_base(mut self, base: SimDuration) -> Self {
+        self.config.task_retry_base = base;
+        self
+    }
+
     /// Attaches an observability recorder.
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.config.recorder = recorder;
@@ -189,6 +295,10 @@ pub struct EndStateDigest {
     pub dropped_dead: u64,
     /// Drops because an endpoint was asleep.
     pub dropped_asleep: u64,
+    /// MAC retransmissions across all hops.
+    pub retransmits: u64,
+    /// Messages tampered by compromised relays.
+    pub tampered: u64,
     /// Total energy drawn across the run, joules.
     pub energy_spent_j: f64,
     /// Remaining energy per node at mission end, ascending node id.
@@ -199,6 +309,30 @@ pub struct EndStateDigest {
     pub repairs: usize,
     /// Final selection (candidate indices), ascending.
     pub final_selection: Vec<usize>,
+    /// Resilience counters (suspicions, early repairs, ladder moves,
+    /// tasking retries) — part of the digest so same-seed runs must
+    /// agree on the whole reaction history, not just the outcome.
+    pub resilience: ResilienceReport,
+}
+
+/// Counters from the failure-detection / graceful-degradation /
+/// acked-tasking reaction layer, for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ResilienceReport {
+    /// Nodes the heartbeat detector suspected (and handed to repair).
+    pub suspected: u64,
+    /// Repairs applied from a detector tick rather than a window close.
+    pub early_repairs: u64,
+    /// Ladder levels shed.
+    pub sheds: u64,
+    /// Ladder levels restored.
+    pub restores: u64,
+    /// Ladder level at mission end (0 = full requirement).
+    pub final_ladder_level: u64,
+    /// Acked task dissemination counters (all zero unless
+    /// `acked_tasking` is on).
+    pub tasking: TaskingStats,
 }
 
 /// Wall-clock timings measured while running a mission.
@@ -380,11 +514,25 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
             Disruption::NodeLoss { at, node } => sim.schedule_node_down(at, node),
         }
     }
+    scenario.fault_plan.schedule(&mut sim);
     let log = new_report_log();
-    sim.set_behavior(
-        scenario.command_post,
-        Box::new(CommandSink::new(log.clone())),
-    );
+    let board = new_task_board();
+    if config.acked_tasking {
+        sim.set_behavior(
+            scenario.command_post,
+            Box::new(TaskingSink::new(
+                log.clone(),
+                board.clone(),
+                config.task_attempts,
+                config.task_retry_base,
+            )),
+        );
+    } else {
+        sim.set_behavior(
+            scenario.command_post,
+            Box::new(CommandSink::new(log.clone())),
+        );
+    }
     let mut selection = composition.selected.clone();
     let mut active_reporters: BTreeSet<NodeId> = BTreeSet::new();
     let mut current = composition.clone();
@@ -395,6 +543,7 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         &mut active_reporters,
         scenario,
         config,
+        &board,
     );
 
     let mut windows = Vec::new();
@@ -403,10 +552,104 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
     let total_windows =
         (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as usize;
     let mut failed_ever: BTreeSet<NodeId> = BTreeSet::new();
+
+    // ---- Reaction layer: heartbeat detection + degradation ladder ----
+    let use_detector = config.adaptive && config.early_repair;
+    let use_ladder = config.adaptive && config.degradation_ladder;
+    let base_problem = problem.clone();
+    let mut problem = problem;
+    let mut detector = FailureDetector::new(config.report_period, config.suspicion_periods);
+    let mut ladder = DegradationLadder::new(
+        config.shed_threshold,
+        config.restore_threshold,
+        config.ladder_patience,
+    );
+    let mut resilience = ResilienceReport::default();
+    let mut log_cursor = 0usize;
+    if use_detector {
+        for &i in &selection {
+            detector.watch(problem.candidates[i].id, sim.now());
+        }
+    }
+
     for w in 0..total_windows {
         let start_s = sim.now().as_secs_f64();
         let mark = log.borrow().len();
-        sim.run_for(config.window);
+        let ticks = if use_detector {
+            config.detector_ticks.max(1)
+        } else {
+            1
+        };
+        let tick_us = config.window.as_micros() / u64::from(ticks);
+        for t in 0..ticks {
+            // The last tick absorbs the division remainder so every
+            // window spans exactly `config.window`.
+            let slice = if t + 1 == ticks {
+                SimDuration::from_micros(config.window.as_micros() - u64::from(t) * tick_us)
+            } else {
+                SimDuration::from_micros(tick_us)
+            };
+            sim.run_for(slice);
+            if !use_detector || w + 1 >= total_windows {
+                continue;
+            }
+            // Feed delivered reports to the detector as heartbeats.
+            {
+                let logref = log.borrow();
+                for r in &logref[log_cursor..] {
+                    detector.heard(r.from, r.at);
+                }
+                log_cursor = logref.len();
+            }
+            let now = sim.now();
+            let new_suspects: Vec<(NodeId, SimDuration)> = detector
+                .suspects(now)
+                .into_iter()
+                .filter(|(n, _)| !failed_ever.contains(n))
+                .collect();
+            if new_suspects.is_empty() {
+                continue;
+            }
+            for &(node, silent) in &new_suspects {
+                recorder.record(TraceEvent::Suspected {
+                    node: node.raw(),
+                    silent_us: silent.as_micros(),
+                });
+                failed_ever.insert(node);
+                detector.unwatch(node);
+            }
+            resilience.suspected += new_suspects.len() as u64;
+            recorder.record(TraceEvent::EarlyRepair {
+                window: w as u64,
+                suspects: new_suspects.len() as u64,
+            });
+            let repair_start = Instant::now(); // lint: allow(wall-clock) — reporting only; lands in WallClockReport, never in a decision or digest
+            let repaired = repair_with(&problem, &current, &failed_ever, config.solver);
+            repair_ms += repair_start.elapsed().as_secs_f64() * 1_000.0;
+            if repaired.selected != selection {
+                repairs += 1;
+                resilience.early_repairs += 1;
+                selection = repaired.selected.clone();
+                current = CompositionResult {
+                    selected: repaired.selected,
+                    coverage: repaired.coverage,
+                    cost: problem.cost(&selection),
+                    satisfied: repaired.satisfied,
+                };
+                attach_reporters(
+                    &mut sim,
+                    &problem,
+                    &selection,
+                    &mut active_reporters,
+                    scenario,
+                    config,
+                    &board,
+                );
+                for &i in &selection {
+                    detector.watch(problem.candidates[i].id, now);
+                }
+            }
+        }
         let delivered: BTreeSet<NodeId> = log.borrow()[mark..].iter().map(|r| r.from).collect();
         let expected = selection.len();
         let reporting = selection
@@ -429,6 +672,34 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
             delivered: reporting as u64,
             utility,
         });
+        // Graceful degradation: when utility stays critically low the
+        // population cannot meet the requirement — shed it one rung at a
+        // time (redundancy → last modality → coverage fraction) so the
+        // reflex below repairs toward an achievable target instead of
+        // thrashing; restore rungs when utility recovers.
+        if use_ladder && w + 1 < total_windows {
+            match ladder.observe(utility) {
+                LadderStep::Shed => {
+                    resilience.sheds += 1;
+                    let level = ladder.level();
+                    problem = degraded_problem(&base_problem, &scenario.mission, &specs, config.grid, level);
+                    recorder.record(TraceEvent::Shed {
+                        level: level as u64,
+                        action: DegradationLadder::action(level),
+                    });
+                }
+                LadderStep::Restore => {
+                    resilience.restores += 1;
+                    let level = ladder.level();
+                    problem = degraded_problem(&base_problem, &scenario.mission, &specs, config.grid, level);
+                    recorder.record(TraceEvent::Restore {
+                        level: level as u64,
+                        action: DegradationLadder::action(level + 1),
+                    });
+                }
+                LadderStep::Hold => {}
+            }
+        }
         // Reflex: if too few selected assets are heard from, treat the
         // silent ones as lost and re-cover their pairs from spares.
         if config.adaptive && utility < config.repair_threshold && w + 1 < total_windows {
@@ -472,7 +743,14 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
                     &mut active_reporters,
                     scenario,
                     config,
+                    &board,
                 );
+                if use_detector {
+                    let now = sim.now();
+                    for &i in &selection {
+                        detector.watch(problem.candidates[i].id, now);
+                    }
+                }
             }
         }
     }
@@ -489,6 +767,8 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         .into_iter()
         .filter_map(|id| sim.energy(id).map(|e| (id, e.remaining_j())))
         .collect();
+    resilience.final_ladder_level = ladder.level() as u64;
+    resilience.tasking = board.borrow().stats();
     let stats = sim.stats();
     let digest = EndStateDigest {
         sent: stats.sent,
@@ -498,11 +778,14 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         dropped_channel: stats.dropped_channel,
         dropped_dead: stats.dropped_dead,
         dropped_asleep: stats.dropped_asleep,
+        retransmits: stats.retransmits,
+        tampered: stats.tampered,
         energy_spent_j: stats.energy_spent_j,
         node_energy_j,
         mean_utility,
         repairs,
         final_selection,
+        resilience,
     };
     recorder.flush();
     MissionReport {
@@ -528,20 +811,77 @@ fn attach_reporters(
     active: &mut BTreeSet<NodeId>,
     scenario: &Scenario,
     config: &RunConfig,
+    board: &TaskBoard,
 ) {
     for &i in selection {
         let id = problem.candidates[i].id;
         if active.insert(id) {
-            sim.set_behavior(
-                id,
-                Box::new(SensorReporter::new(
-                    scenario.command_post,
-                    config.report_period,
-                    128,
-                )),
-            );
+            if config.acked_tasking {
+                // Dormant until the command post's task message arrives
+                // (and is acked); the board drives bounded retries.
+                board.borrow_mut().assign(id);
+                sim.set_behavior(
+                    id,
+                    Box::new(SensorReporter::dormant(
+                        scenario.command_post,
+                        config.report_period,
+                        128,
+                    )),
+                );
+            } else {
+                sim.set_behavior(
+                    id,
+                    Box::new(SensorReporter::new(
+                        scenario.command_post,
+                        config.report_period,
+                        128,
+                    )),
+                );
+            }
         }
     }
+}
+
+/// Rebuilds the composition problem with the requirement relaxations of
+/// ladder `level` applied to the pristine `base`:
+///
+/// * level ≥ 1 — redundancy drops to 1;
+/// * level ≥ 2 — the mission's last required modality is shed (skipped
+///   when only one modality is required — a sole modality is the
+///   mission, not load);
+/// * level ≥ 3 — required coverage fraction × 0.6.
+///
+/// Candidate order is trust-filtered from the same `specs` in the same
+/// order, so selection indices remain valid across rebuilds.
+fn degraded_problem(
+    base: &CompositionProblem,
+    mission: &Mission,
+    specs: &[NodeSpec],
+    grid: usize,
+    level: usize,
+) -> CompositionProblem {
+    let modalities = mission.required_modalities();
+    let mut problem = if level >= 2 && modalities.len() > 1 {
+        let mut builder = Mission::builder(mission.id(), mission.kind())
+            .area(mission.area())
+            .coverage_fraction(mission.coverage_fraction())
+            .resilience(mission.resilience())
+            .min_trust(mission.min_trust())
+            .priority(mission.priority());
+        for &m in &modalities[..modalities.len() - 1] {
+            builder = builder.require_modality(m);
+        }
+        CompositionProblem::from_mission(&builder.build(), specs, grid)
+    } else {
+        base.clone()
+    };
+    if level >= 1 {
+        problem.redundancy = 1;
+    }
+    if level >= 3 {
+        problem.required_fraction = base.required_fraction * 0.6;
+    }
+    problem
 }
 
 #[cfg(test)]
@@ -661,5 +1001,117 @@ mod tests {
         assert_eq!(a.windows, b.windows);
         assert_eq!(a.repairs, b.repairs);
         assert_eq!(a.recruited, b.recruited);
+    }
+
+    #[test]
+    fn acked_tasking_delivers_assignments_before_reports_flow() {
+        let scenario = persistent_surveillance(120, 5);
+        let cfg = RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(60.0))
+            .window(SimDuration::from_secs_f64(10.0))
+            .acked_tasking(true)
+            .build();
+        let report = run_mission(&scenario, &cfg);
+        let tasking = report.digest.resilience.tasking;
+        assert!(tasking.assigned > 0, "someone must be tasked");
+        assert!(tasking.acked > 0, "reachable sensors must ack");
+        assert!(tasking.acked <= tasking.assigned);
+        assert!(
+            report.mean_utility() > 0.0,
+            "tasked sensors must still report"
+        );
+    }
+
+    #[test]
+    fn early_repair_suspects_silenced_nodes_between_windows() {
+        use iobt_faults::FaultPlan;
+        use iobt_netsim::SimTime;
+        use iobt_types::{Point, Rect};
+
+        let mut scenario = persistent_surveillance(150, 7);
+        // A permanent blackout over one quadrant silences every selected
+        // sensor inside it mid-window; the detector must notice without
+        // waiting for the window to close.
+        scenario.fault_plan = FaultPlan::new().blackout(
+            SimTime::from_secs_f64(15.0),
+            Rect::new(Point::new(0.0, 0.0), Point::new(1_500.0, 1_500.0)),
+            None,
+        );
+        let cfg = RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(60.0))
+            .window(SimDuration::from_secs_f64(10.0))
+            .early_repair(true)
+            .build();
+        let report = run_mission(&scenario, &cfg);
+        let res = report.digest.resilience;
+        assert!(res.suspected > 0, "blackout victims must be suspected");
+        assert!(
+            res.early_repairs > 0,
+            "suspicion must trigger at least one early repair"
+        );
+        // Same seed, same config: the whole reaction history replays.
+        let again = run_mission(&scenario, &cfg);
+        assert_eq!(report.digest, again.digest);
+    }
+
+    #[test]
+    fn degradation_ladder_sheds_when_coverage_collapses() {
+        use iobt_faults::FaultPlan;
+        use iobt_netsim::SimTime;
+
+        let mut scenario = persistent_surveillance(120, 5);
+        // A permanent blackout over the whole theater: nothing can
+        // report, utility pins to zero, and the ladder must shed rather
+        // than thrash on repairs it cannot complete.
+        scenario.fault_plan = FaultPlan::new().blackout(
+            SimTime::from_secs_f64(12.0),
+            scenario.mission.area(),
+            None,
+        );
+        let cfg = RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(60.0))
+            .window(SimDuration::from_secs_f64(10.0))
+            .degradation_ladder(true)
+            .build();
+        let report = run_mission(&scenario, &cfg);
+        let res = report.digest.resilience;
+        assert!(res.sheds >= 1, "ladder must shed under total blackout");
+        assert!(res.final_ladder_level >= 1);
+        assert_eq!(res.restores, 0, "nothing recovers: no restores");
+    }
+
+    #[test]
+    fn reaction_features_are_inert_by_default() {
+        let scenario = persistent_surveillance(120, 5);
+        let report = run_mission(&scenario, &quick_config());
+        let res = report.digest.resilience;
+        assert_eq!(res, ResilienceReport::default());
+        assert_eq!(report.digest.tampered, 0);
+    }
+
+    #[test]
+    fn builder_covers_resilience_fields() {
+        let built = RunConfig::builder()
+            .early_repair(true)
+            .detector_ticks(8)
+            .suspicion_periods(2.5)
+            .degradation_ladder(true)
+            .shed_threshold(0.4)
+            .restore_threshold(0.9)
+            .ladder_patience(3)
+            .acked_tasking(true)
+            .task_attempts(6)
+            .task_retry_base(SimDuration::from_millis(500))
+            .build();
+        assert!(built.early_repair);
+        assert_eq!(built.detector_ticks, 8);
+        assert!((built.suspicion_periods - 2.5).abs() < 1e-12);
+        assert!(built.degradation_ladder);
+        assert!((built.shed_threshold - 0.4).abs() < 1e-12);
+        assert!((built.restore_threshold - 0.9).abs() < 1e-12);
+        assert_eq!(built.ladder_patience, 3);
+        assert!(built.acked_tasking);
+        assert_eq!(built.task_attempts, 6);
+        assert_eq!(built.task_retry_base, SimDuration::from_millis(500));
     }
 }

@@ -5,6 +5,7 @@
 //! from §I/§II: non-combatant evacuation, wide-area persistent
 //! surveillance, and disaster relief.
 
+use iobt_faults::FaultPlan;
 use iobt_netsim::{Jammer, SimTime, Terrain};
 use iobt_types::catalog::PopulationBuilder;
 use iobt_types::{
@@ -47,6 +48,9 @@ pub struct Scenario {
     pub jammers: Vec<Jammer>,
     /// Planned disruptions, time-ordered.
     pub disruptions: Vec<Disruption>,
+    /// Structured fault schedule (crashes, blackouts, partitions,
+    /// degradations, compromises), scheduled alongside `disruptions`.
+    pub fault_plan: FaultPlan,
     /// The command-post node reports flow to.
     pub command_post: NodeId,
     /// Seed everything downstream should derive randomness from.
@@ -118,6 +122,7 @@ pub fn urban_evacuation(node_count: usize, seed: u64) -> Scenario {
         intent,
         jammers,
         disruptions,
+        fault_plan: FaultPlan::new(),
         command_post: command_post_id,
         seed,
     }
@@ -162,6 +167,7 @@ pub fn persistent_surveillance(node_count: usize, seed: u64) -> Scenario {
         intent,
         jammers: Vec::new(),
         disruptions,
+        fault_plan: FaultPlan::new(),
         command_post: command_post_id,
         seed,
     }
@@ -212,6 +218,7 @@ pub fn disaster_relief(node_count: usize, seed: u64) -> Scenario {
         intent,
         jammers: Vec::new(),
         disruptions: Vec::new(),
+        fault_plan: FaultPlan::new(),
         command_post: command_post_id,
         seed,
     }

@@ -63,6 +63,7 @@ impl Jammer {
 pub struct Channel {
     terrain: Terrain,
     jammers: Vec<Jammer>,
+    extra_loss_db: f64,
 }
 
 impl Channel {
@@ -71,6 +72,7 @@ impl Channel {
         Channel {
             terrain,
             jammers: Vec::new(),
+            extra_loss_db: 0.0,
         }
     }
 
@@ -95,6 +97,18 @@ impl Channel {
     /// Currently registered jammers.
     pub fn jammers(&self) -> &[Jammer] {
         &self.jammers
+    }
+
+    /// Sets a channel-wide extra path loss in dB (link-degradation
+    /// faults: weather, obscurants, wide-band interference). Applies to
+    /// every link's SINR; negative values clamp to zero.
+    pub fn set_extra_loss_db(&mut self, db: f64) {
+        self.extra_loss_db = db.max(0.0);
+    }
+
+    /// The channel-wide extra path loss currently applied, in dB.
+    pub fn extra_loss_db(&self) -> f64 {
+        self.extra_loss_db
     }
 
     /// Deterministic (no-shadowing) path loss between two points in dB.
@@ -122,9 +136,11 @@ impl Channel {
         10.0 * total_mw.log10()
     }
 
-    /// Mean SINR of a link in dB, before shadowing.
+    /// Mean SINR of a link in dB, before shadowing. Includes any active
+    /// channel-wide degradation loss.
     pub fn sinr_db(&self, from: Point, to: Point, radio: RadioKind) -> f64 {
         self.received_power_dbm(from, to, radio.tx_power_w()) - self.noise_dbm(to)
+            - self.extra_loss_db
     }
 
     /// Single-transmission delivery probability on a link, sampling

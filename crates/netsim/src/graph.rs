@@ -59,6 +59,18 @@ impl ConnectivityGraph {
     /// Uses a uniform spatial grid so only nearby pairs are tested; cost is
     /// `O(n + pairs-within-range)` rather than `O(n^2)`.
     pub fn build(nodes: &[GraphNode], channel: &Channel) -> Self {
+        Self::build_filtered(nodes, channel, &|_, _| false)
+    }
+
+    /// [`ConnectivityGraph::build`] with a link-deny predicate: any pair
+    /// for which `deny(a, b)` returns true gets no link regardless of
+    /// radio compatibility. This is how network-partition faults cut the
+    /// topology without touching node liveness.
+    pub fn build_filtered(
+        nodes: &[GraphNode],
+        channel: &Channel,
+        deny: &dyn Fn(NodeId, NodeId) -> bool,
+    ) -> Self {
         let n = nodes.len();
         let ids: Vec<NodeId> = nodes.iter().map(|g| g.id).collect();
         let index: BTreeMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
@@ -89,6 +101,9 @@ impl ConnectivityGraph {
                                 continue; // handle each in-bucket pair once
                             }
                             if (dx, dy) != (0, 0) && j == i {
+                                continue;
+                            }
+                            if deny(nodes[i].id, nodes[j].id) {
                                 continue;
                             }
                             if let Some(link) = best_link(&nodes[i], &nodes[j], channel) {

@@ -32,7 +32,10 @@ pub use churn::{ChurnPlan, ChurnProcess};
 pub use graph::{ConnectivityGraph, GraphNode, LinkQuality, RouteScratch};
 pub use message::Message;
 pub use mobility::{MobilityModel, MobilityState};
-pub use sim::{Behavior, Context, SimulatorBuilder, SleepSchedule, Simulator};
+pub use sim::{
+    Behavior, CompromiseSpec, Context, LinkDegradation, PartitionSpec, SimulatorBuilder,
+    SleepSchedule, Simulator,
+};
 pub use stats::{NetStats, Summary};
 pub use terrain::{Clutter, Terrain};
 pub use time::{SimDuration, SimTime};
@@ -42,8 +45,8 @@ pub use iobt_obs::Recorder;
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::{
-        Behavior, Channel, ChurnProcess, Clutter, ConnectivityGraph, Context, Jammer, Message,
-        MobilityModel, NetStats, SimDuration, SimTime, Simulator, SleepSchedule, Summary,
-        Terrain,
+        Behavior, Channel, ChurnProcess, Clutter, CompromiseSpec, ConnectivityGraph, Context,
+        Jammer, LinkDegradation, Message, MobilityModel, NetStats, PartitionSpec, SimDuration,
+        SimTime, Simulator, SleepSchedule, Summary, Terrain,
     };
 }

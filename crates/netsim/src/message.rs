@@ -18,6 +18,7 @@ pub struct Message {
     kind: u32,
     payload: Bytes,
     sent_at: SimTime,
+    tampered: bool,
 }
 
 impl Message {
@@ -30,6 +31,7 @@ impl Message {
             kind,
             payload: payload.into(),
             sent_at: SimTime::ZERO,
+            tampered: false,
         }
     }
 
@@ -56,6 +58,17 @@ impl Message {
     /// Time the message entered the network.
     pub const fn sent_at(&self) -> SimTime {
         self.sent_at
+    }
+
+    /// Whether a compromised relay tampered with this message in flight.
+    /// Integrity-aware receivers must treat flagged payloads as
+    /// untrustworthy (§IV: gray/red assets may corrupt what they carry).
+    pub const fn tampered(&self) -> bool {
+        self.tampered
+    }
+
+    pub(crate) fn mark_tampered(&mut self) {
+        self.tampered = true;
     }
 
     /// Total size on the wire in bits, including a fixed 32-byte header.

@@ -41,10 +41,10 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use iobt_obs::{DropCause, Recorder, TraceEvent};
-use iobt_types::{EnergyBudget, NodeCatalog, NodeId, Point, RadioKind};
+use iobt_types::{EnergyBudget, NodeCatalog, NodeId, Point, RadioKind, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -112,6 +112,92 @@ impl SleepSchedule {
     }
 }
 
+/// A network-partition cut: while active, no link may cross between
+/// group `a` and group `b` (fiber cut, relay sabotage, RF occlusion).
+/// Nodes stay alive — only the links between the groups vanish, which is
+/// exactly the correlated regime of Farooq & Zhu (arXiv:1703.01224) that
+/// point failures cannot express.
+#[derive(Debug, Clone)]
+pub struct PartitionSpec {
+    a: BTreeSet<NodeId>,
+    b: BTreeSet<NodeId>,
+}
+
+impl PartitionSpec {
+    /// Creates a cut between two groups. Ids present in both groups are
+    /// treated as members of `a` only (a node cannot be cut from itself).
+    pub fn new(a: impl IntoIterator<Item = NodeId>, b: impl IntoIterator<Item = NodeId>) -> Self {
+        let a: BTreeSet<NodeId> = a.into_iter().collect();
+        let b = b.into_iter().filter(|id| !a.contains(id)).collect();
+        PartitionSpec { a, b }
+    }
+
+    /// Whether this cut severs the link `x`–`y`.
+    pub fn cuts(&self, x: NodeId, y: NodeId) -> bool {
+        (self.a.contains(&x) && self.b.contains(&y)) || (self.a.contains(&y) && self.b.contains(&x))
+    }
+}
+
+/// A channel-wide link degradation: extra path loss on every link plus a
+/// service-time multiplier (weather, obscurants, wide-band interference).
+/// Multiple active degradations compose: losses add, multipliers multiply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegradation {
+    /// Extra path loss applied to every link while active, in dB.
+    pub extra_loss_db: f64,
+    /// Multiplier on per-hop service time (≥ 1 in practice; values below
+    /// are clamped to 1 when applied).
+    pub latency_mult: f64,
+}
+
+impl LinkDegradation {
+    /// Creates a degradation spec; loss clamps to ≥ 0, multiplier to ≥ 1.
+    pub fn new(extra_loss_db: f64, latency_mult: f64) -> Self {
+        LinkDegradation {
+            extra_loss_db: extra_loss_db.max(0.0),
+            latency_mult: latency_mult.max(1.0),
+        }
+    }
+}
+
+/// A set of compromised (gray/red) relays: while active, any message
+/// routed *through* one of these nodes is delayed by `extra_delay` and,
+/// if `tamper` is set, delivered with its integrity flag raised so
+/// receivers can discard it (§IV: partially-trusted assets may corrupt
+/// what they carry). Messages originating at or addressed to a
+/// compromised node are unaffected — the attack is on the relay role.
+#[derive(Debug, Clone)]
+pub struct CompromiseSpec {
+    relays: BTreeSet<NodeId>,
+    extra_delay: SimDuration,
+    tamper: bool,
+}
+
+impl CompromiseSpec {
+    /// Creates a compromised-relay spec.
+    pub fn new(relays: impl IntoIterator<Item = NodeId>, extra_delay: SimDuration, tamper: bool) -> Self {
+        CompromiseSpec {
+            relays: relays.into_iter().collect(),
+            extra_delay,
+            tamper,
+        }
+    }
+
+    /// The compromised relay ids.
+    pub fn relays(&self) -> &BTreeSet<NodeId> {
+        &self.relays
+    }
+}
+
+/// A registered region blackout: the rect is fixed at registration, the
+/// affected set is resolved from live node positions when the outage
+/// fires (mobile nodes are caught where they actually are).
+#[derive(Debug, Clone)]
+struct Blackout {
+    rect: Rect,
+    affected: BTreeSet<NodeId>,
+}
+
 /// Per-node runtime state.
 #[derive(Debug)]
 struct NodeRuntime {
@@ -132,6 +218,11 @@ enum Event {
     NodeDown(NodeId),
     NodeUp(NodeId),
     SetJammer { index: usize, active: bool },
+    SetPartition { index: usize, active: bool },
+    SetDegradation { index: usize, active: bool },
+    SetCompromise { index: usize, active: bool },
+    RegionOutage { index: usize },
+    RegionRestore { index: usize },
 }
 
 struct Queued {
@@ -214,6 +305,12 @@ impl<'a> Context<'a> {
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let at = self.core.now + delay;
         self.core.push(at, Event::Timer { node: self.node, token });
+    }
+
+    /// The observability recorder, synced to sim time — behaviors can
+    /// record their own application-layer events through it.
+    pub fn recorder(&self) -> &Recorder {
+        &self.core.recorder
     }
 
     /// Uniform random sample in `[0, 1)` from the simulation RNG.
@@ -355,6 +452,11 @@ impl SimulatorBuilder {
             mobility_step: self.mobility_step,
             idle_drain_w: self.idle_drain_w,
             recorder: self.recorder,
+            partitions: Vec::new(),
+            degradations: Vec::new(),
+            latency_mult: 1.0,
+            compromises: Vec::new(),
+            blackouts: Vec::new(),
         };
         core.push(SimTime::ZERO + self.mobility_step, Event::MobilityTick);
         Simulator {
@@ -380,6 +482,25 @@ struct Core {
     mobility_step: SimDuration,
     idle_drain_w: f64,
     recorder: Recorder,
+    partitions: Vec<(PartitionSpec, bool)>,
+    degradations: Vec<(LinkDegradation, bool)>,
+    /// Product of active degradation multipliers, cached on toggle.
+    latency_mult: f64,
+    compromises: Vec<(CompromiseSpec, bool)>,
+    blackouts: Vec<Blackout>,
+}
+
+/// Base MAC backoff before the first retransmission, in seconds.
+pub const MAC_BACKOFF_BASE_S: f64 = 0.0005;
+/// Cap on the per-attempt MAC backoff, in seconds.
+pub const MAC_BACKOFF_CAP_S: f64 = 0.004;
+
+/// Deterministic capped exponential MAC backoff for `attempt` (1-based):
+/// 0.5 ms, 1 ms, 2 ms, 4 ms, 4 ms, … Replaces the old per-attempt random
+/// service draw so hop latency is a pure function of the attempt count.
+pub fn mac_backoff_s(attempt: u32) -> f64 {
+    let exp = attempt.saturating_sub(1).min(30);
+    (MAC_BACKOFF_BASE_S * f64::from(1u32 << exp)).min(MAC_BACKOFF_CAP_S)
 }
 
 impl Core {
@@ -416,7 +537,11 @@ impl Core {
                         && n.sleep.is_none_or(|s| s.is_awake(now)),
                 })
                 .collect();
-            let built = ConnectivityGraph::build(&nodes, &self.channel);
+            let partitions = &self.partitions;
+            let deny = |x: NodeId, y: NodeId| {
+                partitions.iter().any(|(p, on)| *on && p.cuts(x, y))
+            };
+            let built = ConnectivityGraph::build_filtered(&nodes, &self.channel, &deny);
             self.recorder.record(TraceEvent::GraphRebuilt {
                 nodes: built.len() as u64,
                 edges: built.link_count() as u64,
@@ -446,16 +571,12 @@ impl Core {
             .map(|n| n.alive && !n.energy.is_depleted())
             .unwrap_or(false);
         if !src_alive || !dst_alive {
-            self.stats.dropped += 1;
-            self.stats.dropped_dead += 1;
-            self.record_drop(&msg, DropCause::Dead);
+            self.drop_message(&msg, DropCause::Dead);
             return;
         }
         if !self.is_active(msg.src()) || !self.is_active(msg.dst()) {
             // Alive but inside a sleep phase of the duty cycle.
-            self.stats.dropped += 1;
-            self.stats.dropped_asleep += 1;
-            self.record_drop(&msg, DropCause::Asleep);
+            self.drop_message(&msg, DropCause::Asleep);
             return;
         }
         // Split borrows: the lazily-built graph is immutable while the
@@ -464,9 +585,7 @@ impl Core {
         // lint: allow(panic) — self.graph() on the previous line guarantees the snapshot exists
         let graph = self.graph.as_ref().expect("just built");
         let Some(route) = graph.route_with(&mut self.route_scratch, msg.src(), msg.dst()) else {
-            self.stats.dropped += 1;
-            self.stats.dropped_no_route += 1;
-            self.record_drop(&msg, DropCause::NoRoute);
+            self.drop_message(&msg, DropCause::NoRoute);
             return;
         };
         let size_bits = msg.size_bits();
@@ -485,12 +604,16 @@ impl Core {
                 break;
             };
             let (hop_ok, attempts) = self.attempt_hop(from, to, link);
+            self.stats.hop_attempts += u64::from(attempts);
+            self.stats.retransmits += u64::from(attempts.saturating_sub(1));
             let tx_time_s = size_bits as f64 / (link.radio.bandwidth_kbps() * 1_000.0);
-            // Propagation is negligible at these ranges; queueing and MAC
-            // backoff are folded into a per-attempt random service time.
-            let backoff_s: f64 = self.rng.gen_range(0.0005..0.003);
-            latency = latency
-                + SimDuration::from_secs_f64(attempts as f64 * (tx_time_s + backoff_s));
+            // Propagation is negligible at these ranges; each attempt pays
+            // its transmission time plus a deterministic capped exponential
+            // MAC backoff, scaled by any active link-degradation multiplier.
+            let service_s: f64 = (1..=attempts)
+                .map(|k| tx_time_s + mac_backoff_s(k))
+                .sum();
+            latency = latency + SimDuration::from_secs_f64(service_s * self.latency_mult);
             // Energy: transmitter pays per attempt, receiver pays once.
             let tx_energy = self.nodes[&from].tx_power_w * tx_time_s * attempts as f64;
             self.drain(from, tx_energy);
@@ -501,16 +624,52 @@ impl Core {
             }
         }
         if success {
+            let mut msg = msg;
+            // Compromised-relay faults act on the *relay role*: the first
+            // active compromised node strictly inside the route delays the
+            // message and (optionally) corrupts it.
+            let interdiction = route
+                .iter()
+                .skip(1)
+                .take(route.len().saturating_sub(2))
+                .find_map(|relay| {
+                    self.compromises
+                        .iter()
+                        .find(|(spec, on)| *on && spec.relays.contains(relay))
+                        .map(|(spec, _)| (*relay, spec.extra_delay, spec.tamper))
+                });
+            if let Some((relay, extra_delay, tamper)) = interdiction {
+                latency = latency + extra_delay;
+                if tamper {
+                    msg.mark_tampered();
+                    self.stats.tampered += 1;
+                    self.recorder.record(TraceEvent::MsgTampered {
+                        from: msg.src().raw(),
+                        to: msg.dst().raw(),
+                        relay: relay.raw(),
+                    });
+                }
+            }
             let at = self.now + latency;
             self.push(at, Event::Deliver(msg));
         } else {
-            self.stats.dropped += 1;
-            self.stats.dropped_channel += 1;
-            self.record_drop(&msg, DropCause::Channel);
+            self.drop_message(&msg, DropCause::Channel);
         }
     }
 
-    fn record_drop(&self, msg: &Message, cause: DropCause) {
+    /// The single place a message death is accounted: increments the
+    /// total drop counter and exactly one per-cause counter, and emits
+    /// the trace event. Both the synchronous transmit path and the
+    /// deferred delivery path route through here, so `dropped` always
+    /// equals the sum of the per-cause counters.
+    fn drop_message(&mut self, msg: &Message, cause: DropCause) {
+        self.stats.dropped += 1;
+        match cause {
+            DropCause::NoRoute => self.stats.dropped_no_route += 1,
+            DropCause::Channel => self.stats.dropped_channel += 1,
+            DropCause::Dead => self.stats.dropped_dead += 1,
+            DropCause::Asleep => self.stats.dropped_asleep += 1,
+        }
         self.recorder.record(TraceEvent::MsgDropped {
             from: msg.src().raw(),
             to: msg.dst().raw(),
@@ -684,6 +843,66 @@ impl Simulator {
         self.core.push(at, Event::SetJammer { index, active });
     }
 
+    /// Registers a partition cut (inactive), returning its index for
+    /// [`Simulator::schedule_partition`].
+    pub fn add_partition(&mut self, spec: PartitionSpec) -> usize {
+        self.core.partitions.push((spec, false));
+        self.core.partitions.len() - 1
+    }
+
+    /// Schedules activating or clearing partition `index` at `at`.
+    pub fn schedule_partition(&mut self, at: SimTime, index: usize, active: bool) {
+        self.core.push(at, Event::SetPartition { index, active });
+    }
+
+    /// Registers a link degradation (inactive), returning its index for
+    /// [`Simulator::schedule_degradation`].
+    pub fn add_degradation(&mut self, spec: LinkDegradation) -> usize {
+        self.core.degradations.push((spec, false));
+        self.core.degradations.len() - 1
+    }
+
+    /// Schedules activating or clearing link degradation `index` at `at`.
+    /// Active degradations compose: losses add, multipliers multiply.
+    pub fn schedule_degradation(&mut self, at: SimTime, index: usize, active: bool) {
+        self.core.push(at, Event::SetDegradation { index, active });
+    }
+
+    /// Registers a compromised-relay spec (inactive), returning its index
+    /// for [`Simulator::schedule_compromise`].
+    pub fn add_compromise(&mut self, spec: CompromiseSpec) -> usize {
+        self.core.compromises.push((spec, false));
+        self.core.compromises.len() - 1
+    }
+
+    /// Schedules activating or clearing compromise `index` at `at`.
+    pub fn schedule_compromise(&mut self, at: SimTime, index: usize, active: bool) {
+        self.core.push(at, Event::SetCompromise { index, active });
+    }
+
+    /// Registers a region blackout over `rect`, returning its index for
+    /// [`Simulator::schedule_region_outage`] /
+    /// [`Simulator::schedule_region_restore`].
+    pub fn add_region_blackout(&mut self, rect: Rect) -> usize {
+        self.core.blackouts.push(Blackout {
+            rect,
+            affected: BTreeSet::new(),
+        });
+        self.core.blackouts.len() - 1
+    }
+
+    /// Schedules blackout `index` to fire at `at`: every alive node
+    /// inside the rect at that instant goes down together.
+    pub fn schedule_region_outage(&mut self, at: SimTime, index: usize) {
+        self.core.push(at, Event::RegionOutage { index });
+    }
+
+    /// Schedules lifting blackout `index` at `at`: nodes it killed are
+    /// revived unless they depleted in the meantime.
+    pub fn schedule_region_restore(&mut self, at: SimTime, index: usize) {
+        self.core.push(at, Event::RegionRestore { index });
+    }
+
     /// Runs until the queue is empty or `deadline` is reached; the clock
     /// ends at `deadline` (or the last event time if the queue drains).
     pub fn run_until(&mut self, deadline: SimTime) {
@@ -731,17 +950,13 @@ impl Simulator {
                     .map(|n| n.alive && !n.energy.is_depleted())
                     .unwrap_or(false);
                 if !alive {
-                    self.core.stats.dropped += 1;
-                    self.core.stats.dropped_dead += 1;
-                    self.core.record_drop(&msg, DropCause::Dead);
+                    self.core.drop_message(&msg, DropCause::Dead);
                     return;
                 }
                 if !self.core.is_active(msg.dst()) {
                     // The destination dozed off while the message was in
                     // flight.
-                    self.core.stats.dropped += 1;
-                    self.core.stats.dropped_asleep += 1;
-                    self.core.record_drop(&msg, DropCause::Asleep);
+                    self.core.drop_message(&msg, DropCause::Asleep);
                     return;
                 }
                 self.core.stats.delivered += 1;
@@ -815,6 +1030,102 @@ impl Simulator {
                     index: index as u64,
                     on: active,
                 });
+            }
+            Event::SetPartition { index, active } => {
+                if let Some(p) = self.core.partitions.get_mut(index) {
+                    p.1 = active;
+                    self.core.graph = None;
+                    self.core.recorder.record(TraceEvent::PartitionSet {
+                        index: index as u64,
+                        on: active,
+                    });
+                }
+            }
+            Event::SetDegradation { index, active } => {
+                if let Some(d) = self.core.degradations.get_mut(index) {
+                    d.1 = active;
+                    let spec = d.0;
+                    let mut loss = 0.0;
+                    let mut mult = 1.0;
+                    for (s, on) in &self.core.degradations {
+                        if *on {
+                            loss += s.extra_loss_db.max(0.0);
+                            mult *= s.latency_mult.max(1.0);
+                        }
+                    }
+                    self.core.channel.set_extra_loss_db(loss);
+                    self.core.latency_mult = mult;
+                    self.core.graph = None;
+                    self.core.recorder.record(TraceEvent::DegradeSet {
+                        index: index as u64,
+                        on: active,
+                        extra_loss_db: spec.extra_loss_db,
+                        latency_mult: spec.latency_mult,
+                    });
+                }
+            }
+            Event::SetCompromise { index, active } => {
+                if let Some(c) = self.core.compromises.get_mut(index) {
+                    c.1 = active;
+                    self.core.recorder.record(TraceEvent::CompromiseSet {
+                        index: index as u64,
+                        on: active,
+                    });
+                }
+            }
+            Event::RegionOutage { index } => {
+                let Some(rect) = self.core.blackouts.get(index).map(|b| b.rect) else {
+                    return;
+                };
+                // Membership is resolved at fire time so mobile nodes are
+                // caught wherever they actually are.
+                let mut killed = BTreeSet::new();
+                for (id, n) in self.core.nodes.iter_mut() {
+                    if n.alive && !n.energy.is_depleted() && rect.contains(n.mobility.position())
+                    {
+                        n.alive = false;
+                        killed.insert(*id);
+                    }
+                }
+                for id in &killed {
+                    self.core
+                        .recorder
+                        .record(TraceEvent::NodeDown { node: id.raw() });
+                }
+                self.core.recorder.record(TraceEvent::RegionOutage {
+                    index: index as u64,
+                    killed: killed.len() as u64,
+                });
+                if !killed.is_empty() {
+                    self.core.graph = None;
+                }
+                self.core.blackouts[index].affected = killed;
+            }
+            Event::RegionRestore { index } => {
+                let Some(b) = self.core.blackouts.get_mut(index) else {
+                    return;
+                };
+                let affected = std::mem::take(&mut b.affected);
+                let mut revived = 0u64;
+                for id in &affected {
+                    if let Some(n) = self.core.nodes.get_mut(id) {
+                        // Energy depletion during the outage is permanent.
+                        if !n.energy.is_depleted() && !n.alive {
+                            n.alive = true;
+                            revived += 1;
+                            self.core
+                                .recorder
+                                .record(TraceEvent::NodeUp { node: id.raw() });
+                        }
+                    }
+                }
+                self.core.recorder.record(TraceEvent::RegionRestore {
+                    index: index as u64,
+                    revived,
+                });
+                if revived > 0 {
+                    self.core.graph = None;
+                }
             }
         }
     }
@@ -1103,5 +1414,228 @@ mod tests {
         let mut sim = Simulator::builder(two_node_catalog(50.0)).build();
         sim.run_until(SimTime::from_millis(1_234));
         assert_eq!(sim.now(), SimTime::from_millis(1_234));
+    }
+
+    #[test]
+    fn mac_backoff_is_capped_exponential() {
+        assert_eq!(mac_backoff_s(1), 0.0005);
+        assert_eq!(mac_backoff_s(2), 0.0010);
+        assert_eq!(mac_backoff_s(3), 0.0020);
+        assert_eq!(mac_backoff_s(4), 0.0040);
+        assert_eq!(mac_backoff_s(5), MAC_BACKOFF_CAP_S, "capped from here on");
+        assert_eq!(mac_backoff_s(40), MAC_BACKOFF_CAP_S, "shift is clamped");
+    }
+
+    fn chain_catalog(n: u64, gap_m: f64) -> NodeCatalog {
+        let mut catalog = NodeCatalog::new();
+        for i in 0..n {
+            catalog
+                .insert(
+                    NodeSpec::builder(NodeId::new(i))
+                        .affiliation(Affiliation::Blue)
+                        .position(Point::new(i as f64 * gap_m, 0.0))
+                        .radio(Radio::new(RadioKind::Wifi))
+                        .energy(EnergyBudget::new(10_000.0))
+                        .build(),
+                )
+                .unwrap();
+        }
+        catalog
+    }
+
+    #[test]
+    fn backoff_counts_attempts_and_retransmits_reproducibly() {
+        // A marginal urban link forces MAC retries; the attempt accounting
+        // must satisfy attempts = first-transmissions + retransmits and be
+        // byte-stable across same-seed runs.
+        let run = || {
+            let urban = Terrain::uniform(Rect::square(2_000.0), crate::terrain::Clutter::Urban);
+            let mut sim = Simulator::builder(two_node_catalog(115.0))
+                .terrain(urban)
+                .seed(11)
+                .build();
+            sim.set_behavior(
+                NodeId::new(0),
+                Box::new(PeriodicSender {
+                    target: NodeId::new(1),
+                    period: SimDuration::from_millis(100),
+                    remaining: 30,
+                }),
+            );
+            sim.run_for(SimDuration::from_secs_f64(5.0));
+            (
+                sim.stats().hop_attempts,
+                sim.stats().retransmits,
+                sim.stats().latency_ms.mean(),
+            )
+        };
+        let (attempts, retx, latency) = run();
+        assert!(attempts >= 30, "every send consumes at least one attempt");
+        assert!(retx > 0, "a 115 m wifi link must force some retries");
+        assert_eq!(
+            attempts - retx,
+            30,
+            "attempts minus retransmits = hops tried once"
+        );
+        assert_eq!(run(), (attempts, retx, latency), "same-seed stability");
+    }
+
+    #[test]
+    fn drop_causes_are_counted_exactly_once_each() {
+        // Mix of failure modes: an unreachable peer (no_route), a dead
+        // destination, and sleep-phase losses on the deferred path. The
+        // total must equal the sum over causes — no double counting.
+        let mut catalog = chain_catalog(2, 50.0);
+        catalog
+            .insert(
+                NodeSpec::builder(NodeId::new(9))
+                    .position(Point::new(50_000.0, 0.0))
+                    .radio(Radio::new(RadioKind::Wifi))
+                    .energy(EnergyBudget::new(10_000.0))
+                    .build(),
+            )
+            .unwrap();
+        let mut sim = Simulator::builder(catalog)
+            .sleep_schedule(
+                NodeId::new(1),
+                SleepSchedule::new(SimDuration::from_millis(40), 0.5, SimDuration::ZERO),
+            )
+            .seed(7)
+            .build();
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(9) }));
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(PeriodicSender {
+                target: NodeId::new(1),
+                period: SimDuration::from_millis(35),
+                remaining: 60,
+            }),
+        );
+        sim.schedule_node_down(SimTime::from_secs_f64(1.0), NodeId::new(1));
+        sim.run_for(SimDuration::from_secs_f64(4.0));
+        let s = sim.stats();
+        assert_eq!(
+            s.dropped,
+            s.dropped_no_route + s.dropped_channel + s.dropped_dead + s.dropped_asleep,
+            "each drop counted under exactly one cause: {s}"
+        );
+        assert_eq!(s.sent, s.delivered + s.dropped, "no message unaccounted");
+        assert!(s.dropped_dead > 0, "sends after the kill must drop dead");
+    }
+
+    #[test]
+    fn message_dying_in_flight_is_counted_once() {
+        // Kill the destination *between* transmit and deferred delivery:
+        // the message must be counted dropped_dead exactly once and never
+        // delivered.
+        let mut sim = Simulator::builder(two_node_catalog(50.0)).seed(1).build();
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        // Delivery latency is ≥ tx_time + 0.5 ms backoff; 200 µs lands
+        // inside the in-flight window.
+        sim.schedule_node_down(SimTime::from_micros(200), NodeId::new(1));
+        sim.run_for(SimDuration::from_millis(500));
+        let s = sim.stats();
+        assert_eq!(s.delivered, 0);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.dropped_dead, 1);
+        assert_eq!(
+            s.dropped,
+            s.dropped_no_route + s.dropped_channel + s.dropped_dead + s.dropped_asleep
+        );
+    }
+
+    #[test]
+    fn partition_cuts_links_and_clears() {
+        let mut sim = Simulator::builder(two_node_catalog(50.0)).seed(3).build();
+        let cut = sim.add_partition(PartitionSpec::new([NodeId::new(0)], [NodeId::new(1)]));
+        sim.schedule_partition(SimTime::from_millis(1), cut, true);
+        sim.run_until(SimTime::from_millis(5));
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(sim.stats().dropped_no_route, 1, "cut link: no route");
+        let at = sim.now() + SimDuration::from_millis(1);
+        sim.schedule_partition(at, cut, false);
+        sim.run_for(SimDuration::from_millis(10));
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(sim.stats().delivered, 1, "link restored after clear");
+    }
+
+    #[test]
+    fn degradation_multiplies_latency_and_adds_loss() {
+        let base = {
+            let mut sim = Simulator::builder(two_node_catalog(50.0)).seed(5).build();
+            sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+            sim.run_for(SimDuration::from_millis(200));
+            sim.stats().latency_ms.mean()
+        };
+        let mut sim = Simulator::builder(two_node_catalog(50.0)).seed(5).build();
+        let deg = sim.add_degradation(LinkDegradation::new(0.0, 4.0));
+        sim.schedule_degradation(SimTime::from_micros(1), deg, true);
+        sim.run_until(SimTime::from_micros(10));
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(200));
+        let degraded = sim.stats().latency_ms.mean();
+        assert_eq!(sim.stats().delivered, 1);
+        assert!(
+            degraded > base * 2.0,
+            "4x service-time multiplier must show up: base={base} degraded={degraded}"
+        );
+        // A strong extra loss on a marginal link severs it outright.
+        let mut sim = Simulator::builder(two_node_catalog(115.0)).seed(5).build();
+        let deg = sim.add_degradation(LinkDegradation::new(60.0, 1.0));
+        sim.schedule_degradation(SimTime::from_micros(1), deg, true);
+        sim.run_until(SimTime::from_micros(10));
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_millis(200));
+        assert_eq!(sim.stats().delivered, 0, "60 dB extra loss kills the link");
+    }
+
+    #[test]
+    fn compromised_relay_delays_and_tampers() {
+        // Chain 0 – 1 – 2 where node 1 must relay: 100 m hops link, but the
+        // 200 m direct path exceeds wifi range, so the route goes through
+        // the compromised middle node.
+        let mut sim = Simulator::builder(chain_catalog(3, 100.0)).seed(9).build();
+        let spec = CompromiseSpec::new(
+            [NodeId::new(1)],
+            SimDuration::from_millis(250),
+            true,
+        );
+        let idx = sim.add_compromise(spec);
+        sim.schedule_compromise(SimTime::from_micros(1), idx, true);
+        sim.run_until(SimTime::from_micros(10));
+        sim.set_behavior(NodeId::new(0), Box::new(PingOnce { target: NodeId::new(2) }));
+        sim.run_for(SimDuration::from_secs_f64(2.0));
+        let s = sim.stats();
+        assert_eq!(s.delivered, 1, "tampered messages still arrive: {s}");
+        assert_eq!(s.tampered, 1, "relay must flag the message");
+        assert!(
+            s.latency_ms.mean() >= 250.0,
+            "interdiction delay must appear in latency: {}",
+            s.latency_ms.mean()
+        );
+        // Direct traffic between honest neighbors is untouched.
+        sim.set_behavior(NodeId::new(2), Box::new(PingOnce { target: NodeId::new(1) }));
+        sim.run_for(SimDuration::from_secs_f64(1.0));
+        assert_eq!(sim.stats().tampered, 1, "src/dst roles are not interdicted");
+    }
+
+    #[test]
+    fn region_blackout_kills_inside_and_restores_survivors() {
+        let mut sim = Simulator::builder(chain_catalog(4, 100.0)).seed(2).build();
+        // Rect covers nodes 0 and 1 (x in [0, 150]); nodes 2, 3 outside.
+        let rect = Rect::new(Point::new(-10.0, -10.0), Point::new(150.0, 10.0));
+        let idx = sim.add_region_blackout(rect);
+        sim.schedule_region_outage(SimTime::from_millis(10), idx);
+        sim.run_until(SimTime::from_millis(20));
+        assert!(!sim.is_alive(NodeId::new(0)));
+        assert!(!sim.is_alive(NodeId::new(1)));
+        assert!(sim.is_alive(NodeId::new(2)));
+        assert!(sim.is_alive(NodeId::new(3)));
+        sim.schedule_region_restore(SimTime::from_millis(100), idx);
+        sim.run_until(SimTime::from_millis(200));
+        assert!(sim.is_alive(NodeId::new(0)), "restored after the outage lifts");
+        assert!(sim.is_alive(NodeId::new(1)));
     }
 }

@@ -172,6 +172,13 @@ pub struct NetStats {
     pub dropped_dead: u64,
     /// Drops because an endpoint was in a sleep phase of its duty cycle.
     pub dropped_asleep: u64,
+    /// Total per-hop MAC attempts (first transmissions + retransmits).
+    pub hop_attempts: u64,
+    /// Per-hop MAC retransmissions (attempts beyond the first).
+    pub retransmits: u64,
+    /// Messages tampered in flight by a compromised relay (counted at
+    /// tamper time; the flagged copy may still be dropped downstream).
+    pub tampered: u64,
     /// End-to-end delivery latencies in milliseconds.
     pub latency_ms: Summary,
     /// Total energy drained across all nodes, in joules.
@@ -201,7 +208,8 @@ impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sent={} delivered={} ({:.1}%) dropped={} [route={} chan={} dead={} asleep={}] latency: {}",
+            "sent={} delivered={} ({:.1}%) dropped={} [route={} chan={} dead={} asleep={}] \
+             attempts={} retx={} tampered={} latency: {}",
             self.sent,
             self.delivered,
             self.delivery_ratio() * 100.0,
@@ -210,6 +218,9 @@ impl fmt::Display for NetStats {
             self.dropped_channel,
             self.dropped_dead,
             self.dropped_asleep,
+            self.hop_attempts,
+            self.retransmits,
+            self.tampered,
             self.latency_ms
         )
     }

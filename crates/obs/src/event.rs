@@ -22,6 +22,8 @@ pub enum Subsystem {
     Synthesis,
     /// The adaptation services (`iobt-adapt`).
     Adapt,
+    /// The fault-injection subsystem (`iobt-faults`).
+    Faults,
 }
 
 impl Subsystem {
@@ -32,6 +34,7 @@ impl Subsystem {
             Subsystem::Core => "core",
             Subsystem::Synthesis => "synthesis",
             Subsystem::Adapt => "adapt",
+            Subsystem::Faults => "faults",
         }
     }
 
@@ -42,16 +45,18 @@ impl Subsystem {
             "core" => Some(Subsystem::Core),
             "synthesis" => Some(Subsystem::Synthesis),
             "adapt" => Some(Subsystem::Adapt),
+            "faults" => Some(Subsystem::Faults),
             _ => None,
         }
     }
 
     /// All subsystems, in sampling-slot order.
-    pub const ALL: [Subsystem; 4] = [
+    pub const ALL: [Subsystem; 5] = [
         Subsystem::Netsim,
         Subsystem::Core,
         Subsystem::Synthesis,
         Subsystem::Adapt,
+        Subsystem::Faults,
     ];
 
     pub(crate) fn slot(self) -> usize {
@@ -60,6 +65,7 @@ impl Subsystem {
             Subsystem::Core => 1,
             Subsystem::Synthesis => 2,
             Subsystem::Adapt => 3,
+            Subsystem::Faults => 4,
         }
     }
 }
@@ -159,6 +165,65 @@ pub enum TraceEvent {
         /// New state.
         on: bool,
     },
+    /// A network partition cut was activated or cleared.
+    PartitionSet {
+        /// Index into the simulator's partition-spec list.
+        index: u64,
+        /// New state.
+        on: bool,
+    },
+    /// A channel-wide link degradation was activated or cleared.
+    DegradeSet {
+        /// Index into the simulator's degradation-spec list.
+        index: u64,
+        /// New state.
+        on: bool,
+        /// Extra path loss applied while active, in dB.
+        extra_loss_db: f64,
+        /// Latency multiplier applied while active.
+        latency_mult: f64,
+    },
+    /// A compromised-relay spec was activated or cleared.
+    CompromiseSet {
+        /// Index into the simulator's compromise-spec list.
+        index: u64,
+        /// New state.
+        on: bool,
+    },
+    /// A message was routed through a compromised relay that tampers
+    /// with payloads; the delivered copy is flagged untrustworthy.
+    MsgTampered {
+        /// Source node id.
+        from: u64,
+        /// Destination node id.
+        to: u64,
+        /// The compromised relay the message traversed.
+        relay: u64,
+    },
+    /// A region blackout fired: every alive node inside the rect went
+    /// down at once (correlated kill, e.g. EMP/artillery).
+    RegionOutage {
+        /// Index into the simulator's blackout list.
+        index: u64,
+        /// Nodes killed by this outage.
+        killed: u64,
+    },
+    /// A region blackout was lifted and its surviving nodes restored.
+    RegionRestore {
+        /// Index into the simulator's blackout list.
+        index: u64,
+        /// Nodes revived (depleted nodes stay down).
+        revived: u64,
+    },
+
+    // -- faults ----------------------------------------------------------
+    /// A fault from a `FaultPlan` was scheduled onto the simulator.
+    FaultScheduled {
+        /// Stable fault-kind name (`"crash"`, `"partition"`, …).
+        fault: &'static str,
+        /// Injection time, integer microseconds of sim time.
+        at_us: u64,
+    },
 
     // -- core ------------------------------------------------------------
     /// Discovery + recruitment finished.
@@ -194,6 +259,49 @@ pub enum TraceEvent {
         added: u64,
         /// Whether the repaired composition satisfies the mission.
         satisfied: bool,
+    },
+    /// The heartbeat failure detector marked a node as suspected.
+    Suspected {
+        /// Suspected node id.
+        node: u64,
+        /// Silence observed when suspicion fired, integer microseconds.
+        silent_us: u64,
+    },
+    /// The failure detector triggered a repair before window close.
+    EarlyRepair {
+        /// Window in which the early repair fired.
+        window: u64,
+        /// Suspected nodes that triggered it.
+        suspects: u64,
+    },
+    /// The degradation ladder shed load to preserve core coverage.
+    Shed {
+        /// Ladder level after the shed (1-based; 0 = full capability).
+        level: u64,
+        /// Stable action name (`"redundancy"`, `"modality"`,
+        /// `"coverage"`).
+        action: &'static str,
+    },
+    /// The degradation ladder restored previously shed capability.
+    Restore {
+        /// Ladder level after the restore.
+        level: u64,
+        /// Stable action name of what was restored.
+        action: &'static str,
+    },
+    /// A tasking message went unacked and was retransmitted.
+    TaskRetry {
+        /// Target node id.
+        node: u64,
+        /// 1-based attempt number of the retransmission.
+        attempt: u64,
+    },
+    /// Tasking a node was abandoned after the attempt cap.
+    TaskAbandoned {
+        /// Target node id.
+        node: u64,
+        /// Attempts made before giving up.
+        attempts: u64,
     },
 
     // -- synthesis -------------------------------------------------------
@@ -261,11 +369,24 @@ impl TraceEvent {
             | TraceEvent::NodeDepleted { .. }
             | TraceEvent::NodeDown { .. }
             | TraceEvent::NodeUp { .. }
-            | TraceEvent::JammerSet { .. } => Subsystem::Netsim,
+            | TraceEvent::JammerSet { .. }
+            | TraceEvent::PartitionSet { .. }
+            | TraceEvent::DegradeSet { .. }
+            | TraceEvent::CompromiseSet { .. }
+            | TraceEvent::MsgTampered { .. }
+            | TraceEvent::RegionOutage { .. }
+            | TraceEvent::RegionRestore { .. } => Subsystem::Netsim,
+            TraceEvent::FaultScheduled { .. } => Subsystem::Faults,
             TraceEvent::Recruitment { .. }
             | TraceEvent::WindowClosed { .. }
             | TraceEvent::RepairTriggered { .. }
-            | TraceEvent::RepairApplied { .. } => Subsystem::Core,
+            | TraceEvent::RepairApplied { .. }
+            | TraceEvent::Suspected { .. }
+            | TraceEvent::EarlyRepair { .. }
+            | TraceEvent::Shed { .. }
+            | TraceEvent::Restore { .. }
+            | TraceEvent::TaskRetry { .. }
+            | TraceEvent::TaskAbandoned { .. } => Subsystem::Core,
             TraceEvent::Solve { .. } | TraceEvent::PortfolioMember { .. } => Subsystem::Synthesis,
             TraceEvent::Actuation { .. } | TraceEvent::Allocation { .. } => Subsystem::Adapt,
         }
@@ -283,10 +404,23 @@ impl TraceEvent {
             TraceEvent::NodeDown { .. } => "node_down",
             TraceEvent::NodeUp { .. } => "node_up",
             TraceEvent::JammerSet { .. } => "jammer_set",
+            TraceEvent::PartitionSet { .. } => "partition_set",
+            TraceEvent::DegradeSet { .. } => "degrade_set",
+            TraceEvent::CompromiseSet { .. } => "compromise_set",
+            TraceEvent::MsgTampered { .. } => "msg_tampered",
+            TraceEvent::RegionOutage { .. } => "region_outage",
+            TraceEvent::RegionRestore { .. } => "region_restore",
+            TraceEvent::FaultScheduled { .. } => "fault_scheduled",
             TraceEvent::Recruitment { .. } => "recruitment",
             TraceEvent::WindowClosed { .. } => "window_closed",
             TraceEvent::RepairTriggered { .. } => "repair_triggered",
             TraceEvent::RepairApplied { .. } => "repair_applied",
+            TraceEvent::Suspected { .. } => "suspected",
+            TraceEvent::EarlyRepair { .. } => "early_repair",
+            TraceEvent::Shed { .. } => "shed",
+            TraceEvent::Restore { .. } => "restore",
+            TraceEvent::TaskRetry { .. } => "task_retry",
+            TraceEvent::TaskAbandoned { .. } => "task_abandoned",
             TraceEvent::Solve { .. } => "solve",
             TraceEvent::PortfolioMember { .. } => "portfolio_member",
             TraceEvent::Actuation { .. } => "actuation",
@@ -395,9 +529,39 @@ impl TraceRecord {
             | TraceEvent::NodeUp { node } => {
                 push_kv_u64(out, "node", *node);
             }
-            TraceEvent::JammerSet { index, on } => {
+            TraceEvent::JammerSet { index, on }
+            | TraceEvent::PartitionSet { index, on }
+            | TraceEvent::CompromiseSet { index, on } => {
                 push_kv_u64(out, "index", *index);
                 push_kv_bool(out, "on", *on);
+            }
+            TraceEvent::DegradeSet {
+                index,
+                on,
+                extra_loss_db,
+                latency_mult,
+            } => {
+                push_kv_u64(out, "index", *index);
+                push_kv_bool(out, "on", *on);
+                push_kv_f64(out, "extra_loss_db", *extra_loss_db);
+                push_kv_f64(out, "latency_mult", *latency_mult);
+            }
+            TraceEvent::MsgTampered { from, to, relay } => {
+                push_kv_u64(out, "from", *from);
+                push_kv_u64(out, "to", *to);
+                push_kv_u64(out, "relay", *relay);
+            }
+            TraceEvent::RegionOutage { index, killed } => {
+                push_kv_u64(out, "index", *index);
+                push_kv_u64(out, "killed", *killed);
+            }
+            TraceEvent::RegionRestore { index, revived } => {
+                push_kv_u64(out, "index", *index);
+                push_kv_u64(out, "revived", *revived);
+            }
+            TraceEvent::FaultScheduled { fault, at_us } => {
+                push_kv_str(out, "fault", fault);
+                push_kv_u64(out, "at_us", *at_us);
             }
             TraceEvent::Recruitment {
                 candidates,
@@ -432,6 +596,26 @@ impl TraceRecord {
                 push_kv_u64(out, "window", *window);
                 push_kv_u64(out, "added", *added);
                 push_kv_bool(out, "satisfied", *satisfied);
+            }
+            TraceEvent::Suspected { node, silent_us } => {
+                push_kv_u64(out, "node", *node);
+                push_kv_u64(out, "silent_us", *silent_us);
+            }
+            TraceEvent::EarlyRepair { window, suspects } => {
+                push_kv_u64(out, "window", *window);
+                push_kv_u64(out, "suspects", *suspects);
+            }
+            TraceEvent::Shed { level, action } | TraceEvent::Restore { level, action } => {
+                push_kv_u64(out, "level", *level);
+                push_kv_str(out, "action", action);
+            }
+            TraceEvent::TaskRetry { node, attempt } => {
+                push_kv_u64(out, "node", *node);
+                push_kv_u64(out, "attempt", *attempt);
+            }
+            TraceEvent::TaskAbandoned { node, attempts } => {
+                push_kv_u64(out, "node", *node);
+                push_kv_u64(out, "attempts", *attempts);
             }
             TraceEvent::Solve {
                 solver,

@@ -19,12 +19,12 @@ use crate::sink::{JsonlSink, NullSink, RingHandle, RingSink, TraceSink};
 /// **not** sampled — every event updates the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SamplingConfig {
-    every_nth: [u32; 4],
+    every_nth: [u32; 5],
 }
 
 impl Default for SamplingConfig {
     fn default() -> Self {
-        SamplingConfig { every_nth: [1; 4] }
+        SamplingConfig { every_nth: [1; 5] }
     }
 }
 
@@ -36,7 +36,7 @@ impl SamplingConfig {
 
     /// Applies the same `every_nth` to all subsystems.
     pub fn all(n: u32) -> Self {
-        SamplingConfig { every_nth: [n; 4] }
+        SamplingConfig { every_nth: [n; 5] }
     }
 
     /// Sets the sampling interval for one subsystem.
@@ -61,7 +61,7 @@ impl SamplingConfig {
 struct Inner {
     t_us: u64,
     seq: u64,
-    emitted: [u64; 4],
+    emitted: [u64; 5],
     sampling: SamplingConfig,
     metrics: MetricsRegistry,
     sink: Box<dyn TraceSink>,
@@ -120,7 +120,7 @@ impl Recorder {
         Recorder(Some(Rc::new(RefCell::new(Inner {
             t_us: 0,
             seq: 0,
-            emitted: [0; 4],
+            emitted: [0; 5],
             sampling: SamplingConfig::default(),
             metrics: MetricsRegistry::new(),
             sink,
@@ -261,6 +261,31 @@ fn update_metrics(m: &mut MetricsRegistry, event: &TraceEvent) {
         TraceEvent::NodeDown { .. } => m.inc("netsim.node_down", 1),
         TraceEvent::NodeUp { .. } => m.inc("netsim.node_up", 1),
         TraceEvent::JammerSet { .. } => m.inc("netsim.jammer_toggles", 1),
+        TraceEvent::PartitionSet { .. } => m.inc("netsim.partition_toggles", 1),
+        TraceEvent::DegradeSet { .. } => m.inc("netsim.degrade_toggles", 1),
+        TraceEvent::CompromiseSet { .. } => m.inc("netsim.compromise_toggles", 1),
+        TraceEvent::MsgTampered { .. } => m.inc("netsim.msg_tampered", 1),
+        TraceEvent::RegionOutage { killed, .. } => {
+            m.inc("netsim.region_outages", 1);
+            m.inc("netsim.region_killed", *killed);
+        }
+        TraceEvent::RegionRestore { revived, .. } => {
+            m.inc("netsim.region_restores", 1);
+            m.inc("netsim.region_revived", *revived);
+        }
+        TraceEvent::FaultScheduled { fault, .. } => {
+            m.inc("faults.scheduled", 1);
+            let name = match *fault {
+                "crash" => "faults.crash",
+                "crash_recover" => "faults.crash_recover",
+                "region_blackout" => "faults.region_blackout",
+                "partition" => "faults.partition",
+                "degrade" => "faults.degrade",
+                "compromise" => "faults.compromise",
+                _ => "faults.other",
+            };
+            m.inc(name, 1);
+        }
         TraceEvent::Recruitment { recruited, .. } => {
             m.inc("core.recruitments", 1);
             m.set_gauge("core.recruited", *recruited as f64);
@@ -271,6 +296,12 @@ fn update_metrics(m: &mut MetricsRegistry, event: &TraceEvent) {
         }
         TraceEvent::RepairTriggered { .. } => m.inc("core.repairs_triggered", 1),
         TraceEvent::RepairApplied { .. } => m.inc("core.repairs_applied", 1),
+        TraceEvent::Suspected { .. } => m.inc("core.suspected", 1),
+        TraceEvent::EarlyRepair { .. } => m.inc("core.early_repairs", 1),
+        TraceEvent::Shed { .. } => m.inc("core.sheds", 1),
+        TraceEvent::Restore { .. } => m.inc("core.restores", 1),
+        TraceEvent::TaskRetry { .. } => m.inc("core.task_retries", 1),
+        TraceEvent::TaskAbandoned { .. } => m.inc("core.task_abandoned", 1),
         TraceEvent::Solve { steps, .. } => {
             m.inc("synthesis.solves", 1);
             m.observe(

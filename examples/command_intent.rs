@@ -67,6 +67,7 @@ fn main() {
         ActuationDecision::Approved => "APPROVED",
         ActuationDecision::WithheldOccupied => "WITHHELD (zone occupied)",
         ActuationDecision::DeniedNoAuthorization => "DENIED (no human authorization)",
+        ActuationDecision::DeniedDegraded => "DENIED (degraded: human required)",
     };
     let d = safety.request(robot, ActuatorKind::Demolition, 1, 10.0);
     println!("  t=10s  demolition, no authorization : {}", show(d));

@@ -32,6 +32,7 @@
 pub use iobt_adapt as adapt;
 pub use iobt_core as core;
 pub use iobt_discovery as discovery;
+pub use iobt_faults as faults;
 pub use iobt_learning as learning;
 pub use iobt_netsim as netsim;
 pub use iobt_obs as obs;
@@ -41,8 +42,8 @@ pub use iobt_truth as truth;
 pub use iobt_types as types;
 
 pub use iobt_core::{
-    run_mission, EndStateDigest, MissionReport, RunConfig, RunConfigBuilder, WallClockReport,
-    WindowStat,
+    run_mission, EndStateDigest, MissionReport, ResilienceReport, RunConfig, RunConfigBuilder,
+    WallClockReport, WindowStat,
 };
 pub use iobt_obs::Recorder;
 
@@ -57,10 +58,13 @@ pub mod prelude {
     pub use iobt_core::{
         allocate_missions, calibrate_human_trust, diagnose_failures, disaster_relief,
         persistent_surveillance, run_mission, urban_evacuation, CalibrationSummary,
-        DiagnosisReport, Disruption, EndStateDigest, MissionAllocation, MissionReport,
-        NetworkModel, RunConfig, RunConfigBuilder, Scenario, TaskingPlan, WallClockReport,
-        WindowStat, COMMAND_POST_ID,
+        DegradationLadder, DiagnosisReport, Disruption, EndStateDigest, FailureDetector,
+        LadderStep, MissionAllocation, MissionReport, NetworkModel, ResilienceReport, RunConfig,
+        RunConfigBuilder, Scenario, TaskingPlan, TaskingStats, WallClockReport, WindowStat,
+        COMMAND_POST_ID, MAX_LADDER_LEVEL,
     };
+    // Deterministic fault injection (iobt-faults).
+    pub use iobt_faults::{generate_campaign, CampaignConfig, FaultEvent, FaultKind, FaultPlan};
     // Observability (iobt-obs).
     pub use iobt_obs::{
         DropCause, Histogram, HistogramSnapshot, JsonlSink, MetricsDigest, NullSink, Recorder,
@@ -75,9 +79,9 @@ pub mod prelude {
     };
     // Network simulator (iobt-netsim).
     pub use iobt_netsim::{
-        Behavior, Channel, ChurnProcess, Clutter, ConnectivityGraph, Context, Jammer, Message,
-        MobilityModel, NetStats, SimDuration, SimTime, Simulator, SimulatorBuilder, SleepSchedule,
-        Summary, Terrain,
+        Behavior, Channel, ChurnProcess, Clutter, CompromiseSpec, ConnectivityGraph, Context,
+        Jammer, LinkDegradation, Message, MobilityModel, NetStats, PartitionSpec, SimDuration,
+        SimTime, Simulator, SimulatorBuilder, SleepSchedule, Summary, Terrain,
     };
     // Assured synthesis (iobt-synthesis).
     pub use iobt_synthesis::{

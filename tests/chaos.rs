@@ -1,0 +1,183 @@
+//! Integration: chaos engineering against the mission runtime.
+//!
+//! A seeded fault campaign (crashes, recoveries, a region blackout, a
+//! partition, link degradation, a compromised relay) is injected into
+//! the full pipeline with every reaction feature armed — heartbeat
+//! failure detection with early repair, the graceful-degradation
+//! ladder, and acked task dissemination. The matrix asserts the §IV
+//! resilience story end to end:
+//!
+//! * same seed ⇒ bit-identical end-state digests and metric
+//!   fingerprints (chaos is reproducible, not merely survivable),
+//! * no panics anywhere under fault load,
+//! * mean utility recovers to ≥ 70% of the fault-free baseline once
+//!   the transient faults have cleared,
+//! * every reported counter is internally consistent.
+//!
+//! Seeds here mirror the CI chaos-smoke matrix (.github/workflows).
+
+use iobt::prelude::*;
+
+/// The CI seed matrix. Keep in sync with `.github/workflows/ci.yml`.
+const SEEDS: [u64; 4] = [3, 17, 42, 1009];
+
+const DURATION_S: f64 = 120.0;
+
+fn campaign_for(scenario: &Scenario, seed: u64) -> FaultPlan {
+    let blue: Vec<NodeId> = scenario
+        .catalog
+        .with_affiliation(Affiliation::Blue)
+        .iter()
+        .map(|n| n.id())
+        .collect();
+    let cfg = CampaignConfig::light(
+        SimDuration::from_secs_f64(DURATION_S),
+        scenario.mission.area(),
+    );
+    generate_campaign(seed, &blue, &cfg)
+}
+
+fn chaos_scenario(seed: u64) -> Scenario {
+    let mut scenario = persistent_surveillance(200, seed);
+    scenario.fault_plan = campaign_for(&scenario, seed);
+    scenario
+}
+
+fn chaos_config(recorder: Option<Recorder>) -> RunConfig {
+    let mut builder = RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(DURATION_S))
+        .window(SimDuration::from_secs_f64(10.0))
+        .early_repair(true)
+        .degradation_ladder(true)
+        .acked_tasking(true);
+    if let Some(recorder) = recorder {
+        builder = builder.recorder(recorder);
+    }
+    builder.build()
+}
+
+#[test]
+fn c1_same_seed_chaos_is_bit_identical() {
+    for seed in SEEDS {
+        let scenario = chaos_scenario(seed);
+        let (rec_a, _ring_a) = Recorder::memory(200_000);
+        let (rec_b, _ring_b) = Recorder::memory(200_000);
+        let a = run_mission(&scenario, &chaos_config(Some(rec_a.clone())));
+        let b = run_mission(&scenario, &chaos_config(Some(rec_b.clone())));
+        assert_eq!(
+            a.digest, b.digest,
+            "seed {seed}: end-state digests must match exactly"
+        );
+        assert_eq!(a.windows, b.windows, "seed {seed}: window traces diverged");
+        assert_eq!(
+            rec_a.metrics_digest().fingerprint(),
+            rec_b.metrics_digest().fingerprint(),
+            "seed {seed}: metric fingerprints diverged"
+        );
+        // Sanity: the campaign actually ran (faults were scheduled, the
+        // reaction layer did something, traffic flowed).
+        assert!(!scenario.fault_plan.is_empty());
+        assert!(a.digest.sent > 0 && a.digest.delivered > 0);
+    }
+}
+
+#[test]
+fn c2_utility_recovers_after_transients_clear() {
+    for seed in SEEDS {
+        let faulted = chaos_scenario(seed);
+        let mut baseline = faulted.clone();
+        baseline.fault_plan = FaultPlan::new();
+        let config = chaos_config(None);
+        let faulted_report = run_mission(&faulted, &config);
+        let baseline_report = run_mission(&baseline, &config);
+        // Transients (recovering crashes, lifted blackouts, partitions,
+        // degradations, compromises) all clear by this point; measure
+        // the tail from the first window boundary after it.
+        let clear_s = faulted.fault_plan.transient_clear_time().as_secs_f64();
+        let tail_from = (clear_s / 10.0).ceil() * 10.0;
+        assert!(
+            tail_from < DURATION_S,
+            "seed {seed}: campaign leaves no tail to measure ({tail_from})"
+        );
+        let recovered = faulted_report.utility_after(tail_from);
+        let reference = baseline_report.utility_after(tail_from);
+        assert!(
+            recovered >= 0.7 * reference,
+            "seed {seed}: tail utility {recovered:.3} < 70% of fault-free {reference:.3}"
+        );
+    }
+}
+
+#[test]
+fn c3_resilience_counters_are_consistent() {
+    for seed in SEEDS {
+        let scenario = chaos_scenario(seed);
+        let report = run_mission(&scenario, &chaos_config(None));
+        let digest = &report.digest;
+        let res = digest.resilience;
+        assert!(digest.delivered <= digest.sent, "seed {seed}");
+        assert!(digest.tampered <= digest.sent, "seed {seed}");
+        // Every early repair was provoked by at least one fresh suspect.
+        assert!(res.early_repairs <= res.suspected, "seed {seed}");
+        // The ladder's final level is exactly its net movement.
+        assert_eq!(
+            res.final_ladder_level,
+            res.sheds - res.restores,
+            "seed {seed}"
+        );
+        assert!(res.final_ladder_level <= MAX_LADDER_LEVEL as u64, "seed {seed}");
+        let tasking = res.tasking;
+        assert!(tasking.acked <= tasking.assigned, "seed {seed}");
+        assert!(
+            tasking.acked + tasking.abandoned <= tasking.assigned,
+            "seed {seed}: acked {} + abandoned {} > assigned {}",
+            tasking.acked,
+            tasking.abandoned,
+            tasking.assigned
+        );
+        assert!(tasking.assigned > 0, "seed {seed}: nobody was tasked");
+        // Early repairs are a subset of all repairs.
+        assert!(
+            res.early_repairs <= digest.repairs as u64,
+            "seed {seed}: early {} > total {}",
+            res.early_repairs,
+            digest.repairs
+        );
+    }
+}
+
+#[test]
+fn c4_reaction_layer_does_not_lose_to_passive_under_chaos() {
+    // With the same fault campaign, the armed runtime should do at
+    // least as well as a plain adaptive run (small tolerance: shedding
+    // trades utility ceiling for stability).
+    let mut armed_total = 0.0;
+    let mut passive_total = 0.0;
+    for seed in SEEDS {
+        let scenario = chaos_scenario(seed);
+        armed_total += run_mission(&scenario, &chaos_config(None)).mean_utility();
+        let passive = RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(DURATION_S))
+            .window(SimDuration::from_secs_f64(10.0))
+            .build();
+        passive_total += run_mission(&scenario, &passive).mean_utility();
+    }
+    assert!(
+        armed_total >= passive_total - 0.1 * SEEDS.len() as f64,
+        "armed {armed_total:.3} vs passive {passive_total:.3}"
+    );
+}
+
+#[test]
+fn c5_campaigns_compose_with_churn_and_jammers() {
+    // The structured fault plan must coexist with the legacy disruption
+    // channels (jammer activation + scripted node loss) without
+    // breaking determinism.
+    let mut scenario = urban_evacuation(150, 21);
+    scenario.fault_plan = campaign_for(&scenario, 21);
+    let config = chaos_config(None);
+    let a = run_mission(&scenario, &config);
+    let b = run_mission(&scenario, &config);
+    assert_eq!(a.digest, b.digest);
+    assert!(a.mean_utility() > 0.0, "mission must still function");
+}

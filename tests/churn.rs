@@ -64,6 +64,115 @@ fn adaptation_does_not_lose_to_static_under_churn() {
 }
 
 #[test]
+fn faultplan_recovery_races_scripted_loss_deterministically() {
+    // Edge case: a crash-with-recovery from the fault plan targets the
+    // same node a scripted NodeLoss kills while the recovery is still
+    // pending. The documented semantics apply — a scheduled node-up
+    // revives any non-depleted node — and the overlap must neither
+    // panic nor perturb determinism.
+    let mut scenario = persistent_surveillance(150, 13);
+    let victim = scenario
+        .disruptions
+        .iter()
+        .find_map(|d| match d {
+            Disruption::NodeLoss { node, .. } => Some(*node),
+            _ => None,
+        })
+        .expect("surveillance scripts attrition");
+    // Crash at 30 s, recovery due at 70 s; the scripted loss of the
+    // same (already down) node lands in between, at 45 s.
+    scenario.fault_plan = FaultPlan::new().crash_recover(
+        SimTime::from_secs_f64(30.0),
+        victim,
+        SimDuration::from_secs_f64(40.0),
+    );
+    let a = run_mission(&scenario, &config(true));
+    let b = run_mission(&scenario, &config(true));
+    assert_eq!(a.digest, b.digest, "overlapping down/up events diverged");
+    assert!(a.mean_utility() > 0.0);
+}
+
+#[test]
+fn churn_and_jammer_overlap_with_fault_campaign() {
+    // Edge case: stochastic churn losses, the scripted jammer
+    // activation, and a structured fault campaign all in flight at
+    // once. The channels must compose without double-freeing nodes or
+    // breaking reproducibility.
+    let mut scenario = urban_evacuation(180, 23);
+    let blue: Vec<NodeId> = scenario
+        .catalog
+        .with_affiliation(Affiliation::Blue)
+        .iter()
+        .map(|n| n.id())
+        .collect();
+    let churn = ChurnProcess::permanent(500.0, 23 ^ 0xC0FFEE);
+    for (at, node) in churn.plan(&blue, SimTime::from_secs_f64(120.0)).failures {
+        scenario.disruptions.push(Disruption::NodeLoss { at, node });
+    }
+    scenario.fault_plan = FaultPlan::new()
+        .partition(
+            SimTime::from_secs_f64(40.0),
+            PartitionSpec::new(
+                blue[..blue.len() / 2].iter().copied(),
+                blue[blue.len() / 2..].iter().copied(),
+            ),
+            SimDuration::from_secs_f64(20.0),
+        )
+        .crash_recover(
+            SimTime::from_secs_f64(55.0),
+            blue[0],
+            SimDuration::from_secs_f64(30.0),
+        );
+    let cfg = RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(120.0))
+        .early_repair(true)
+        .degradation_ladder(true)
+        .build();
+    let a = run_mission(&scenario, &cfg);
+    let b = run_mission(&scenario, &cfg);
+    assert_eq!(a.digest, b.digest, "overlapping disruption channels diverged");
+    assert!(!a.windows.is_empty());
+}
+
+#[test]
+fn sole_modality_fleet_failure_degrades_gracefully() {
+    // Edge case: every provider of one required modality dies. The
+    // ladder may shed requirements but must never shed the mission's
+    // last modality, and the run must finish without panicking.
+    let mut scenario = disaster_relief(150, 31);
+    let chem: Vec<NodeId> = scenario
+        .catalog
+        .with_sensor(SensorKind::Chemical)
+        .iter()
+        .map(|n| n.id())
+        .collect();
+    assert!(!chem.is_empty(), "relief drops chemical pods");
+    let mut plan = FaultPlan::new();
+    for node in chem {
+        plan = plan.crash(SimTime::from_secs_f64(25.0), node);
+    }
+    scenario.fault_plan = plan;
+    let cfg = RunConfig::builder()
+        .duration(SimDuration::from_secs_f64(120.0))
+        .early_repair(true)
+        .degradation_ladder(true)
+        .build();
+    let report = run_mission(&scenario, &cfg);
+    let res = report.digest.resilience;
+    assert!(
+        res.final_ladder_level <= MAX_LADDER_LEVEL as u64,
+        "ladder stayed bounded"
+    );
+    assert_eq!(
+        res.final_ladder_level,
+        res.sheds - res.restores,
+        "ladder bookkeeping is exact"
+    );
+    let again = run_mission(&scenario, &cfg);
+    assert_eq!(report.digest, again.digest);
+}
+
+#[test]
 fn lighter_churn_means_higher_utility() {
     let heavy = run_mission(&scenario_with_churn(7, 120.0), &config(true));
     let light = run_mission(&scenario_with_churn(7, 3_000.0), &config(true));
