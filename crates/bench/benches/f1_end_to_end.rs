@@ -46,7 +46,7 @@ fn main() {
                 let config = RunConfig::builder()
                     .duration(SimDuration::from_secs_f64(180.0))
                     .adaptive(adaptive)
-                    .build();
+                    .build().expect("valid run config");
                 let report = run_mission(&scenario, &config);
                 mean_u.push(report.mean_utility());
                 post_u.push(report.utility_after(60.0));

@@ -24,6 +24,7 @@ fn armed(base: RunConfigBuilder) -> RunConfig {
         .degradation_ladder(true)
         .acked_tasking(true)
         .build()
+        .expect("valid run config")
 }
 
 fn main() {
@@ -67,8 +68,8 @@ fn main() {
                 .window(SimDuration::from_secs_f64(10.0));
             let config = match mode {
                 "armed" => armed(base),
-                "adaptive" => base.build(),
-                _ => base.adaptive(false).build(),
+                "adaptive" => base.build().expect("valid run config"),
+                _ => base.adaptive(false).build().expect("valid run config"),
             };
             let report = run_mission(&scenario, &config);
             let res = report.digest.resilience;

@@ -25,7 +25,7 @@ fn run_with(scenario: &Scenario, recorder: Recorder) -> f64 {
     let config = RunConfig::builder()
         .duration(SimDuration::from_secs_f64(120.0))
         .recorder(recorder)
-        .build();
+        .build().expect("valid run config");
     let t0 = Instant::now();
     let report = run_mission(scenario, &config);
     let ms = t0.elapsed().as_secs_f64() * 1_000.0;

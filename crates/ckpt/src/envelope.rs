@@ -1,0 +1,363 @@
+//! The checkpoint file format.
+//!
+//! Fixed-order layout (all integers little-endian):
+//!
+//! | offset | size | field                                    |
+//! |--------|------|------------------------------------------|
+//! | 0      | 8    | magic `b"IOBTCKPT"`                      |
+//! | 8      | 4    | format version (`u32`, currently 1)      |
+//! | 12     | 8    | mission seed (`u64`)                     |
+//! | 20     | 8    | window index (`u64`, windows completed)  |
+//! | 28     | 8    | payload length (`u64`)                   |
+//! | 36     | n    | payload                                  |
+//! | 36 + n | 4    | CRC-32 (IEEE) over bytes `[0, 36 + n)`   |
+//!
+//! The CRC covers the header *and* the payload, so a bit flip anywhere
+//! in the file — including in the header fields themselves — is
+//! detected at load. Files are written to a `.tmp` sibling and
+//! atomically renamed into place, so a crash mid-write can only ever
+//! leave a stale temp file behind, never a truncated checkpoint under
+//! the final name.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::codec::DecodeError;
+
+/// File magic: the first eight bytes of every checkpoint.
+pub const MAGIC: [u8; 8] = *b"IOBTCKPT";
+
+/// Current checkpoint format version. Bump on any layout change; the
+/// loader rejects versions it does not understand.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size in bytes (magic + version + seed + window + len).
+pub const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
+
+/// Trailing checksum size in bytes.
+pub const TRAILER_LEN: usize = 4;
+
+/// Decoded checkpoint header fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Format version the file was written with.
+    pub version: u32,
+    /// Mission seed the checkpoint belongs to.
+    pub seed: u64,
+    /// Number of utility windows completed when the checkpoint was
+    /// taken (resume continues from window `window`).
+    pub window: u64,
+}
+
+/// Everything that can go wrong saving or loading a checkpoint.
+///
+/// None of these are panics: a torn, truncated or bit-flipped file
+/// surfaces as an `Err` so the caller can fall back to the previous
+/// good checkpoint.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem error (open/read/write/rename).
+    Io {
+        /// What was being attempted (e.g. `"write"`).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file is shorter than a minimal envelope.
+    Truncated {
+        /// Actual file length.
+        len: usize,
+        /// Minimum length for an empty-payload checkpoint.
+        min: usize,
+    },
+    /// The first eight bytes are not [`MAGIC`].
+    BadMagic,
+    /// The format version is newer (or otherwise unknown) to this build.
+    UnsupportedVersion(u32),
+    /// The header's payload length disagrees with the file size.
+    LengthMismatch {
+        /// Length declared in the header.
+        declared: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// The trailing CRC-32 does not match the file contents.
+    CrcMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the file contents.
+        computed: u32,
+    },
+    /// The checkpoint was written for a different mission seed.
+    SeedMismatch {
+        /// Seed the caller expected.
+        expected: u64,
+        /// Seed found in the header.
+        found: u64,
+    },
+    /// The envelope verified, but the payload failed to decode.
+    Decode(DecodeError),
+    /// The payload decoded, but disagrees with the scenario/config the
+    /// caller is resuming with (e.g. different window count).
+    Mismatch(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io { op, path, source } => {
+                write!(f, "checkpoint {op} failed for {}: {source}", path.display())
+            }
+            CkptError::Truncated { len, min } => {
+                write!(f, "checkpoint truncated: {len} bytes, minimum {min}")
+            }
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            CkptError::LengthMismatch { declared, actual } => write!(
+                f,
+                "payload length mismatch: header declares {declared}, file holds {actual}"
+            ),
+            CkptError::CrcMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CkptError::SeedMismatch { expected, found } => {
+                write!(f, "seed mismatch: expected {expected}, checkpoint has {found}")
+            }
+            CkptError::Decode(e) => write!(f, "payload decode failed: {e}"),
+            CkptError::Mismatch(why) => write!(f, "checkpoint does not match this run: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io { source, .. } => Some(source),
+            CkptError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for CkptError {
+    fn from(e: DecodeError) -> Self {
+        CkptError::Decode(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Serialises a checkpoint envelope around `payload`.
+pub fn encode_checkpoint(seed: u64, window: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&seed.to_le_bytes());
+    out.extend_from_slice(&window.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Verifies an envelope and returns its header and payload slice.
+///
+/// Verification order: length floor → magic → version → declared
+/// payload length → CRC. Every failure is an `Err`; nothing panics on
+/// arbitrary input.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<(CheckpointHeader, &[u8]), CkptError> {
+    let min = HEADER_LEN + TRAILER_LEN;
+    if bytes.len() < min {
+        return Err(CkptError::Truncated {
+            len: bytes.len(),
+            min,
+        });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let le_u32 = |b: &[u8]| {
+        let mut w = [0u8; 4];
+        w.copy_from_slice(&b[..4]);
+        u32::from_le_bytes(w)
+    };
+    let le_u64 = |b: &[u8]| {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&b[..8]);
+        u64::from_le_bytes(w)
+    };
+    let version = le_u32(&bytes[8..12]);
+    if version != FORMAT_VERSION {
+        return Err(CkptError::UnsupportedVersion(version));
+    }
+    let seed = le_u64(&bytes[12..20]);
+    let window = le_u64(&bytes[20..28]);
+    let declared = le_u64(&bytes[28..36]);
+    let actual = (bytes.len() - min) as u64;
+    if declared != actual {
+        return Err(CkptError::LengthMismatch { declared, actual });
+    }
+    let body = &bytes[..bytes.len() - TRAILER_LEN];
+    let stored = le_u32(&bytes[bytes.len() - TRAILER_LEN..]);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CkptError::CrcMismatch { stored, computed });
+    }
+    Ok((
+        CheckpointHeader {
+            version,
+            seed,
+            window,
+        },
+        &bytes[HEADER_LEN..bytes.len() - TRAILER_LEN],
+    ))
+}
+
+/// Writes a checkpoint to `path` atomically: the envelope is written
+/// to a `.tmp` sibling, flushed, then renamed over `path`.
+pub fn write_checkpoint_atomic(
+    path: &Path,
+    seed: u64,
+    window: u64,
+    payload: &[u8],
+) -> Result<(), CkptError> {
+    let bytes = encode_checkpoint(seed, window, payload);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let io = |op: &'static str, p: &Path| {
+        let path = p.to_path_buf();
+        move |source| CkptError::Io { op, path, source }
+    };
+    let mut file = fs::File::create(&tmp).map_err(io("create", &tmp))?;
+    file.write_all(&bytes).map_err(io("write", &tmp))?;
+    file.sync_all().map_err(io("sync", &tmp))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(io("rename", path))?;
+    Ok(())
+}
+
+/// Reads and verifies a checkpoint file, returning header + payload.
+pub fn read_checkpoint_file(path: &Path) -> Result<(CheckpointHeader, Vec<u8>), CkptError> {
+    let bytes = fs::read(path).map_err(|source| CkptError::Io {
+        op: "read",
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let (header, payload) = decode_checkpoint(&bytes)?;
+    Ok((header, payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let payload = b"mission state goes here";
+        let bytes = encode_checkpoint(42, 7, payload);
+        let (header, got) = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(header.version, FORMAT_VERSION);
+        assert_eq!(header.seed, 42);
+        assert_eq!(header.window, 7);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let bytes = encode_checkpoint(1, 0, &[]);
+        let (header, got) = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(header.window, 0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = encode_checkpoint(42, 3, b"abcdefgh");
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[i] ^= 1 << bit;
+                assert!(
+                    decode_checkpoint(&bad).is_err(),
+                    "flip of byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_checkpoint(42, 3, b"abcdefgh");
+        for len in 0..bytes.len() {
+            assert!(
+                decode_checkpoint(&bytes[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = encode_checkpoint(1, 1, b"x");
+        bytes[8] = 99; // version field
+        assert!(matches!(
+            decode_checkpoint(&bytes),
+            Err(CkptError::UnsupportedVersion(_) | CkptError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("iobt-ckpt-env-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("one.ickpt");
+        write_checkpoint_atomic(&path, 9, 2, b"payload").unwrap();
+        let (header, payload) = read_checkpoint_file(&path).unwrap();
+        assert_eq!((header.seed, header.window), (9, 2));
+        assert_eq!(payload, b"payload");
+        // No temp file left behind.
+        assert!(!dir.join("one.ickpt.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

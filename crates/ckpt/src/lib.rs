@@ -1,0 +1,36 @@
+//! Crash-safe mission checkpointing.
+//!
+//! The paper's IoBT vision demands missions that "survive substantial
+//! failures and disconnections" — including failures of the *runtime
+//! host* itself. This crate provides the storage half of that story:
+//!
+//! * [`codec`] — a tiny fixed-layout binary codec ([`Enc`]/[`Dec`])
+//!   with exact `f64` bit round-tripping, so restored state is
+//!   bit-identical to saved state (a prerequisite for deterministic
+//!   resume).
+//! * [`envelope`] — the checkpoint file format: a fixed-order header
+//!   (magic, format version, seed, window index), the payload, and a
+//!   trailing CRC-32 over everything before it. Files are written
+//!   temp-then-rename so a crash mid-write never leaves a truncated
+//!   file under the final name.
+//! * [`store`] — a directory of per-window checkpoints with a
+//!   latest-good scan: a torn or bit-flipped checkpoint is detected,
+//!   reported, and skipped in favour of the previous good one.
+//!
+//! Everything in this crate is pure bytes + `std::fs`; the state that
+//! goes *into* a checkpoint is assembled by `iobt-netsim` and
+//! `iobt-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod envelope;
+pub mod store;
+
+pub use codec::{Dec, DecodeError, Enc};
+pub use envelope::{
+    crc32, decode_checkpoint, encode_checkpoint, read_checkpoint_file, write_checkpoint_atomic,
+    CheckpointHeader, CkptError, FORMAT_VERSION, MAGIC,
+};
+pub use store::{CheckpointStore, LatestGood};

@@ -1,0 +1,208 @@
+//! Directory of per-window checkpoints with latest-good fallback.
+//!
+//! One mission checkpoints into one directory; each completed window
+//! `w` produces `ckpt-<w, zero-padded>.ickpt`. Loading scans windows
+//! in *descending* order and returns the newest checkpoint that
+//! verifies (magic, version, length, CRC, seed); corrupt or torn files
+//! are collected in [`LatestGood::skipped`] so the caller can report
+//! them — they are never silently ignored and never a panic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::envelope::{read_checkpoint_file, write_checkpoint_atomic, CkptError};
+
+const PREFIX: &str = "ckpt-";
+const SUFFIX: &str = ".ickpt";
+
+/// A directory holding one mission's checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+/// Result of a latest-good scan: the newest verifiable checkpoint (if
+/// any) plus every newer file that failed verification.
+#[derive(Debug)]
+pub struct LatestGood {
+    /// `(window, payload)` of the newest good checkpoint, or `None`
+    /// when no file in the directory verifies.
+    pub loaded: Option<(u64, Vec<u8>)>,
+    /// Files that looked like checkpoints but failed verification,
+    /// with the reason each was skipped.
+    pub skipped: Vec<(PathBuf, CkptError)>,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CkptError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|source| CkptError::Io {
+            op: "create dir",
+            path: dir.clone(),
+            source,
+        })?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the checkpoint for window `window`.
+    pub fn path_for(&self, window: u64) -> PathBuf {
+        self.dir.join(format!("{PREFIX}{window:08}{SUFFIX}"))
+    }
+
+    /// Atomically writes the checkpoint for `window`.
+    pub fn save(&self, seed: u64, window: u64, payload: &[u8]) -> Result<PathBuf, CkptError> {
+        let path = self.path_for(window);
+        write_checkpoint_atomic(&path, seed, window, payload)?;
+        Ok(path)
+    }
+
+    /// Window indices present in the directory, ascending. Parsed from
+    /// file names, so ordering never depends on filesystem timestamps.
+    pub fn windows(&self) -> Result<Vec<u64>, CkptError> {
+        let entries = fs::read_dir(&self.dir).map_err(|source| CkptError::Io {
+            op: "read dir",
+            path: self.dir.clone(),
+            source,
+        })?;
+        let mut windows = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(PREFIX) else { continue };
+            let Some(digits) = rest.strip_suffix(SUFFIX) else { continue };
+            if let Ok(w) = digits.parse::<u64>() {
+                windows.push(w);
+            }
+        }
+        windows.sort_unstable();
+        windows.dedup();
+        Ok(windows)
+    }
+
+    /// Reads and verifies the checkpoint for one specific window,
+    /// additionally checking it belongs to `seed`.
+    pub fn load_window(&self, seed: u64, window: u64) -> Result<Vec<u8>, CkptError> {
+        let path = self.path_for(window);
+        let (header, payload) = read_checkpoint_file(&path)?;
+        if header.seed != seed {
+            return Err(CkptError::SeedMismatch {
+                expected: seed,
+                found: header.seed,
+            });
+        }
+        if header.window != window {
+            return Err(CkptError::Mismatch(format!(
+                "file named for window {window} holds window {}",
+                header.window
+            )));
+        }
+        Ok(payload)
+    }
+
+    /// Scans for the newest checkpoint that verifies against `seed`,
+    /// falling back past corrupt files and reporting each one skipped.
+    /// `Err` only on a directory-listing failure.
+    pub fn load_latest_good(&self, seed: u64) -> Result<LatestGood, CkptError> {
+        let mut skipped = Vec::new();
+        for window in self.windows()?.into_iter().rev() {
+            match self.load_window(seed, window) {
+                Ok(payload) => {
+                    return Ok(LatestGood {
+                        loaded: Some((window, payload)),
+                        skipped,
+                    })
+                }
+                Err(e) => skipped.push((self.path_for(window), e)),
+            }
+        }
+        Ok(LatestGood {
+            loaded: None,
+            skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("iobt-ckpt-store-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_then_latest_good_returns_newest() {
+        let dir = scratch("newest");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(42, 1, b"one").unwrap();
+        store.save(42, 2, b"two").unwrap();
+        store.save(42, 10, b"ten").unwrap();
+        assert_eq!(store.windows().unwrap(), vec![1, 2, 10]);
+        let latest = store.load_latest_good(42).unwrap();
+        assert_eq!(latest.loaded, Some((10, b"ten".to_vec())));
+        assert!(latest.skipped.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous_good() {
+        let dir = scratch("fallback");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(7, 1, b"good-one").unwrap();
+        store.save(7, 2, b"good-two").unwrap();
+        // Flip one payload byte in the newest file.
+        let path = store.path_for(2);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let latest = store.load_latest_good(7).unwrap();
+        assert_eq!(latest.loaded, Some((1, b"good-one".to_vec())));
+        assert_eq!(latest.skipped.len(), 1);
+        assert_eq!(latest.skipped[0].0, path);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_seed_is_skipped() {
+        let dir = scratch("seed");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(1, 3, b"other mission").unwrap();
+        let latest = store.load_latest_good(2).unwrap();
+        assert!(latest.loaded.is_none());
+        assert_eq!(latest.skipped.len(), 1);
+        assert!(matches!(latest.skipped[0].1, CkptError::SeedMismatch { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_loads_nothing() {
+        let dir = scratch("empty");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let latest = store.load_latest_good(0).unwrap();
+        assert!(latest.loaded.is_none());
+        assert!(latest.skipped.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unrelated_files_are_ignored() {
+        let dir = scratch("unrelated");
+        let store = CheckpointStore::open(&dir).unwrap();
+        fs::write(dir.join("notes.txt"), b"hello").unwrap();
+        fs::write(dir.join("ckpt-abc.ickpt"), b"garbage").unwrap();
+        store.save(5, 4, b"real").unwrap();
+        let latest = store.load_latest_good(5).unwrap();
+        assert_eq!(latest.loaded, Some((4, b"real".to_vec())));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -4,7 +4,10 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use iobt_netsim::{Behavior, Context, Message, SimDuration, SimTime};
+use iobt_ckpt::{Dec, Enc};
+use iobt_netsim::{
+    Behavior, BehaviorRegistry, BehaviorSnapshot, Context, Message, SimDuration, SimTime,
+};
 use iobt_obs::TraceEvent;
 use iobt_types::NodeId;
 
@@ -14,6 +17,45 @@ pub const KIND_REPORT: u32 = 1;
 pub const KIND_TASK: u32 = 2;
 /// Message kind tag for task acknowledgements (sensor → command post).
 pub const KIND_TASK_ACK: u32 = 3;
+
+/// Behaviour-registry kind for [`CommandSink`].
+pub const BEHAVIOR_COMMAND_SINK: &str = "core.command_sink";
+/// Behaviour-registry kind for [`TaskingSink`].
+pub const BEHAVIOR_TASKING_SINK: &str = "core.tasking_sink";
+/// Behaviour-registry kind for [`SensorReporter`].
+pub const BEHAVIOR_SENSOR_REPORTER: &str = "core.sensor_reporter";
+
+/// Builds the behaviour registry for mission checkpoints: factories for
+/// every behaviour kind the runtime deploys, each capturing the shared
+/// report log / task board handles so reconstructed behaviours write
+/// into the *same* shared state the resumed runtime reads.
+pub fn mission_behavior_registry(log: &ReportLog, board: &TaskBoard) -> BehaviorRegistry {
+    let mut registry = BehaviorRegistry::new();
+    let sink_log = log.clone();
+    registry.register(BEHAVIOR_COMMAND_SINK, move || {
+        Box::new(CommandSink::new(sink_log.clone()))
+    });
+    let task_log = log.clone();
+    let task_board = board.clone();
+    registry.register(BEHAVIOR_TASKING_SINK, move || {
+        // Blank instance; restore_state overwrites attempts/backoff.
+        Box::new(TaskingSink::new(
+            task_log.clone(),
+            task_board.clone(),
+            1,
+            SimDuration::from_millis(1),
+        ))
+    });
+    registry.register(BEHAVIOR_SENSOR_REPORTER, move || {
+        // Blank instance; restore_state overwrites every field.
+        Box::new(SensorReporter::new(
+            NodeId::new(0),
+            SimDuration::from_millis(1),
+            0,
+        ))
+    });
+    registry
+}
 
 /// A delivered sensor report as logged by the command sink.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +88,16 @@ impl CommandSink {
 }
 
 impl Behavior for CommandSink {
+    fn save_state(&self) -> Option<BehaviorSnapshot> {
+        // The shared log handle is supplied by the registry factory;
+        // the sink itself carries no other state.
+        Some(BehaviorSnapshot::new(BEHAVIOR_COMMAND_SINK, Vec::new()))
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> bool {
+        state.is_empty()
+    }
+
     fn on_message(&mut self, ctx: &mut Context<'_>, msg: &Message) {
         // Reports carried by a compromised relay arrive with the
         // integrity flag raised; they are never logged, so their senders
@@ -116,6 +168,24 @@ impl TaskBoardInner {
         self.pending.len()
     }
 
+    /// The full retransmit state — `(node, attempts, next retry time)`
+    /// per pending assignment, ascending node id — for checkpoints.
+    pub fn pending_entries(&self) -> Vec<(NodeId, u32, SimTime)> {
+        self.pending
+            .iter()
+            .map(|(&n, t)| (n, t.attempts, t.next_at))
+            .collect()
+    }
+
+    /// Overwrites the board wholesale from checkpointed state.
+    pub fn restore(&mut self, pending: &[(NodeId, u32, SimTime)], stats: TaskingStats) {
+        self.pending = pending
+            .iter()
+            .map(|&(n, attempts, next_at)| (n, PendingTask { attempts, next_at }))
+            .collect();
+        self.stats = stats;
+    }
+
     /// Current counters.
     pub fn stats(&self) -> TaskingStats {
         self.stats
@@ -172,6 +242,33 @@ impl TaskingSink {
 }
 
 impl Behavior for TaskingSink {
+    fn save_state(&self) -> Option<BehaviorSnapshot> {
+        // Shared log/board handles come from the registry factory; the
+        // board's pending map is checkpointed separately by the runner.
+        let mut e = Enc::new();
+        e.u32(self.max_attempts);
+        e.u64(self.retry_base.as_micros());
+        Some(BehaviorSnapshot::new(BEHAVIOR_TASKING_SINK, e.into_bytes()))
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> bool {
+        let mut d = Dec::new(state);
+        let Ok(max_attempts) = d.u32() else {
+            return false;
+        };
+        let Ok(retry_base) = d.u64() else {
+            return false;
+        };
+        if d.finish().is_err() || max_attempts == 0 || retry_base < 1_000 {
+            // The constructor clamps attempts ≥ 1 and base ≥ 1 ms; a
+            // snapshot violating either is corrupt, not a valid state.
+            return false;
+        }
+        self.max_attempts = max_attempts;
+        self.retry_base = SimDuration::from_micros(retry_base);
+        true
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         ctx.set_timer(self.tick(), 0);
     }
@@ -302,6 +399,39 @@ impl SensorReporter {
 }
 
 impl Behavior for SensorReporter {
+    fn save_state(&self) -> Option<BehaviorSnapshot> {
+        let mut e = Enc::new();
+        e.u64(self.sink.raw());
+        e.u64(self.period.as_micros());
+        e.usize(self.payload_bytes);
+        e.bool(self.dormant);
+        e.bool(self.reporting);
+        Some(BehaviorSnapshot::new(
+            BEHAVIOR_SENSOR_REPORTER,
+            e.into_bytes(),
+        ))
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> bool {
+        let mut d = Dec::new(state);
+        let Ok(sink) = d.u64() else { return false };
+        let Ok(period) = d.u64() else { return false };
+        let Ok(payload_bytes) = d.usize() else {
+            return false;
+        };
+        let Ok(dormant) = d.bool() else { return false };
+        let Ok(reporting) = d.bool() else { return false };
+        if d.finish().is_err() {
+            return false;
+        }
+        self.sink = NodeId::new(sink);
+        self.period = SimDuration::from_micros(period);
+        self.payload_bytes = payload_bytes;
+        self.dormant = dormant;
+        self.reporting = reporting;
+        true
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         if !self.dormant {
             self.start_reporting(ctx);

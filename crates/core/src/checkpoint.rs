@@ -1,0 +1,714 @@
+//! Mission-level checkpoint payloads: [`MissionRunner::save`] and
+//! [`MissionRunner::resume`].
+//!
+//! A mission checkpoint is taken at a utility-window boundary and
+//! captures *only* the execution-phase state that cannot be recomputed:
+//!
+//! * a **guard** section — scenario seed, catalog size, command post,
+//!   and every [`RunConfig`](crate::runtime::RunConfig) field that
+//!   shapes execution. Resume verifies the guard against the scenario
+//!   and config it was handed and refuses with
+//!   [`CkptError::Mismatch`] on any disagreement, because resuming
+//!   under a different configuration would silently diverge;
+//! * the **window loop** state — next window, repairs, per-window
+//!   utility stats, the current selection and composition result, the
+//!   set of ever-failed nodes, failure-detector heartbeat table, and
+//!   degradation-ladder counters;
+//! * the **delivered-report log** and acked-tasking board;
+//! * the **recorder clock** — sim-time, trace sequence, per-subsystem
+//!   sampling phase, and the full metrics registry (the trace *sink* is
+//!   deliberately not captured: a resumed run opens a fresh sink and
+//!   appends only post-resume records, so the resumed file equals the
+//!   tail of the uninterrupted one);
+//! * the **simulator snapshot** from
+//!   [`Simulator::save_state`](iobt_netsim::Simulator::save_state) —
+//!   clock, RNG stream, event queue, per-node state, fault state, and
+//!   behaviour state — as one length-prefixed blob.
+//!
+//! Everything recomputable from `(scenario, config)` — discovery,
+//! recruitment, the composition problem, assurance — is *not* stored;
+//! resume re-runs those phases with a disabled recorder so no trace
+//! events are double-counted. Wall-clock timings are never stored.
+
+use iobt_ckpt::{CkptError, Dec, DecodeError, Enc};
+use iobt_netsim::{SimDuration, SimTime};
+use iobt_obs::{HistogramSnapshot, MetricsDigest, Recorder, RecorderCheckpoint};
+use iobt_synthesis::CompositionResult;
+use iobt_types::NodeId;
+
+use crate::behaviors::{
+    mission_behavior_registry, new_report_log, new_task_board, DeliveredReport, TaskingStats,
+};
+use crate::resilience::{DegradationLadder, FailureDetector};
+use crate::runtime::{
+    build_sim, degraded_problem, prologue, MissionRunner, ResilienceReport, RunConfig, WindowStat,
+};
+use crate::scenario::Scenario;
+
+use std::collections::BTreeSet;
+
+fn mismatch(what: &str, expected: impl std::fmt::Display, found: impl std::fmt::Display) -> CkptError {
+    CkptError::Mismatch(format!(
+        "checkpoint was taken under a different {what}: checkpoint has {found}, resume has {expected}"
+    ))
+}
+
+/// Encodes the scenario/config guard. Order is part of the format.
+fn encode_guard(e: &mut Enc, scenario: &Scenario, config: &RunConfig) {
+    e.u64(scenario.seed);
+    e.usize(scenario.catalog.len());
+    e.u64(scenario.command_post.raw());
+    e.u64(config.duration.as_micros());
+    e.u64(config.window.as_micros());
+    e.u64(config.report_period.as_micros());
+    e.bool(config.adaptive);
+    e.f64(config.repair_threshold);
+    e.usize(config.grid);
+    e.str(&format!("{:?}", config.solver));
+    e.bool(config.require_reachability);
+    e.bool(config.early_repair);
+    e.u32(config.detector_ticks);
+    e.f64(config.suspicion_periods);
+    e.bool(config.degradation_ladder);
+    e.f64(config.shed_threshold);
+    e.f64(config.restore_threshold);
+    e.u32(config.ladder_patience);
+    e.bool(config.acked_tasking);
+    e.u32(config.task_attempts);
+    e.u64(config.task_retry_base.as_micros());
+}
+
+/// Decodes and verifies the guard section against the caller's
+/// scenario and config.
+fn check_guard(d: &mut Dec<'_>, scenario: &Scenario, config: &RunConfig) -> Result<(), CkptError> {
+    let seed = d.u64()?;
+    if seed != scenario.seed {
+        return Err(mismatch("seed", scenario.seed, seed));
+    }
+    let catalog_len = d.usize()?;
+    if catalog_len != scenario.catalog.len() {
+        return Err(mismatch("catalog size", scenario.catalog.len(), catalog_len));
+    }
+    let command_post = d.u64()?;
+    if command_post != scenario.command_post.raw() {
+        return Err(mismatch(
+            "command post",
+            scenario.command_post.raw(),
+            command_post,
+        ));
+    }
+    let duration = d.u64()?;
+    if duration != config.duration.as_micros() {
+        return Err(mismatch("duration", config.duration.as_micros(), duration));
+    }
+    let window = d.u64()?;
+    if window != config.window.as_micros() {
+        return Err(mismatch("window", config.window.as_micros(), window));
+    }
+    let report_period = d.u64()?;
+    if report_period != config.report_period.as_micros() {
+        return Err(mismatch(
+            "report period",
+            config.report_period.as_micros(),
+            report_period,
+        ));
+    }
+    let adaptive = d.bool()?;
+    if adaptive != config.adaptive {
+        return Err(mismatch("adaptive flag", config.adaptive, adaptive));
+    }
+    let repair_threshold = d.f64()?;
+    if repair_threshold.to_bits() != config.repair_threshold.to_bits() {
+        return Err(mismatch(
+            "repair threshold",
+            config.repair_threshold,
+            repair_threshold,
+        ));
+    }
+    let grid = d.usize()?;
+    if grid != config.grid {
+        return Err(mismatch("grid", config.grid, grid));
+    }
+    let solver = d.str()?;
+    let expected_solver = format!("{:?}", config.solver);
+    if solver != expected_solver {
+        return Err(mismatch("solver", expected_solver, solver));
+    }
+    let require_reachability = d.bool()?;
+    if require_reachability != config.require_reachability {
+        return Err(mismatch(
+            "reachability flag",
+            config.require_reachability,
+            require_reachability,
+        ));
+    }
+    let early_repair = d.bool()?;
+    if early_repair != config.early_repair {
+        return Err(mismatch("early-repair flag", config.early_repair, early_repair));
+    }
+    let detector_ticks = d.u32()?;
+    if detector_ticks != config.detector_ticks {
+        return Err(mismatch(
+            "detector ticks",
+            config.detector_ticks,
+            detector_ticks,
+        ));
+    }
+    let suspicion_periods = d.f64()?;
+    if suspicion_periods.to_bits() != config.suspicion_periods.to_bits() {
+        return Err(mismatch(
+            "suspicion periods",
+            config.suspicion_periods,
+            suspicion_periods,
+        ));
+    }
+    let degradation_ladder = d.bool()?;
+    if degradation_ladder != config.degradation_ladder {
+        return Err(mismatch(
+            "ladder flag",
+            config.degradation_ladder,
+            degradation_ladder,
+        ));
+    }
+    let shed_threshold = d.f64()?;
+    if shed_threshold.to_bits() != config.shed_threshold.to_bits() {
+        return Err(mismatch("shed threshold", config.shed_threshold, shed_threshold));
+    }
+    let restore_threshold = d.f64()?;
+    if restore_threshold.to_bits() != config.restore_threshold.to_bits() {
+        return Err(mismatch(
+            "restore threshold",
+            config.restore_threshold,
+            restore_threshold,
+        ));
+    }
+    let ladder_patience = d.u32()?;
+    if ladder_patience != config.ladder_patience {
+        return Err(mismatch(
+            "ladder patience",
+            config.ladder_patience,
+            ladder_patience,
+        ));
+    }
+    let acked_tasking = d.bool()?;
+    if acked_tasking != config.acked_tasking {
+        return Err(mismatch("acked-tasking flag", config.acked_tasking, acked_tasking));
+    }
+    let task_attempts = d.u32()?;
+    if task_attempts != config.task_attempts {
+        return Err(mismatch("task attempts", config.task_attempts, task_attempts));
+    }
+    let task_retry_base = d.u64()?;
+    if task_retry_base != config.task_retry_base.as_micros() {
+        return Err(mismatch(
+            "task retry base",
+            config.task_retry_base.as_micros(),
+            task_retry_base,
+        ));
+    }
+    Ok(())
+}
+
+fn enc_digest(e: &mut Enc, digest: &MetricsDigest) {
+    e.usize(digest.counters.len());
+    for (name, value) in &digest.counters {
+        e.str(name);
+        e.u64(*value);
+    }
+    e.usize(digest.gauges.len());
+    for (name, value) in &digest.gauges {
+        e.str(name);
+        e.f64(*value);
+    }
+    e.usize(digest.histograms.len());
+    for (name, snap) in &digest.histograms {
+        e.str(name);
+        e.usize(snap.bounds.len());
+        for b in &snap.bounds {
+            e.f64(*b);
+        }
+        e.usize(snap.counts.len());
+        for c in &snap.counts {
+            e.u64(*c);
+        }
+        e.u64(snap.total);
+        e.f64(snap.sum);
+    }
+}
+
+fn dec_digest(d: &mut Dec<'_>) -> Result<MetricsDigest, DecodeError> {
+    let n = d.usize()?;
+    let mut counters = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = d.str()?;
+        let value = d.u64()?;
+        counters.push((name, value));
+    }
+    let n = d.usize()?;
+    let mut gauges = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = d.str()?;
+        let value = d.f64()?;
+        gauges.push((name, value));
+    }
+    let n = d.usize()?;
+    let mut histograms = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = d.str()?;
+        let nb = d.usize()?;
+        let mut bounds = Vec::with_capacity(nb.min(1024));
+        for _ in 0..nb {
+            bounds.push(d.f64()?);
+        }
+        let nc = d.usize()?;
+        let mut counts = Vec::with_capacity(nc.min(1024));
+        for _ in 0..nc {
+            counts.push(d.u64()?);
+        }
+        let total = d.u64()?;
+        let sum = d.f64()?;
+        histograms.push((
+            name,
+            HistogramSnapshot {
+                bounds,
+                counts,
+                total,
+                sum,
+            },
+        ));
+    }
+    Ok(MetricsDigest {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+impl MissionRunner {
+    /// Serialises the runner's complete execution state as a checkpoint
+    /// payload (wrap it in an envelope with
+    /// [`iobt_ckpt::CheckpointStore::save`] or
+    /// [`iobt_ckpt::write_checkpoint_atomic`]).
+    ///
+    /// Call between [`step_window`](MissionRunner::step_window) calls —
+    /// window boundaries are the only states the format captures.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an attached simulator behaviour is not
+    /// checkpointable (see
+    /// [`Behavior::save_state`](iobt_netsim::Behavior::save_state)).
+    pub fn save(&self) -> Result<Vec<u8>, CkptError> {
+        let mut e = Enc::new();
+        encode_guard(&mut e, &self.scenario, &self.config);
+
+        // Window-loop progress and resilience counters.
+        e.usize(self.next_window);
+        e.usize(self.repairs);
+        e.usize(self.log_cursor);
+        e.u64(self.resilience.suspected);
+        e.u64(self.resilience.early_repairs);
+        e.u64(self.resilience.sheds);
+        e.u64(self.resilience.restores);
+
+        // Selection, reporter set, failure history.
+        e.usize(self.selection.len());
+        for &i in &self.selection {
+            e.usize(i);
+        }
+        e.usize(self.active_reporters.len());
+        for id in &self.active_reporters {
+            e.u64(id.raw());
+        }
+        e.usize(self.failed_ever.len());
+        for id in &self.failed_ever {
+            e.u64(id.raw());
+        }
+
+        // Current composition result.
+        e.usize(self.current.selected.len());
+        for &i in &self.current.selected {
+            e.usize(i);
+        }
+        e.f64(self.current.coverage);
+        e.f64(self.current.cost);
+        e.bool(self.current.satisfied);
+
+        // Completed windows.
+        e.usize(self.windows.len());
+        for w in &self.windows {
+            e.f64(w.start_s);
+            e.usize(w.expected);
+            e.usize(w.reporting);
+            e.f64(w.utility);
+        }
+
+        // Failure detector heartbeat table.
+        e.u64(self.detector.threshold().as_micros());
+        let entries = self.detector.entries();
+        e.usize(entries.len());
+        for (node, at) in entries {
+            e.u64(node.raw());
+            e.u64(at.as_micros());
+        }
+
+        // Degradation ladder counters.
+        let (level, below, above) = self.ladder.counters();
+        e.usize(level);
+        e.u32(below);
+        e.u32(above);
+
+        // Delivered-report log.
+        {
+            let log = self.log.borrow();
+            e.usize(log.len());
+            for r in log.iter() {
+                e.u64(r.from.raw());
+                e.u64(r.at.as_micros());
+            }
+        }
+
+        // Acked-tasking board.
+        {
+            let board = self.board.borrow();
+            let pending = board.pending_entries();
+            e.usize(pending.len());
+            for (node, attempts, next_at) in pending {
+                e.u64(node.raw());
+                e.u32(attempts);
+                e.u64(next_at.as_micros());
+            }
+            let stats = board.stats();
+            e.u64(stats.assigned);
+            e.u64(stats.acked);
+            e.u64(stats.retries);
+            e.u64(stats.abandoned);
+            e.u64(stats.tampered_rejected);
+        }
+
+        // Recorder clock + metrics (absent when the recorder is
+        // disabled; the trace sink is never captured).
+        match self.config.recorder.checkpoint() {
+            Some(ck) => {
+                e.bool(true);
+                e.u64(ck.t_us);
+                e.u64(ck.seq);
+                for v in ck.emitted {
+                    e.u64(v);
+                }
+                enc_digest(&mut e, &ck.metrics);
+            }
+            None => e.bool(false),
+        }
+
+        // Full simulator snapshot as one length-prefixed blob.
+        let blob = self.sim.save_state()?;
+        e.bytes(&blob);
+        Ok(e.into_bytes())
+    }
+
+    /// Rebuilds a runner from a checkpoint payload so that stepping it
+    /// produces exactly the windows, traces, and end state the
+    /// uninterrupted run would have produced.
+    ///
+    /// `scenario` and `config` must be the ones the checkpointed run
+    /// was started with; the payload's guard section is verified
+    /// against them. Recomputable pipeline phases (discovery,
+    /// recruitment, synthesis, assurance) are re-run with a disabled
+    /// recorder; everything else is restored from the payload.
+    ///
+    /// # Errors
+    ///
+    /// * [`CkptError::Decode`] — the payload is malformed (truncated,
+    ///   bad tags, trailing bytes);
+    /// * [`CkptError::Mismatch`] — the payload decoded but belongs to a
+    ///   different scenario, config, or build (unknown behaviour kind,
+    ///   node-count disagreement, inconsistent recorder state).
+    pub fn resume(
+        scenario: &Scenario,
+        config: &RunConfig,
+        payload: &[u8],
+    ) -> Result<Self, CkptError> {
+        let mut d = Dec::new(payload);
+        check_guard(&mut d, scenario, config)?;
+
+        let next_window = d.usize()?;
+        let repairs = d.usize()?;
+        let log_cursor = d.usize()?;
+        let resilience = ResilienceReport {
+            suspected: d.u64()?,
+            early_repairs: d.u64()?,
+            sheds: d.u64()?,
+            restores: d.u64()?,
+            ..ResilienceReport::default()
+        };
+
+        let n = d.usize()?;
+        let mut selection = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            selection.push(d.usize()?);
+        }
+        let n = d.usize()?;
+        let mut active_reporters = BTreeSet::new();
+        for _ in 0..n {
+            active_reporters.insert(NodeId::new(d.u64()?));
+        }
+        let n = d.usize()?;
+        let mut failed_ever = BTreeSet::new();
+        for _ in 0..n {
+            failed_ever.insert(NodeId::new(d.u64()?));
+        }
+
+        let n = d.usize()?;
+        let mut current_selected = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            current_selected.push(d.usize()?);
+        }
+        let current = CompositionResult {
+            selected: current_selected,
+            coverage: d.f64()?,
+            cost: d.f64()?,
+            satisfied: d.bool()?,
+        };
+
+        let n = d.usize()?;
+        let mut windows = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            windows.push(WindowStat {
+                start_s: d.f64()?,
+                expected: d.usize()?,
+                reporting: d.usize()?,
+                utility: d.f64()?,
+            });
+        }
+
+        let detector_threshold = SimDuration::from_micros(d.u64()?);
+        let n = d.usize()?;
+        let mut detector_entries = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let node = NodeId::new(d.u64()?);
+            let at = SimTime::from_micros(d.u64()?);
+            detector_entries.push((node, at));
+        }
+
+        let ladder_level = d.usize()?;
+        let ladder_below = d.u32()?;
+        let ladder_above = d.u32()?;
+
+        let n = d.usize()?;
+        let mut log_entries = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            log_entries.push(DeliveredReport {
+                from: NodeId::new(d.u64()?),
+                at: SimTime::from_micros(d.u64()?),
+            });
+        }
+        if log_cursor > log_entries.len() {
+            return Err(CkptError::Mismatch(format!(
+                "log cursor {log_cursor} exceeds delivered-report log of {}",
+                log_entries.len()
+            )));
+        }
+
+        let n = d.usize()?;
+        let mut pending = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let node = NodeId::new(d.u64()?);
+            let attempts = d.u32()?;
+            let next_at = SimTime::from_micros(d.u64()?);
+            pending.push((node, attempts, next_at));
+        }
+        let stats = TaskingStats {
+            assigned: d.u64()?,
+            acked: d.u64()?,
+            retries: d.u64()?,
+            abandoned: d.u64()?,
+            tampered_rejected: d.u64()?,
+        };
+
+        let recorder_ck = if d.bool()? {
+            let t_us = d.u64()?;
+            let seq = d.u64()?;
+            let mut emitted = [0u64; 5];
+            for slot in &mut emitted {
+                *slot = d.u64()?;
+            }
+            let metrics = dec_digest(&mut d)?;
+            Some(RecorderCheckpoint {
+                t_us,
+                seq,
+                emitted,
+                metrics,
+            })
+        } else {
+            None
+        };
+
+        let blob = d.bytes()?.to_vec();
+        d.finish()?;
+
+        // All bytes verified — now rebuild the pure pipeline products
+        // (disabled recorder: those trace events were already emitted by
+        // the run that wrote this checkpoint).
+        let p = prologue(scenario, config, &Recorder::disabled());
+        let base_problem = p.problem.clone();
+        let problem = if ladder_level == 0 {
+            base_problem.clone()
+        } else {
+            degraded_problem(
+                &base_problem,
+                &scenario.mission,
+                &p.specs,
+                config.grid,
+                ladder_level,
+            )
+        };
+
+        // Stand up a fresh simulator with no faults scheduled (the
+        // restored event queue already contains them) and restore the
+        // snapshot over it. Behaviours are rebuilt through the registry
+        // and share the restored log/board handles.
+        let mut sim = build_sim(scenario, config, false);
+        let log = new_report_log();
+        let board = new_task_board();
+        *log.borrow_mut() = log_entries;
+        board.borrow_mut().restore(&pending, stats);
+        let registry = mission_behavior_registry(&log, &board);
+        sim.restore_state(&blob, &registry)?;
+
+        // Restore the recorder clock so post-resume traces continue the
+        // original sequence numbering and sampling phase.
+        if let Some(ck) = recorder_ck {
+            if config.recorder.is_enabled() && !config.recorder.restore_checkpoint(&ck) {
+                return Err(CkptError::Mismatch(
+                    "recorder metrics in checkpoint are internally inconsistent".to_string(),
+                ));
+            }
+        }
+
+        let detector = FailureDetector::from_checkpoint(detector_threshold, &detector_entries);
+        let mut ladder = DegradationLadder::new(
+            config.shed_threshold,
+            config.restore_threshold,
+            config.ladder_patience,
+        );
+        ladder.restore_counters(ladder_level, ladder_below, ladder_above);
+
+        let total_windows =
+            (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as usize;
+
+        Ok(MissionRunner {
+            scenario: scenario.clone(),
+            config: config.clone(),
+            recruited: p.recruited,
+            rejected_red: p.rejected_red,
+            unreachable: p.unreachable,
+            infiltration_rate: p.infiltration_rate,
+            composition: p.composition,
+            assurance: p.assurance,
+            specs: p.specs,
+            base_problem,
+            problem,
+            sim,
+            log,
+            board,
+            selection,
+            current,
+            active_reporters,
+            windows,
+            repairs,
+            total_windows,
+            next_window,
+            failed_ever,
+            detector,
+            ladder,
+            resilience,
+            log_cursor,
+            solve_ms: p.solve_ms,
+            repair_ms: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::persistent_surveillance;
+    use iobt_netsim::SimDuration;
+
+    fn cfg() -> RunConfig {
+        RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(40.0))
+            .window(SimDuration::from_secs_f64(10.0))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn save_resume_roundtrip_reproduces_the_uninterrupted_digest() {
+        let scenario = persistent_surveillance(80, 11);
+        let config = cfg();
+        let baseline = crate::runtime::run_mission(&scenario, &config);
+
+        let mut runner = MissionRunner::new(&scenario, &config);
+        runner.step_window().expect("window 0");
+        runner.step_window().expect("window 1");
+        let payload = runner.save().expect("checkpointable");
+        drop(runner); // the "crashed" process
+
+        let mut resumed = MissionRunner::resume(&scenario, &config, &payload).expect("resume");
+        assert_eq!(resumed.window_index(), 2);
+        while resumed.step_window().is_some() {}
+        let report = resumed.finish();
+        assert_eq!(report.digest, baseline.digest);
+        assert_eq!(report.windows, baseline.windows);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_seed_and_config() {
+        let scenario = persistent_surveillance(80, 11);
+        let config = cfg();
+        let mut runner = MissionRunner::new(&scenario, &config);
+        runner.step_window().expect("window 0");
+        let payload = runner.save().expect("checkpointable");
+
+        let mut other_seed = scenario.clone();
+        other_seed.seed ^= 1;
+        assert!(matches!(
+            MissionRunner::resume(&other_seed, &config, &payload),
+            Err(CkptError::Mismatch(_))
+        ));
+
+        let other_cfg = RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(40.0))
+            .window(SimDuration::from_secs_f64(10.0))
+            .repair_threshold(0.5)
+            .build()
+            .expect("valid");
+        assert!(matches!(
+            MissionRunner::resume(&scenario, &other_cfg, &payload),
+            Err(CkptError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_error_instead_of_panicking() {
+        let scenario = persistent_surveillance(80, 11);
+        let config = cfg();
+        let mut runner = MissionRunner::new(&scenario, &config);
+        runner.step_window().expect("window 0");
+        let payload = runner.save().expect("checkpointable");
+        // Every prefix must decode to an error, never panic. Stride keeps
+        // the test fast on multi-hundred-KB payloads.
+        for len in (0..payload.len()).step_by(97) {
+            assert!(
+                MissionRunner::resume(&scenario, &config, &payload[..len]).is_err(),
+                "prefix of {len} bytes must be rejected"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = payload;
+        padded.push(0);
+        assert!(MissionRunner::resume(&scenario, &config, &padded).is_err());
+    }
+}

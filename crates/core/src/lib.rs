@@ -5,7 +5,12 @@
 //! * [`scenario`] — builders for the operations the paper motivates
 //!   (urban evacuation, persistent surveillance, disaster relief).
 //! * [`runtime`] — [`run_mission`]: the full pipeline with per-window
-//!   utility tracing, disruption injection, and the repair reflex.
+//!   utility tracing, disruption injection, and the repair reflex —
+//!   plus [`MissionRunner`], the window-stepping form of the same
+//!   pipeline.
+//! * [`checkpoint`] — crash-safe checkpointing: [`MissionRunner::save`]
+//!   and [`MissionRunner::resume`] over the `iobt-ckpt` file format,
+//!   with byte-identical post-resume behaviour.
 //! * [`tasking`] — arbitration of one asset pool across multiple
 //!   concurrent missions by priority (§II's competing networks).
 //! * [`humans`] — human-asset characterization: truth-discovery output
@@ -38,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod behaviors;
+pub mod checkpoint;
 pub mod diagnostics;
 pub mod humans;
 pub mod resilience;
@@ -46,15 +52,15 @@ pub mod tasking;
 pub mod scenario;
 
 pub use behaviors::{
-    new_report_log, new_task_board, CommandSink, DeliveredReport, ReportLog, SensorReporter,
-    TaskBoard, TaskingSink, TaskingStats,
+    mission_behavior_registry, new_report_log, new_task_board, CommandSink, DeliveredReport,
+    ReportLog, SensorReporter, TaskBoard, TaskingSink, TaskingStats,
 };
 pub use diagnostics::{diagnose_failures, DiagnosisReport, NetworkModel};
 pub use humans::{calibrate_human_trust, CalibrationSummary};
 pub use resilience::{DegradationLadder, FailureDetector, LadderStep, MAX_LADDER_LEVEL};
 pub use runtime::{
-    run_mission, EndStateDigest, MissionReport, ResilienceReport, RunConfig, RunConfigBuilder,
-    WallClockReport, WindowStat,
+    run_mission, EndStateDigest, MissionReport, MissionRunner, ResilienceReport, RunConfig,
+    RunConfigBuilder, RunConfigError, WallClockReport, WindowStat,
 };
 pub use tasking::{allocate_missions, MissionAllocation, TaskingPlan};
 pub use scenario::{
@@ -63,6 +69,7 @@ pub use scenario::{
 };
 
 pub use iobt_adapt as adapt;
+pub use iobt_ckpt as ckpt;
 pub use iobt_discovery as discovery;
 pub use iobt_faults as faults;
 pub use iobt_obs as obs;
@@ -77,9 +84,10 @@ pub use iobt_types as types;
 pub mod prelude {
     pub use crate::resilience::{DegradationLadder, FailureDetector, LadderStep};
     pub use crate::runtime::{
-        run_mission, EndStateDigest, MissionReport, ResilienceReport, RunConfig, RunConfigBuilder,
-        WallClockReport, WindowStat,
+        run_mission, EndStateDigest, MissionReport, MissionRunner, ResilienceReport, RunConfig,
+        RunConfigBuilder, RunConfigError, WallClockReport, WindowStat,
     };
+    pub use iobt_ckpt::{CheckpointStore, CkptError, LatestGood};
     pub use iobt_faults::{generate_campaign, CampaignConfig, FaultKind, FaultPlan};
     pub use iobt_obs::{
         MetricsDigest, Recorder, SamplingConfig, SharedBytes, Subsystem, TraceEvent, TraceRecord,

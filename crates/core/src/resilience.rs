@@ -95,6 +95,21 @@ impl FailureDetector {
         self.last_seen.len()
     }
 
+    /// The watch table — every watched node with the time it was last
+    /// heard, ascending node id. Exposed for mission checkpoints.
+    pub fn entries(&self) -> Vec<(NodeId, SimTime)> {
+        self.last_seen.iter().map(|(&n, &t)| (n, t)).collect()
+    }
+
+    /// Rebuilds a detector from checkpointed state: the exact silence
+    /// threshold and the full watch table.
+    pub fn from_checkpoint(threshold: SimDuration, entries: &[(NodeId, SimTime)]) -> Self {
+        FailureDetector {
+            threshold,
+            last_seen: entries.iter().copied().collect(),
+        }
+    }
+
     /// Watched nodes silent for at least the threshold as of `now`,
     /// with their silence spans, in ascending node-id order.
     pub fn suspects(&self, now: SimTime) -> Vec<(NodeId, SimDuration)> {
@@ -179,6 +194,22 @@ impl DegradationLadder {
             2 => "modality",
             _ => "coverage",
         }
+    }
+
+    /// The ladder's mutable state — `(level, below-streak, above-streak)`
+    /// — for mission checkpoints. Thresholds and patience are rebuilt
+    /// from configuration at resume, not checkpointed.
+    pub fn counters(&self) -> (usize, u32, u32) {
+        (self.level, self.below, self.above)
+    }
+
+    /// Overwrites the ladder's mutable state from a checkpoint. `level`
+    /// is clamped to [`MAX_LADDER_LEVEL`] so a corrupted value cannot
+    /// push the ladder off the end of the shedding table.
+    pub fn restore_counters(&mut self, level: usize, below: u32, above: u32) {
+        self.level = level.min(MAX_LADDER_LEVEL);
+        self.below = below;
+        self.above = above;
     }
 
     /// Observes one window's utility and possibly moves one level.

@@ -1,7 +1,13 @@
 //! The mission runtime: discovery → recruitment → synthesis → adaptive
 //! execution, end to end over the simulator (paper Fig. 1).
+//!
+//! Execution is exposed at two granularities: [`run_mission`] runs a
+//! scenario start to finish, and [`MissionRunner`] steps it one utility
+//! window at a time so callers can checkpoint between windows (see
+//! `iobt-ckpt` and [`MissionRunner::save`]).
 
 use std::collections::BTreeSet;
+use std::fmt;
 use std::time::Instant;
 
 use iobt_discovery::{
@@ -14,8 +20,8 @@ use iobt_synthesis::{assess, failure_probability, repair_with, AssuranceReport, 
 use iobt_types::{Mission, NodeId, NodeSpec, TrustLedger};
 
 use crate::behaviors::{
-    new_report_log, new_task_board, CommandSink, SensorReporter, TaskBoard, TaskingSink,
-    TaskingStats,
+    new_report_log, new_task_board, CommandSink, ReportLog, SensorReporter, TaskBoard,
+    TaskingSink, TaskingStats,
 };
 use crate::resilience::{DegradationLadder, FailureDetector, LadderStep};
 use crate::scenario::{Disruption, Scenario};
@@ -116,8 +122,60 @@ impl RunConfig {
     }
 }
 
+/// Why a [`RunConfigBuilder`] refused to produce a [`RunConfig`].
+///
+/// Each variant names a configuration that would silently produce a
+/// degenerate run (zero windows, a window that never closes, a
+/// threshold no utility can ever cross).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum RunConfigError {
+    /// The utility window is zero: the window loop would never advance.
+    ZeroWindow,
+    /// The window is longer than the whole mission: not even one full
+    /// window would close.
+    WindowExceedsDuration {
+        /// Configured window.
+        window: SimDuration,
+        /// Configured mission duration.
+        duration: SimDuration,
+    },
+    /// A utility threshold lies outside `[0, 1]`, where utility lives.
+    ThresholdOutOfRange {
+        /// Which threshold field was rejected.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for RunConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunConfigError::ZeroWindow => {
+                write!(f, "utility window must be positive")
+            }
+            RunConfigError::WindowExceedsDuration { window, duration } => write!(
+                f,
+                "window ({:.3} s) exceeds mission duration ({:.3} s)",
+                window.as_secs_f64(),
+                duration.as_secs_f64()
+            ),
+            RunConfigError::ThresholdOutOfRange { field, value } => {
+                write!(f, "{field} = {value} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunConfigError {}
+
 /// Builder for [`RunConfig`] (the supported construction path now that the
 /// struct is `#[non_exhaustive]`).
+///
+/// [`RunConfigBuilder::build`] validates the configuration and returns a
+/// typed [`RunConfigError`] for settings that would produce a degenerate
+/// run.
 ///
 /// ```
 /// use iobt_core::runtime::RunConfig;
@@ -126,8 +184,12 @@ impl RunConfig {
 /// let cfg = RunConfig::builder()
 ///     .duration(SimDuration::from_secs_f64(60.0))
 ///     .adaptive(false)
-///     .build();
+///     .build()
+///     .expect("valid configuration");
 /// assert!(!cfg.adaptive);
+///
+/// let err = RunConfig::builder().window(SimDuration::ZERO).build();
+/// assert!(err.is_err());
 /// ```
 #[derive(Debug, Clone)]
 pub struct RunConfigBuilder {
@@ -251,9 +313,37 @@ impl RunConfigBuilder {
         self
     }
 
-    /// Finishes the builder.
-    pub fn build(self) -> RunConfig {
-        self.config
+    /// Validates and finishes the builder.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunConfigError::ZeroWindow`] — the utility window is zero;
+    /// * [`RunConfigError::WindowExceedsDuration`] — the window is
+    ///   longer than the mission;
+    /// * [`RunConfigError::ThresholdOutOfRange`] — `repair_threshold`,
+    ///   `shed_threshold` or `restore_threshold` lies outside `[0, 1]`
+    ///   (including NaN).
+    pub fn build(self) -> Result<RunConfig, RunConfigError> {
+        let c = &self.config;
+        if c.window.as_micros() == 0 {
+            return Err(RunConfigError::ZeroWindow);
+        }
+        if c.window > c.duration {
+            return Err(RunConfigError::WindowExceedsDuration {
+                window: c.window,
+                duration: c.duration,
+            });
+        }
+        for (field, value) in [
+            ("repair_threshold", c.repair_threshold),
+            ("shed_threshold", c.shed_threshold),
+            ("restore_threshold", c.restore_threshold),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(RunConfigError::ThresholdOutOfRange { field, value });
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -339,7 +429,9 @@ pub struct ResilienceReport {
 ///
 /// Deliberately separated from [`EndStateDigest`] (and every other report
 /// field): wall-clock duration varies run to run on the same seed, so it
-/// must never participate in determinism checks. Reporting only.
+/// must never participate in determinism checks. Reporting only. For the
+/// same reason it is *not* checkpointed — a resumed run reports only the
+/// wall-clock it spent itself.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 #[non_exhaustive]
 pub struct WallClockReport {
@@ -418,9 +510,30 @@ impl MissionReport {
     }
 }
 
-/// Runs the full pipeline on a scenario.
-pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
-    let recorder = &config.recorder;
+/// Products of the pre-simulation pipeline — discovery, recruitment,
+/// synthesis, assurance (phases 1–3 of the paper's Fig. 1 flow).
+///
+/// Everything here is a pure function of `(scenario, config)`, which is
+/// what makes checkpoint resume cheap: instead of serialising the
+/// composition problem and assurance report, resume recomputes them
+/// (with a disabled recorder, so no trace events are duplicated).
+pub(crate) struct Prologue {
+    pub(crate) recruited: usize,
+    pub(crate) rejected_red: usize,
+    pub(crate) unreachable: usize,
+    pub(crate) infiltration_rate: f64,
+    pub(crate) composition: CompositionResult,
+    pub(crate) assurance: AssuranceReport,
+    pub(crate) specs: Vec<NodeSpec>,
+    pub(crate) problem: CompositionProblem,
+    pub(crate) solve_ms: f64,
+}
+
+/// Runs phases 1–3. `recorder` is the recorder that observes the
+/// recruitment and solve events: the live recorder on a fresh run, a
+/// disabled one at checkpoint resume (the restored recorder already
+/// counted those events the first time).
+pub(crate) fn prologue(scenario: &Scenario, config: &RunConfig, recorder: &Recorder) -> Prologue {
     // ---- Phase 1: discovery (side-channel classification + tracking) ----
     let mut emissions = EmissionModel::new(scenario.seed ^ 0xD15C);
     let train = emissions.labelled_dataset(300);
@@ -498,114 +611,250 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         2_000,
         scenario.seed ^ 0xA55E,
     );
+    Prologue {
+        recruited: pool.admitted.len(),
+        rejected_red: pool.rejected_red.len(),
+        unreachable,
+        infiltration_rate: pool.infiltration_rate(),
+        composition,
+        assurance,
+        specs,
+        problem,
+        solve_ms,
+    }
+}
 
-    // ---- Phase 4: adaptive execution over the simulator ----
+/// Builds the phase-4 simulator over the scenario. `schedule_faults` is
+/// `false` at checkpoint resume: the restored event queue already holds
+/// every scheduled disruption and fault event, and scheduling them again
+/// would both duplicate the queue entries and re-emit their
+/// `FaultScheduled` trace records.
+pub(crate) fn build_sim(
+    scenario: &Scenario,
+    config: &RunConfig,
+    schedule_faults: bool,
+) -> Simulator {
     let mut builder = Simulator::builder(scenario.catalog.clone())
         .terrain(scenario.terrain.clone())
         .seed(scenario.seed)
-        .recorder(recorder.clone());
+        .recorder(config.recorder.clone());
     for j in &scenario.jammers {
         builder = builder.jammer(*j);
     }
     let mut sim = builder.build();
-    for d in &scenario.disruptions {
-        match *d {
-            Disruption::JammerOn { at, index } => sim.schedule_jammer(at, index, true),
-            Disruption::NodeLoss { at, node } => sim.schedule_node_down(at, node),
+    if schedule_faults {
+        for d in &scenario.disruptions {
+            match *d {
+                Disruption::JammerOn { at, index } => sim.schedule_jammer(at, index, true),
+                Disruption::NodeLoss { at, node } => sim.schedule_node_down(at, node),
+            }
+        }
+        scenario.fault_plan.schedule(&mut sim);
+    }
+    sim
+}
+
+/// Step-at-a-time mission execution with crash-safe checkpointing.
+///
+/// [`MissionRunner::new`] runs the pre-simulation pipeline (discovery,
+/// recruitment, synthesis, assurance) and stands up the simulator;
+/// [`MissionRunner::step_window`] then executes one utility window at a
+/// time, which is exactly the granularity checkpoints are taken at:
+/// call [`MissionRunner::save`] between steps, persist the payload with
+/// `iobt_ckpt::CheckpointStore`, and after a crash rebuild the runner
+/// with [`MissionRunner::resume`]. A resumed run continues the same
+/// event, RNG and trace sequence as the uninterrupted run — same-seed
+/// digests and metrics fingerprints match bit for bit.
+///
+/// [`run_mission`] is the convenience wrapper that steps a fresh runner
+/// to completion.
+pub struct MissionRunner {
+    pub(crate) scenario: Scenario,
+    pub(crate) config: RunConfig,
+    // Phase 1–3 products (recomputed, never checkpointed).
+    pub(crate) recruited: usize,
+    pub(crate) rejected_red: usize,
+    pub(crate) unreachable: usize,
+    pub(crate) infiltration_rate: f64,
+    pub(crate) composition: CompositionResult,
+    pub(crate) assurance: AssuranceReport,
+    pub(crate) specs: Vec<NodeSpec>,
+    pub(crate) base_problem: CompositionProblem,
+    pub(crate) problem: CompositionProblem,
+    // Phase 4 (execution) state — everything below is checkpointed.
+    pub(crate) sim: Simulator,
+    pub(crate) log: ReportLog,
+    pub(crate) board: TaskBoard,
+    pub(crate) selection: Vec<usize>,
+    pub(crate) current: CompositionResult,
+    pub(crate) active_reporters: BTreeSet<NodeId>,
+    pub(crate) windows: Vec<WindowStat>,
+    pub(crate) repairs: usize,
+    pub(crate) total_windows: usize,
+    pub(crate) next_window: usize,
+    pub(crate) failed_ever: BTreeSet<NodeId>,
+    pub(crate) detector: FailureDetector,
+    pub(crate) ladder: DegradationLadder,
+    pub(crate) resilience: ResilienceReport,
+    pub(crate) log_cursor: usize,
+    // Wall-clock accounting (reporting only; never checkpointed).
+    pub(crate) solve_ms: f64,
+    pub(crate) repair_ms: f64,
+}
+
+impl fmt::Debug for MissionRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MissionRunner")
+            .field("seed", &self.scenario.seed)
+            .field("next_window", &self.next_window)
+            .field("total_windows", &self.total_windows)
+            .field("repairs", &self.repairs)
+            .finish()
+    }
+}
+
+impl MissionRunner {
+    /// Runs phases 1–3 and stands up the execution simulator, ready to
+    /// step window 0.
+    pub fn new(scenario: &Scenario, config: &RunConfig) -> Self {
+        let p = prologue(scenario, config, &config.recorder);
+        let mut sim = build_sim(scenario, config, true);
+        let log = new_report_log();
+        let board = new_task_board();
+        if config.acked_tasking {
+            sim.set_behavior(
+                scenario.command_post,
+                Box::new(TaskingSink::new(
+                    log.clone(),
+                    board.clone(),
+                    config.task_attempts,
+                    config.task_retry_base,
+                )),
+            );
+        } else {
+            sim.set_behavior(
+                scenario.command_post,
+                Box::new(CommandSink::new(log.clone())),
+            );
+        }
+        let selection = p.composition.selected.clone();
+        let mut active_reporters: BTreeSet<NodeId> = BTreeSet::new();
+        let current = p.composition.clone();
+        attach_reporters(
+            &mut sim,
+            &p.problem,
+            &selection,
+            &mut active_reporters,
+            scenario,
+            config,
+            &board,
+        );
+        let total_windows =
+            (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as usize;
+        let mut detector = FailureDetector::new(config.report_period, config.suspicion_periods);
+        if config.adaptive && config.early_repair {
+            for &i in &selection {
+                detector.watch(p.problem.candidates[i].id, sim.now());
+            }
+        }
+        let ladder = DegradationLadder::new(
+            config.shed_threshold,
+            config.restore_threshold,
+            config.ladder_patience,
+        );
+        MissionRunner {
+            scenario: scenario.clone(),
+            config: config.clone(),
+            recruited: p.recruited,
+            rejected_red: p.rejected_red,
+            unreachable: p.unreachable,
+            infiltration_rate: p.infiltration_rate,
+            composition: p.composition,
+            assurance: p.assurance,
+            specs: p.specs,
+            base_problem: p.problem.clone(),
+            problem: p.problem,
+            sim,
+            log,
+            board,
+            selection,
+            current,
+            active_reporters,
+            windows: Vec::new(),
+            repairs: 0,
+            total_windows,
+            next_window: 0,
+            failed_ever: BTreeSet::new(),
+            detector,
+            ladder,
+            resilience: ResilienceReport::default(),
+            log_cursor: 0,
+            solve_ms: p.solve_ms,
+            repair_ms: 0.0,
         }
     }
-    scenario.fault_plan.schedule(&mut sim);
-    let log = new_report_log();
-    let board = new_task_board();
-    if config.acked_tasking {
-        sim.set_behavior(
-            scenario.command_post,
-            Box::new(TaskingSink::new(
-                log.clone(),
-                board.clone(),
-                config.task_attempts,
-                config.task_retry_base,
-            )),
-        );
-    } else {
-        sim.set_behavior(
-            scenario.command_post,
-            Box::new(CommandSink::new(log.clone())),
-        );
+
+    /// The index of the next window to execute (also: how many windows
+    /// have completed).
+    pub fn window_index(&self) -> usize {
+        self.next_window
     }
-    let mut selection = composition.selected.clone();
-    let mut active_reporters: BTreeSet<NodeId> = BTreeSet::new();
-    let mut current = composition.clone();
-    attach_reporters(
-        &mut sim,
-        &problem,
-        &selection,
-        &mut active_reporters,
-        scenario,
-        config,
-        &board,
-    );
 
-    let mut windows = Vec::new();
-    let mut repairs = 0usize;
-    let mut repair_ms = 0.0f64;
-    let total_windows =
-        (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as usize;
-    let mut failed_ever: BTreeSet<NodeId> = BTreeSet::new();
+    /// Total number of utility windows in the mission.
+    pub fn total_windows(&self) -> usize {
+        self.total_windows
+    }
 
-    // ---- Reaction layer: heartbeat detection + degradation ladder ----
-    let use_detector = config.adaptive && config.early_repair;
-    let use_ladder = config.adaptive && config.degradation_ladder;
-    let base_problem = problem.clone();
-    let mut problem = problem;
-    let mut detector = FailureDetector::new(config.report_period, config.suspicion_periods);
-    let mut ladder = DegradationLadder::new(
-        config.shed_threshold,
-        config.restore_threshold,
-        config.ladder_patience,
-    );
-    let mut resilience = ResilienceReport::default();
-    let mut log_cursor = 0usize;
-    if use_detector {
-        for &i in &selection {
-            detector.watch(problem.candidates[i].id, sim.now());
+    /// Whether every window has executed.
+    pub fn is_finished(&self) -> bool {
+        self.next_window >= self.total_windows
+    }
+
+    /// Executes one utility window — simulation slices, heartbeat
+    /// detection, the degradation ladder, and the repair reflex — and
+    /// returns its [`WindowStat`], or `None` when the mission is done.
+    pub fn step_window(&mut self) -> Option<WindowStat> {
+        if self.is_finished() {
+            return None;
         }
-    }
-
-    for w in 0..total_windows {
-        let start_s = sim.now().as_secs_f64();
-        let mark = log.borrow().len();
+        let w = self.next_window;
+        let recorder = self.config.recorder.clone();
+        let use_detector = self.config.adaptive && self.config.early_repair;
+        let use_ladder = self.config.adaptive && self.config.degradation_ladder;
+        let start_s = self.sim.now().as_secs_f64();
+        let mark = self.log.borrow().len();
         let ticks = if use_detector {
-            config.detector_ticks.max(1)
+            self.config.detector_ticks.max(1)
         } else {
             1
         };
-        let tick_us = config.window.as_micros() / u64::from(ticks);
+        let tick_us = self.config.window.as_micros() / u64::from(ticks);
         for t in 0..ticks {
             // The last tick absorbs the division remainder so every
             // window spans exactly `config.window`.
             let slice = if t + 1 == ticks {
-                SimDuration::from_micros(config.window.as_micros() - u64::from(t) * tick_us)
+                SimDuration::from_micros(self.config.window.as_micros() - u64::from(t) * tick_us)
             } else {
                 SimDuration::from_micros(tick_us)
             };
-            sim.run_for(slice);
-            if !use_detector || w + 1 >= total_windows {
+            self.sim.run_for(slice);
+            if !use_detector || w + 1 >= self.total_windows {
                 continue;
             }
             // Feed delivered reports to the detector as heartbeats.
             {
-                let logref = log.borrow();
-                for r in &logref[log_cursor..] {
-                    detector.heard(r.from, r.at);
+                let logref = self.log.borrow();
+                for r in &logref[self.log_cursor..] {
+                    self.detector.heard(r.from, r.at);
                 }
-                log_cursor = logref.len();
+                self.log_cursor = logref.len();
             }
-            let now = sim.now();
-            let new_suspects: Vec<(NodeId, SimDuration)> = detector
+            let now = self.sim.now();
+            let new_suspects: Vec<(NodeId, SimDuration)> = self
+                .detector
                 .suspects(now)
                 .into_iter()
-                .filter(|(n, _)| !failed_ever.contains(n))
+                .filter(|(n, _)| !self.failed_ever.contains(n))
                 .collect();
             if new_suspects.is_empty() {
                 continue;
@@ -615,58 +864,66 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
                     node: node.raw(),
                     silent_us: silent.as_micros(),
                 });
-                failed_ever.insert(node);
-                detector.unwatch(node);
+                self.failed_ever.insert(node);
+                self.detector.unwatch(node);
             }
-            resilience.suspected += new_suspects.len() as u64;
+            self.resilience.suspected += new_suspects.len() as u64;
             recorder.record(TraceEvent::EarlyRepair {
                 window: w as u64,
                 suspects: new_suspects.len() as u64,
             });
             let repair_start = Instant::now(); // lint: allow(wall-clock) — reporting only; lands in WallClockReport, never in a decision or digest
-            let repaired = repair_with(&problem, &current, &failed_ever, config.solver);
-            repair_ms += repair_start.elapsed().as_secs_f64() * 1_000.0;
-            if repaired.selected != selection {
-                repairs += 1;
-                resilience.early_repairs += 1;
-                selection = repaired.selected.clone();
-                current = CompositionResult {
+            let repaired = repair_with(
+                &self.problem,
+                &self.current,
+                &self.failed_ever,
+                self.config.solver,
+            );
+            self.repair_ms += repair_start.elapsed().as_secs_f64() * 1_000.0;
+            if repaired.selected != self.selection {
+                self.repairs += 1;
+                self.resilience.early_repairs += 1;
+                self.selection = repaired.selected.clone();
+                self.current = CompositionResult {
                     selected: repaired.selected,
                     coverage: repaired.coverage,
-                    cost: problem.cost(&selection),
+                    cost: self.problem.cost(&self.selection),
                     satisfied: repaired.satisfied,
                 };
                 attach_reporters(
-                    &mut sim,
-                    &problem,
-                    &selection,
-                    &mut active_reporters,
-                    scenario,
-                    config,
-                    &board,
+                    &mut self.sim,
+                    &self.problem,
+                    &self.selection,
+                    &mut self.active_reporters,
+                    &self.scenario,
+                    &self.config,
+                    &self.board,
                 );
-                for &i in &selection {
-                    detector.watch(problem.candidates[i].id, now);
+                for &i in &self.selection {
+                    self.detector.watch(self.problem.candidates[i].id, now);
                 }
             }
         }
-        let delivered: BTreeSet<NodeId> = log.borrow()[mark..].iter().map(|r| r.from).collect();
-        let expected = selection.len();
-        let reporting = selection
+        let delivered: BTreeSet<NodeId> =
+            self.log.borrow()[mark..].iter().map(|r| r.from).collect();
+        let expected = self.selection.len();
+        let reporting = self
+            .selection
             .iter()
-            .filter(|&&i| delivered.contains(&problem.candidates[i].id))
+            .filter(|&&i| delivered.contains(&self.problem.candidates[i].id))
             .count();
         let utility = if expected == 0 {
             1.0
         } else {
             reporting as f64 / expected as f64
         };
-        windows.push(WindowStat {
+        let stat = WindowStat {
             start_s,
             expected,
             reporting,
             utility,
-        });
+        };
+        self.windows.push(stat);
         recorder.record(TraceEvent::WindowClosed {
             window: w as u64,
             delivered: reporting as u64,
@@ -677,21 +934,33 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         // time (redundancy → last modality → coverage fraction) so the
         // reflex below repairs toward an achievable target instead of
         // thrashing; restore rungs when utility recovers.
-        if use_ladder && w + 1 < total_windows {
-            match ladder.observe(utility) {
+        if use_ladder && w + 1 < self.total_windows {
+            match self.ladder.observe(utility) {
                 LadderStep::Shed => {
-                    resilience.sheds += 1;
-                    let level = ladder.level();
-                    problem = degraded_problem(&base_problem, &scenario.mission, &specs, config.grid, level);
+                    self.resilience.sheds += 1;
+                    let level = self.ladder.level();
+                    self.problem = degraded_problem(
+                        &self.base_problem,
+                        &self.scenario.mission,
+                        &self.specs,
+                        self.config.grid,
+                        level,
+                    );
                     recorder.record(TraceEvent::Shed {
                         level: level as u64,
                         action: DegradationLadder::action(level),
                     });
                 }
                 LadderStep::Restore => {
-                    resilience.restores += 1;
-                    let level = ladder.level();
-                    problem = degraded_problem(&base_problem, &scenario.mission, &specs, config.grid, level);
+                    self.resilience.restores += 1;
+                    let level = self.ladder.level();
+                    self.problem = degraded_problem(
+                        &self.base_problem,
+                        &self.scenario.mission,
+                        &self.specs,
+                        self.config.grid,
+                        level,
+                    );
                     recorder.record(TraceEvent::Restore {
                         level: level as u64,
                         action: DegradationLadder::action(level + 1),
@@ -702,106 +971,134 @@ pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
         }
         // Reflex: if too few selected assets are heard from, treat the
         // silent ones as lost and re-cover their pairs from spares.
-        if config.adaptive && utility < config.repair_threshold && w + 1 < total_windows {
+        if self.config.adaptive
+            && utility < self.config.repair_threshold
+            && w + 1 < self.total_windows
+        {
             recorder.record(TraceEvent::RepairTriggered {
                 window: w as u64,
                 utility,
-                threshold: config.repair_threshold,
+                threshold: self.config.repair_threshold,
             });
-            for &i in &selection {
-                let id = problem.candidates[i].id;
+            for &i in &self.selection {
+                let id = self.problem.candidates[i].id;
                 if !delivered.contains(&id) {
-                    failed_ever.insert(id);
+                    self.failed_ever.insert(id);
                 }
             }
             let repair_start = Instant::now(); // lint: allow(wall-clock) — reporting only; lands in WallClockReport, never in a decision or digest
-            let repaired = repair_with(&problem, &current, &failed_ever, config.solver);
-            repair_ms += repair_start.elapsed().as_secs_f64() * 1_000.0;
-            if repaired.selected != selection {
-                repairs += 1;
+            let repaired = repair_with(
+                &self.problem,
+                &self.current,
+                &self.failed_ever,
+                self.config.solver,
+            );
+            self.repair_ms += repair_start.elapsed().as_secs_f64() * 1_000.0;
+            if repaired.selected != self.selection {
+                self.repairs += 1;
                 let added = repaired
                     .selected
                     .iter()
-                    .filter(|i| !selection.contains(i))
+                    .filter(|i| !self.selection.contains(i))
                     .count();
                 recorder.record(TraceEvent::RepairApplied {
                     window: w as u64,
                     added: added as u64,
                     satisfied: repaired.satisfied,
                 });
-                selection = repaired.selected.clone();
-                current = CompositionResult {
+                self.selection = repaired.selected.clone();
+                self.current = CompositionResult {
                     selected: repaired.selected,
                     coverage: repaired.coverage,
-                    cost: problem.cost(&selection),
+                    cost: self.problem.cost(&self.selection),
                     satisfied: repaired.satisfied,
                 };
                 attach_reporters(
-                    &mut sim,
-                    &problem,
-                    &selection,
-                    &mut active_reporters,
-                    scenario,
-                    config,
-                    &board,
+                    &mut self.sim,
+                    &self.problem,
+                    &self.selection,
+                    &mut self.active_reporters,
+                    &self.scenario,
+                    &self.config,
+                    &self.board,
                 );
                 if use_detector {
-                    let now = sim.now();
-                    for &i in &selection {
-                        detector.watch(problem.candidates[i].id, now);
+                    let now = self.sim.now();
+                    for &i in &self.selection {
+                        self.detector.watch(self.problem.candidates[i].id, now);
                     }
                 }
             }
         }
+        self.next_window += 1;
+        Some(stat)
     }
-    let mean_utility = if windows.is_empty() {
-        0.0
-    } else {
-        windows.iter().map(|w| w.utility).sum::<f64>() / windows.len() as f64
-    };
-    let mut final_selection = selection.clone();
-    final_selection.sort_unstable();
-    let node_energy_j: Vec<(NodeId, f64)> = scenario
-        .catalog
-        .ids()
-        .into_iter()
-        .filter_map(|id| sim.energy(id).map(|e| (id, e.remaining_j())))
-        .collect();
-    resilience.final_ladder_level = ladder.level() as u64;
-    resilience.tasking = board.borrow().stats();
-    let stats = sim.stats();
-    let digest = EndStateDigest {
-        sent: stats.sent,
-        delivered: stats.delivered,
-        dropped: stats.dropped,
-        dropped_no_route: stats.dropped_no_route,
-        dropped_channel: stats.dropped_channel,
-        dropped_dead: stats.dropped_dead,
-        dropped_asleep: stats.dropped_asleep,
-        retransmits: stats.retransmits,
-        tampered: stats.tampered,
-        energy_spent_j: stats.energy_spent_j,
-        node_energy_j,
-        mean_utility,
-        repairs,
-        final_selection,
-        resilience,
-    };
-    recorder.flush();
-    MissionReport {
-        recruited: pool.admitted.len(),
-        rejected_red: pool.rejected_red.len(),
-        unreachable,
-        infiltration_rate: pool.infiltration_rate(),
-        composition,
-        assurance,
-        windows,
-        repairs,
-        delivery_ratio: stats.delivery_ratio(),
-        mean_latency_ms: stats.latency_ms.mean(),
-        digest,
-        wall_clock: WallClockReport { solve_ms, repair_ms },
+
+    /// Builds the final [`MissionReport`] from the runner's state
+    /// (normally called after stepping every window).
+    pub fn finish(self) -> MissionReport {
+        let mean_utility = if self.windows.is_empty() {
+            0.0
+        } else {
+            self.windows.iter().map(|w| w.utility).sum::<f64>() / self.windows.len() as f64
+        };
+        let mut final_selection = self.selection.clone();
+        final_selection.sort_unstable();
+        let node_energy_j: Vec<(NodeId, f64)> = self
+            .scenario
+            .catalog
+            .ids()
+            .into_iter()
+            .filter_map(|id| self.sim.energy(id).map(|e| (id, e.remaining_j())))
+            .collect();
+        let mut resilience = self.resilience;
+        resilience.final_ladder_level = self.ladder.level() as u64;
+        resilience.tasking = self.board.borrow().stats();
+        let stats = self.sim.stats();
+        let digest = EndStateDigest {
+            sent: stats.sent,
+            delivered: stats.delivered,
+            dropped: stats.dropped,
+            dropped_no_route: stats.dropped_no_route,
+            dropped_channel: stats.dropped_channel,
+            dropped_dead: stats.dropped_dead,
+            dropped_asleep: stats.dropped_asleep,
+            retransmits: stats.retransmits,
+            tampered: stats.tampered,
+            energy_spent_j: stats.energy_spent_j,
+            node_energy_j,
+            mean_utility,
+            repairs: self.repairs,
+            final_selection,
+            resilience,
+        };
+        self.config.recorder.flush();
+        MissionReport {
+            recruited: self.recruited,
+            rejected_red: self.rejected_red,
+            unreachable: self.unreachable,
+            infiltration_rate: self.infiltration_rate,
+            composition: self.composition,
+            assurance: self.assurance,
+            windows: self.windows,
+            repairs: self.repairs,
+            delivery_ratio: stats.delivery_ratio(),
+            mean_latency_ms: stats.latency_ms.mean(),
+            digest,
+            wall_clock: WallClockReport {
+                solve_ms: self.solve_ms,
+                repair_ms: self.repair_ms,
+            },
+        }
     }
+}
+
+/// Runs the full pipeline on a scenario: a fresh [`MissionRunner`]
+/// stepped to completion.
+pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
+    let mut runner = MissionRunner::new(scenario, config);
+    while runner.step_window().is_some() {}
+    runner.finish()
 }
 
 fn attach_reporters(
@@ -853,7 +1150,7 @@ fn attach_reporters(
 ///
 /// Candidate order is trust-filtered from the same `specs` in the same
 /// order, so selection indices remain valid across rebuilds.
-fn degraded_problem(
+pub(crate) fn degraded_problem(
     base: &CompositionProblem,
     mission: &Mission,
     specs: &[NodeSpec],
@@ -945,7 +1242,8 @@ mod tests {
         let built = RunConfig::builder()
             .duration(SimDuration::from_secs_f64(60.0))
             .window(SimDuration::from_secs_f64(10.0))
-            .build();
+            .build()
+            .unwrap();
         let literal = quick_config();
         assert_eq!(built.duration, literal.duration);
         assert_eq!(built.window, literal.window);
@@ -954,6 +1252,49 @@ mod tests {
         assert_eq!(built.grid, literal.grid);
         assert_eq!(built.solver, literal.solver);
         assert_eq!(built.require_reachability, literal.require_reachability);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        assert!(matches!(
+            RunConfig::builder().window(SimDuration::ZERO).build(),
+            Err(RunConfigError::ZeroWindow)
+        ));
+        assert!(matches!(
+            RunConfig::builder()
+                .duration(SimDuration::from_secs_f64(5.0))
+                .window(SimDuration::from_secs_f64(10.0))
+                .build(),
+            Err(RunConfigError::WindowExceedsDuration { .. })
+        ));
+        assert!(matches!(
+            RunConfig::builder().repair_threshold(1.5).build(),
+            Err(RunConfigError::ThresholdOutOfRange {
+                field: "repair_threshold",
+                ..
+            })
+        ));
+        assert!(matches!(
+            RunConfig::builder().shed_threshold(-0.1).build(),
+            Err(RunConfigError::ThresholdOutOfRange {
+                field: "shed_threshold",
+                ..
+            })
+        ));
+        assert!(matches!(
+            RunConfig::builder().restore_threshold(f64::NAN).build(),
+            Err(RunConfigError::ThresholdOutOfRange {
+                field: "restore_threshold",
+                ..
+            })
+        ));
+        // Errors render a human-readable explanation.
+        let shown = RunConfig::builder()
+            .repair_threshold(2.0)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(shown.contains("repair_threshold"), "{shown}");
     }
 
     #[test]
@@ -966,7 +1307,8 @@ mod tests {
             .duration(SimDuration::from_secs_f64(60.0))
             .window(SimDuration::from_secs_f64(10.0))
             .recorder(recorder.clone())
-            .build();
+            .build()
+            .unwrap();
         let report = run_mission(&scenario, &cfg);
         let records = ring.records();
         assert!(!records.is_empty());
@@ -1004,13 +1346,32 @@ mod tests {
     }
 
     #[test]
+    fn stepped_runner_matches_run_mission() {
+        let scenario = persistent_surveillance(80, 11);
+        let cfg = quick_config();
+        let whole = run_mission(&scenario, &cfg);
+        let mut runner = MissionRunner::new(&scenario, &cfg);
+        assert_eq!(runner.total_windows(), 6);
+        let mut stepped = Vec::new();
+        while let Some(stat) = runner.step_window() {
+            stepped.push(stat);
+        }
+        assert!(runner.is_finished());
+        assert_eq!(runner.window_index(), 6);
+        let report = runner.finish();
+        assert_eq!(stepped, whole.windows);
+        assert_eq!(report.digest, whole.digest);
+    }
+
+    #[test]
     fn acked_tasking_delivers_assignments_before_reports_flow() {
         let scenario = persistent_surveillance(120, 5);
         let cfg = RunConfig::builder()
             .duration(SimDuration::from_secs_f64(60.0))
             .window(SimDuration::from_secs_f64(10.0))
             .acked_tasking(true)
-            .build();
+            .build()
+            .unwrap();
         let report = run_mission(&scenario, &cfg);
         let tasking = report.digest.resilience.tasking;
         assert!(tasking.assigned > 0, "someone must be tasked");
@@ -1041,7 +1402,8 @@ mod tests {
             .duration(SimDuration::from_secs_f64(60.0))
             .window(SimDuration::from_secs_f64(10.0))
             .early_repair(true)
-            .build();
+            .build()
+            .unwrap();
         let report = run_mission(&scenario, &cfg);
         let res = report.digest.resilience;
         assert!(res.suspected > 0, "blackout victims must be suspected");
@@ -1072,7 +1434,8 @@ mod tests {
             .duration(SimDuration::from_secs_f64(60.0))
             .window(SimDuration::from_secs_f64(10.0))
             .degradation_ladder(true)
-            .build();
+            .build()
+            .unwrap();
         let report = run_mission(&scenario, &cfg);
         let res = report.digest.resilience;
         assert!(res.sheds >= 1, "ladder must shed under total blackout");
@@ -1102,7 +1465,8 @@ mod tests {
             .acked_tasking(true)
             .task_attempts(6)
             .task_retry_base(SimDuration::from_millis(500))
-            .build();
+            .build()
+            .unwrap();
         assert!(built.early_repair);
         assert_eq!(built.detector_ticks, 8);
         assert!((built.suspicion_periods - 2.5).abs() < 1e-12);

@@ -242,6 +242,14 @@ impl FaultPlan {
     /// Maps every event onto `sim`'s injection hooks and records one
     /// `fault_scheduled` trace event per fault (at the current recorder
     /// time, normally before the run starts).
+    ///
+    /// Call exactly once per simulator, *before* it runs. In particular,
+    /// do **not** call this on a simulator restored from a checkpoint
+    /// (`Simulator::restore_state`): the restored event queue already
+    /// contains every pending fault event, so scheduling again would
+    /// duplicate both the faults and their `fault_scheduled` trace
+    /// records and break deterministic resume. The mission runtime's
+    /// `MissionRunner::resume` handles this for you.
     pub fn schedule(&self, sim: &mut Simulator) {
         for ev in &self.events {
             let name = ev.kind.name();

@@ -99,6 +99,11 @@ impl Channel {
         &self.jammers
     }
 
+    /// Replaces the jammer list wholesale (checkpoint restore).
+    pub(crate) fn replace_jammers(&mut self, jammers: Vec<Jammer>) {
+        self.jammers = jammers;
+    }
+
     /// Sets a channel-wide extra path loss in dB (link-degradation
     /// faults: weather, obscurants, wide-band interference). Applies to
     /// every link's SINR; negative values clamp to zero.

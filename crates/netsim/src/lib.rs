@@ -33,8 +33,8 @@ pub use graph::{ConnectivityGraph, GraphNode, LinkQuality, RouteScratch};
 pub use message::Message;
 pub use mobility::{MobilityModel, MobilityState};
 pub use sim::{
-    Behavior, CompromiseSpec, Context, LinkDegradation, PartitionSpec, SimulatorBuilder,
-    SleepSchedule, Simulator,
+    Behavior, BehaviorRegistry, BehaviorSnapshot, CompromiseSpec, Context, LinkDegradation,
+    PartitionSpec, SimulatorBuilder, SleepSchedule, Simulator, SnapshotError,
 };
 pub use stats::{NetStats, Summary};
 pub use terrain::{Clutter, Terrain};
@@ -45,8 +45,9 @@ pub use iobt_obs::Recorder;
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::{
-        Behavior, Channel, ChurnProcess, Clutter, CompromiseSpec, ConnectivityGraph, Context,
-        Jammer, LinkDegradation, Message, MobilityModel, NetStats, PartitionSpec, SimDuration,
-        SimTime, Simulator, SleepSchedule, Summary, Terrain,
+        Behavior, BehaviorRegistry, BehaviorSnapshot, Channel, ChurnProcess, Clutter,
+        CompromiseSpec, ConnectivityGraph, Context, Jammer, LinkDegradation, Message,
+        MobilityModel, NetStats, PartitionSpec, SimDuration, SimTime, Simulator, SleepSchedule,
+        SnapshotError, Summary, Terrain,
     };
 }

@@ -80,6 +80,37 @@ impl Message {
         self.sent_at = at;
         self
     }
+
+    /// All fields, for checkpoint serialisation of in-flight messages.
+    pub(crate) fn snapshot_raw(&self) -> (NodeId, NodeId, u32, &Bytes, SimTime, bool) {
+        (
+            self.src,
+            self.dst,
+            self.kind,
+            &self.payload,
+            self.sent_at,
+            self.tampered,
+        )
+    }
+
+    /// Rebuilds a message bit-for-bit from checkpointed fields.
+    pub(crate) fn from_snapshot_raw(
+        src: NodeId,
+        dst: NodeId,
+        kind: u32,
+        payload: Bytes,
+        sent_at: SimTime,
+        tampered: bool,
+    ) -> Self {
+        Message {
+            src,
+            dst,
+            kind,
+            payload,
+            sent_at,
+            tampered,
+        }
+    }
 }
 
 impl fmt::Display for Message {

@@ -75,6 +75,34 @@ impl MobilityState {
         }
     }
 
+    /// All fields, for checkpoint serialisation.
+    pub(crate) fn snapshot_raw(&self) -> (&MobilityModel, Point, Option<Point>, f64, usize) {
+        (
+            &self.model,
+            self.position,
+            self.target,
+            self.pause_left_s,
+            self.route_index,
+        )
+    }
+
+    /// Rebuilds mobility state exactly from checkpointed fields.
+    pub(crate) fn from_snapshot_raw(
+        model: MobilityModel,
+        position: Point,
+        target: Option<Point>,
+        pause_left_s: f64,
+        route_index: usize,
+    ) -> Self {
+        MobilityState {
+            model,
+            position,
+            target,
+            pause_left_s,
+            route_index,
+        }
+    }
+
     /// Advances the node by `dt_s` seconds, sampling any new waypoints from
     /// `rng`. Returns the new position.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt_s: f64) -> Point {

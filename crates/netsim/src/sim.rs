@@ -48,6 +48,10 @@ use iobt_types::{EnergyBudget, NodeCatalog, NodeId, Point, RadioKind, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+mod snapshot;
+
+pub use snapshot::{BehaviorRegistry, BehaviorSnapshot, SnapshotError};
+
 use crate::channel::{Channel, Jammer};
 use crate::graph::{ConnectivityGraph, GraphNode, LinkQuality, RouteScratch};
 use crate::message::Message;
@@ -76,6 +80,25 @@ pub trait Behavior {
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
         let _ = (ctx, token);
+    }
+
+    /// Serialises this behaviour's mutable state for a checkpoint.
+    ///
+    /// Returns `None` (the default) for behaviours that cannot be
+    /// checkpointed — [`Simulator::save_state`] then fails rather than
+    /// silently dropping them. Checkpointable behaviours return a
+    /// [`BehaviorSnapshot`] whose `kind` names a factory registered in
+    /// the [`BehaviorRegistry`] used at restore.
+    fn save_state(&self) -> Option<BehaviorSnapshot> {
+        None
+    }
+
+    /// Restores state captured by [`Behavior::save_state`] into a
+    /// freshly constructed instance. Returns `false` when the bytes are
+    /// malformed (the restore is then rejected as corrupt). The default
+    /// accepts only an empty state, matching stateless behaviours.
+    fn restore_state(&mut self, state: &[u8]) -> bool {
+        state.is_empty()
     }
 }
 
@@ -522,26 +545,33 @@ impl Core {
             .unwrap_or(false)
     }
 
+    /// Builds the connectivity graph from current world state without
+    /// touching the cache or the recorder. Pure function of state, so
+    /// the restore path can rebuild a cached graph silently — emitting
+    /// a `GraphRebuilt` trace there would diverge from the
+    /// uninterrupted run's event stream.
+    fn build_graph(&self) -> ConnectivityGraph {
+        let now = self.now;
+        let nodes: Vec<GraphNode> = self
+            .nodes
+            .values()
+            .map(|n| GraphNode {
+                id: n.id,
+                position: n.mobility.position(),
+                radios: n.radios.clone(),
+                alive: n.alive
+                    && !n.energy.is_depleted()
+                    && n.sleep.is_none_or(|s| s.is_awake(now)),
+            })
+            .collect();
+        let partitions = &self.partitions;
+        let deny = |x: NodeId, y: NodeId| partitions.iter().any(|(p, on)| *on && p.cuts(x, y));
+        ConnectivityGraph::build_filtered(&nodes, &self.channel, &deny)
+    }
+
     fn graph(&mut self) -> &ConnectivityGraph {
         if self.graph.is_none() {
-            let now = self.now;
-            let nodes: Vec<GraphNode> = self
-                .nodes
-                .values()
-                .map(|n| GraphNode {
-                    id: n.id,
-                    position: n.mobility.position(),
-                    radios: n.radios.clone(),
-                    alive: n.alive
-                        && !n.energy.is_depleted()
-                        && n.sleep.is_none_or(|s| s.is_awake(now)),
-                })
-                .collect();
-            let partitions = &self.partitions;
-            let deny = |x: NodeId, y: NodeId| {
-                partitions.iter().any(|(p, on)| *on && p.cuts(x, y))
-            };
-            let built = ConnectivityGraph::build_filtered(&nodes, &self.channel, &deny);
+            let built = self.build_graph();
             self.recorder.record(TraceEvent::GraphRebuilt {
                 nodes: built.len() as u64,
                 edges: built.link_count() as u64,

@@ -1,0 +1,954 @@
+//! Simulator checkpoint save/restore.
+//!
+//! [`Simulator::save_state`] serialises *every* determinism-relevant
+//! piece of world state — the clock, the event-sequence counter, the
+//! RNG stream position, the full event queue (including in-flight
+//! messages), per-node mobility/energy/liveness, channel jammers and
+//! degradation state, registered fault specs, and each behaviour's
+//! state via [`Behavior::save_state`]. [`Simulator::restore_state`]
+//! applies such a blob onto a freshly built simulator (same catalog,
+//! terrain, and builder configuration) and reconstructs behaviours
+//! through a [`BehaviorRegistry`] of factories *without* firing
+//! `on_start` again, so a resumed run continues the exact event and
+//! RNG sequence of the original.
+//!
+//! The one piece of derived state handled specially is the
+//! connectivity-graph cache: it is a pure function of world state, so
+//! the blob records only whether it was populated, and restore rebuilds
+//! it silently (no `GraphRebuilt` trace event — emitting one would make
+//! the post-resume trace diverge from the uninterrupted run).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+
+use bytes::Bytes;
+use iobt_ckpt::{CkptError, Dec, DecodeError, Enc};
+use iobt_types::{EnergyBudget, NodeId, Point, Rect};
+
+use crate::message::Message;
+use crate::mobility::{MobilityModel, MobilityState};
+use crate::time::{SimDuration, SimTime};
+
+use super::{
+    Behavior, Blackout, CompromiseSpec, Event, Jammer, LinkDegradation, PartitionSpec, Queued,
+    Simulator, SleepSchedule,
+};
+
+/// One behaviour's serialised state plus the registry key used to
+/// reconstruct it at restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BehaviorSnapshot {
+    /// Registry key naming the behaviour's factory (e.g.
+    /// `"core.sensor_reporter"`).
+    pub kind: String,
+    /// Opaque state bytes, fed back through [`Behavior::restore_state`].
+    pub state: Vec<u8>,
+}
+
+impl BehaviorSnapshot {
+    /// Creates a snapshot from a kind and state bytes.
+    pub fn new(kind: impl Into<String>, state: Vec<u8>) -> Self {
+        BehaviorSnapshot {
+            kind: kind.into(),
+            state,
+        }
+    }
+}
+
+type BehaviorFactory = Box<dyn Fn() -> Box<dyn Behavior>>;
+
+/// Maps behaviour kinds to factories that build blank instances for
+/// [`Simulator::restore_state`] to fill via [`Behavior::restore_state`].
+///
+/// Factories typically capture shared handles (report logs, task
+/// boards) so reconstructed behaviours share state with the runtime
+/// exactly like the originals did.
+#[derive(Default)]
+pub struct BehaviorRegistry {
+    factories: BTreeMap<String, BehaviorFactory>,
+}
+
+impl BehaviorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the factory for `kind`.
+    pub fn register(
+        &mut self,
+        kind: impl Into<String>,
+        factory: impl Fn() -> Box<dyn Behavior> + 'static,
+    ) {
+        self.factories.insert(kind.into(), Box::new(factory));
+    }
+
+    /// Builds a blank behaviour of `kind`, or `None` for unknown kinds.
+    pub fn create(&self, kind: &str) -> Option<Box<dyn Behavior>> {
+        self.factories.get(kind).map(|f| f())
+    }
+
+    /// Registered kinds, in sorted order.
+    pub fn kinds(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+}
+
+impl fmt::Debug for BehaviorRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BehaviorRegistry")
+            .field("kinds", &self.kinds())
+            .finish()
+    }
+}
+
+/// Everything that can go wrong saving or restoring a simulator
+/// snapshot. Always an `Err`, never a panic — corrupted state must be
+/// rejectable.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// A behaviour returned `None` from [`Behavior::save_state`]; the
+    /// simulator cannot be checkpointed with it attached.
+    NotCheckpointable(NodeId),
+    /// The snapshot bytes are malformed.
+    Decode(DecodeError),
+    /// The snapshot names a behaviour kind absent from the registry.
+    UnknownBehaviorKind(String),
+    /// A behaviour rejected its state bytes as malformed.
+    BehaviorRestore {
+        /// Node the behaviour belongs to.
+        node: NodeId,
+        /// Registry kind of the behaviour.
+        kind: String,
+    },
+    /// The snapshot references a node id absent from this simulator.
+    UnknownNode(u64),
+    /// The snapshot disagrees with this simulator's fixed configuration
+    /// (different catalog size, retries, mobility step, …).
+    Mismatch(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::NotCheckpointable(node) => {
+                write!(f, "behaviour on node {node} does not support checkpointing")
+            }
+            SnapshotError::Decode(e) => write!(f, "snapshot decode failed: {e}"),
+            SnapshotError::UnknownBehaviorKind(kind) => {
+                write!(f, "no factory registered for behaviour kind {kind:?}")
+            }
+            SnapshotError::BehaviorRestore { node, kind } => {
+                write!(f, "behaviour {kind:?} on node {node} rejected its state")
+            }
+            SnapshotError::UnknownNode(raw) => {
+                write!(f, "snapshot references unknown node id {raw}")
+            }
+            SnapshotError::Mismatch(why) => {
+                write!(f, "snapshot does not match this simulator: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+impl From<SnapshotError> for CkptError {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Decode(d) => CkptError::Decode(d),
+            other => CkptError::Mismatch(other.to_string()),
+        }
+    }
+}
+
+fn enc_id(e: &mut Enc, id: NodeId) {
+    e.u64(id.raw());
+}
+
+fn dec_id(d: &mut Dec<'_>) -> Result<NodeId, DecodeError> {
+    Ok(NodeId::new(d.u64()?))
+}
+
+fn enc_point(e: &mut Enc, p: Point) {
+    e.f64(p.x);
+    e.f64(p.y);
+}
+
+fn dec_point(d: &mut Dec<'_>) -> Result<Point, DecodeError> {
+    Ok(Point::new(d.f64()?, d.f64()?))
+}
+
+fn enc_id_set(e: &mut Enc, set: &BTreeSet<NodeId>) {
+    e.usize(set.len());
+    for id in set {
+        enc_id(e, *id);
+    }
+}
+
+fn dec_id_set(d: &mut Dec<'_>) -> Result<BTreeSet<NodeId>, DecodeError> {
+    let n = d.usize()?;
+    let mut set = BTreeSet::new();
+    for _ in 0..n {
+        set.insert(dec_id(d)?);
+    }
+    Ok(set)
+}
+
+fn enc_mobility(e: &mut Enc, state: &MobilityState) {
+    let (model, position, target, pause_left_s, route_index) = state.snapshot_raw();
+    match model {
+        MobilityModel::Static => e.u8(0),
+        MobilityModel::RandomWaypoint {
+            area,
+            speed_mps,
+            pause_s,
+        } => {
+            e.u8(1);
+            enc_point(e, area.min());
+            enc_point(e, area.max());
+            e.f64(*speed_mps);
+            e.f64(*pause_s);
+        }
+        MobilityModel::Route {
+            waypoints,
+            speed_mps,
+        } => {
+            e.u8(2);
+            e.usize(waypoints.len());
+            for w in waypoints {
+                enc_point(e, *w);
+            }
+            e.f64(*speed_mps);
+        }
+    }
+    enc_point(e, position);
+    match target {
+        Some(t) => {
+            e.bool(true);
+            enc_point(e, t);
+        }
+        None => e.bool(false),
+    }
+    e.f64(pause_left_s);
+    e.usize(route_index);
+}
+
+fn dec_mobility(d: &mut Dec<'_>) -> Result<MobilityState, DecodeError> {
+    let model = match d.u8()? {
+        0 => MobilityModel::Static,
+        1 => {
+            let min = dec_point(d)?;
+            let max = dec_point(d)?;
+            MobilityModel::RandomWaypoint {
+                area: Rect::new(min, max),
+                speed_mps: d.f64()?,
+                pause_s: d.f64()?,
+            }
+        }
+        2 => {
+            let n = d.usize()?;
+            let mut waypoints = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                waypoints.push(dec_point(d)?);
+            }
+            MobilityModel::Route {
+                waypoints,
+                speed_mps: d.f64()?,
+            }
+        }
+        tag => {
+            return Err(DecodeError::UnknownTag {
+                what: "mobility model",
+                tag,
+            })
+        }
+    };
+    let position = dec_point(d)?;
+    let target = if d.bool()? { Some(dec_point(d)?) } else { None };
+    let pause_left_s = d.f64()?;
+    let route_index = d.usize()?;
+    Ok(MobilityState::from_snapshot_raw(
+        model,
+        position,
+        target,
+        pause_left_s,
+        route_index,
+    ))
+}
+
+fn enc_message(e: &mut Enc, msg: &Message) {
+    let (src, dst, kind, payload, sent_at, tampered) = msg.snapshot_raw();
+    enc_id(e, src);
+    enc_id(e, dst);
+    e.u32(kind);
+    e.bytes(payload.as_ref());
+    e.u64(sent_at.as_micros());
+    e.bool(tampered);
+}
+
+fn dec_message(d: &mut Dec<'_>) -> Result<Message, DecodeError> {
+    let src = dec_id(d)?;
+    let dst = dec_id(d)?;
+    let kind = d.u32()?;
+    let payload = Bytes::from(d.bytes()?.to_vec());
+    let sent_at = SimTime::from_micros(d.u64()?);
+    let tampered = d.bool()?;
+    Ok(Message::from_snapshot_raw(
+        src, dst, kind, payload, sent_at, tampered,
+    ))
+}
+
+fn enc_event(e: &mut Enc, event: &Event) {
+    match event {
+        Event::Deliver(msg) => {
+            e.u8(0);
+            enc_message(e, msg);
+        }
+        Event::Timer { node, token } => {
+            e.u8(1);
+            enc_id(e, *node);
+            e.u64(*token);
+        }
+        Event::MobilityTick => e.u8(2),
+        Event::NodeDown(id) => {
+            e.u8(3);
+            enc_id(e, *id);
+        }
+        Event::NodeUp(id) => {
+            e.u8(4);
+            enc_id(e, *id);
+        }
+        Event::SetJammer { index, active } => {
+            e.u8(5);
+            e.usize(*index);
+            e.bool(*active);
+        }
+        Event::SetPartition { index, active } => {
+            e.u8(6);
+            e.usize(*index);
+            e.bool(*active);
+        }
+        Event::SetDegradation { index, active } => {
+            e.u8(7);
+            e.usize(*index);
+            e.bool(*active);
+        }
+        Event::SetCompromise { index, active } => {
+            e.u8(8);
+            e.usize(*index);
+            e.bool(*active);
+        }
+        Event::RegionOutage { index } => {
+            e.u8(9);
+            e.usize(*index);
+        }
+        Event::RegionRestore { index } => {
+            e.u8(10);
+            e.usize(*index);
+        }
+    }
+}
+
+fn dec_event(d: &mut Dec<'_>) -> Result<Event, DecodeError> {
+    Ok(match d.u8()? {
+        0 => Event::Deliver(dec_message(d)?),
+        1 => Event::Timer {
+            node: dec_id(d)?,
+            token: d.u64()?,
+        },
+        2 => Event::MobilityTick,
+        3 => Event::NodeDown(dec_id(d)?),
+        4 => Event::NodeUp(dec_id(d)?),
+        5 => Event::SetJammer {
+            index: d.usize()?,
+            active: d.bool()?,
+        },
+        6 => Event::SetPartition {
+            index: d.usize()?,
+            active: d.bool()?,
+        },
+        7 => Event::SetDegradation {
+            index: d.usize()?,
+            active: d.bool()?,
+        },
+        8 => Event::SetCompromise {
+            index: d.usize()?,
+            active: d.bool()?,
+        },
+        9 => Event::RegionOutage { index: d.usize()? },
+        10 => Event::RegionRestore { index: d.usize()? },
+        tag => return Err(DecodeError::UnknownTag { what: "event", tag }),
+    })
+}
+
+impl Simulator {
+    /// Serialises the complete determinism-relevant simulator state.
+    ///
+    /// Fails with [`SnapshotError::NotCheckpointable`] when any
+    /// attached behaviour does not implement [`Behavior::save_state`] —
+    /// silently dropping behaviour state would produce a checkpoint
+    /// that resumes to a *different* run.
+    pub fn save_state(&self) -> Result<Vec<u8>, SnapshotError> {
+        let core = &self.core;
+        let mut e = Enc::new();
+
+        // Fixed-configuration guard, checked at restore.
+        e.u32(core.retries);
+        e.u64(core.mobility_step.as_micros());
+        e.f64(core.idle_drain_w);
+        e.usize(core.nodes.len());
+
+        // Clock, event-sequence counter, RNG stream position.
+        e.u64(core.now.as_micros());
+        e.u64(core.seq);
+        for w in core.rng.state() {
+            e.u64(w);
+        }
+
+        // Network statistics, including every latency sample (the
+        // digest's mean latency must match bit-for-bit after resume).
+        let s = &core.stats;
+        for v in [
+            s.sent,
+            s.delivered,
+            s.dropped,
+            s.dropped_no_route,
+            s.dropped_channel,
+            s.dropped_dead,
+            s.dropped_asleep,
+            s.hop_attempts,
+            s.retransmits,
+            s.tampered,
+        ] {
+            e.u64(v);
+        }
+        e.f64(s.energy_spent_j);
+        e.usize(s.latency_ms.samples().len());
+        for v in s.latency_ms.samples() {
+            e.f64(*v);
+        }
+        e.usize(s.delivered_by_kind.len());
+        for (kind, count) in &s.delivered_by_kind {
+            e.u32(*kind);
+            e.u64(*count);
+        }
+
+        // Per-node mutable state.
+        for n in core.nodes.values() {
+            enc_id(&mut e, n.id);
+            enc_mobility(&mut e, &n.mobility);
+            e.f64(n.energy.capacity_j());
+            e.f64(n.energy.remaining_j());
+            e.bool(n.alive);
+            match n.sleep {
+                Some(sched) => {
+                    e.bool(true);
+                    e.u64(sched.period.as_micros());
+                    e.f64(sched.awake_fraction);
+                    e.u64(sched.phase.as_micros());
+                }
+                None => e.bool(false),
+            }
+        }
+
+        // Channel: jammers and composite degradation loss.
+        e.usize(core.channel.jammers().len());
+        for j in core.channel.jammers() {
+            enc_point(&mut e, j.position);
+            e.f64(j.power_w);
+            e.bool(j.active);
+        }
+        e.f64(core.channel.extra_loss_db());
+        e.f64(core.latency_mult);
+
+        // Registered fault specs and their activation flags.
+        e.usize(core.partitions.len());
+        for (spec, active) in &core.partitions {
+            enc_id_set(&mut e, &spec.a);
+            enc_id_set(&mut e, &spec.b);
+            e.bool(*active);
+        }
+        e.usize(core.degradations.len());
+        for (spec, active) in &core.degradations {
+            e.f64(spec.extra_loss_db);
+            e.f64(spec.latency_mult);
+            e.bool(*active);
+        }
+        e.usize(core.compromises.len());
+        for (spec, active) in &core.compromises {
+            enc_id_set(&mut e, &spec.relays);
+            e.u64(spec.extra_delay.as_micros());
+            e.bool(spec.tamper);
+            e.bool(*active);
+        }
+        e.usize(core.blackouts.len());
+        for b in &core.blackouts {
+            enc_point(&mut e, b.rect.min());
+            enc_point(&mut e, b.rect.max());
+            enc_id_set(&mut e, &b.affected);
+        }
+
+        // Whether the graph cache was populated (rebuilt silently at
+        // restore; the graph itself is derived state).
+        e.bool(core.graph.is_some());
+
+        // The event queue, in deterministic (at, seq) order.
+        let mut entries: Vec<&Queued> = core.queue.iter().map(|Reverse(q)| q).collect();
+        entries.sort_by_key(|q| (q.at, q.seq));
+        e.usize(entries.len());
+        for q in entries {
+            e.u64(q.at.as_micros());
+            e.u64(q.seq);
+            enc_event(&mut e, &q.event);
+        }
+
+        // Behaviours, via their save hooks.
+        e.usize(self.behaviors.len());
+        for (node, behavior) in &self.behaviors {
+            let snap = behavior
+                .save_state()
+                .ok_or(SnapshotError::NotCheckpointable(*node))?;
+            enc_id(&mut e, *node);
+            e.str(&snap.kind);
+            e.bytes(&snap.state);
+        }
+        e.usize(self.started.len());
+        for node in &self.started {
+            enc_id(&mut e, *node);
+        }
+
+        Ok(e.into_bytes())
+    }
+
+    /// Applies a snapshot produced by [`Simulator::save_state`] onto
+    /// this simulator, which must have been freshly built from the same
+    /// catalog, terrain, and builder configuration. Behaviours are
+    /// reconstructed through `registry` *without* firing `on_start`.
+    pub fn restore_state(
+        &mut self,
+        bytes: &[u8],
+        registry: &BehaviorRegistry,
+    ) -> Result<(), SnapshotError> {
+        let mut d = Dec::new(bytes);
+
+        let retries = d.u32()?;
+        let mobility_step = SimDuration::from_micros(d.u64()?);
+        let idle_drain_w = d.f64()?;
+        let node_count = d.usize()?;
+        {
+            let core = &self.core;
+            if retries != core.retries
+                || mobility_step != core.mobility_step
+                || idle_drain_w.to_bits() != core.idle_drain_w.to_bits()
+            {
+                return Err(SnapshotError::Mismatch(
+                    "builder configuration (retries/mobility step/idle drain) differs".into(),
+                ));
+            }
+            if node_count != core.nodes.len() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "snapshot has {node_count} nodes, simulator has {}",
+                    core.nodes.len()
+                )));
+            }
+        }
+
+        let now = SimTime::from_micros(d.u64()?);
+        let seq = d.u64()?;
+        let mut rng_state = [0u64; 4];
+        for w in &mut rng_state {
+            *w = d.u64()?;
+        }
+
+        let mut stats = crate::stats::NetStats::new();
+        stats.sent = d.u64()?;
+        stats.delivered = d.u64()?;
+        stats.dropped = d.u64()?;
+        stats.dropped_no_route = d.u64()?;
+        stats.dropped_channel = d.u64()?;
+        stats.dropped_dead = d.u64()?;
+        stats.dropped_asleep = d.u64()?;
+        stats.hop_attempts = d.u64()?;
+        stats.retransmits = d.u64()?;
+        stats.tampered = d.u64()?;
+        stats.energy_spent_j = d.f64()?;
+        let n_samples = d.usize()?;
+        let mut samples = Vec::with_capacity(n_samples.min(1 << 20));
+        for _ in 0..n_samples {
+            samples.push(d.f64()?);
+        }
+        stats.latency_ms.set_samples(samples);
+        let n_kinds = d.usize()?;
+        for _ in 0..n_kinds {
+            let kind = d.u32()?;
+            let count = d.u64()?;
+            stats.delivered_by_kind.insert(kind, count);
+        }
+
+        struct NodeRestore {
+            id: NodeId,
+            mobility: MobilityState,
+            energy: EnergyBudget,
+            alive: bool,
+            sleep: Option<SleepSchedule>,
+        }
+        let mut node_restores = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let id = dec_id(&mut d)?;
+            let mobility = dec_mobility(&mut d)?;
+            let capacity = d.f64()?;
+            let remaining = d.f64()?;
+            let alive = d.bool()?;
+            let sleep = if d.bool()? {
+                let period = SimDuration::from_micros(d.u64()?);
+                let awake_fraction = d.f64()?;
+                let phase = SimDuration::from_micros(d.u64()?);
+                if period.as_micros() == 0 {
+                    return Err(SnapshotError::Mismatch(
+                        "sleep schedule with zero period".into(),
+                    ));
+                }
+                Some(SleepSchedule {
+                    period,
+                    awake_fraction,
+                    phase,
+                })
+            } else {
+                None
+            };
+            if !self.core.nodes.contains_key(&id) {
+                return Err(SnapshotError::UnknownNode(id.raw()));
+            }
+            node_restores.push(NodeRestore {
+                id,
+                mobility,
+                energy: EnergyBudget::from_parts(capacity, remaining),
+                alive,
+                sleep,
+            });
+        }
+
+        let n_jammers = d.usize()?;
+        let mut jammers = Vec::with_capacity(n_jammers.min(1 << 16));
+        for _ in 0..n_jammers {
+            let position = dec_point(&mut d)?;
+            let power_w = d.f64()?;
+            let active = d.bool()?;
+            let mut j = Jammer::new(position, power_w);
+            j.active = active;
+            jammers.push(j);
+        }
+        let extra_loss_db = d.f64()?;
+        let latency_mult = d.f64()?;
+
+        let n_partitions = d.usize()?;
+        let mut partitions = Vec::with_capacity(n_partitions.min(1 << 16));
+        for _ in 0..n_partitions {
+            let a = dec_id_set(&mut d)?;
+            let b = dec_id_set(&mut d)?;
+            let active = d.bool()?;
+            partitions.push((PartitionSpec { a, b }, active));
+        }
+        let n_degradations = d.usize()?;
+        let mut degradations = Vec::with_capacity(n_degradations.min(1 << 16));
+        for _ in 0..n_degradations {
+            let extra_loss_db = d.f64()?;
+            let latency_mult = d.f64()?;
+            let active = d.bool()?;
+            degradations.push((
+                LinkDegradation {
+                    extra_loss_db,
+                    latency_mult,
+                },
+                active,
+            ));
+        }
+        let n_compromises = d.usize()?;
+        let mut compromises = Vec::with_capacity(n_compromises.min(1 << 16));
+        for _ in 0..n_compromises {
+            let relays = dec_id_set(&mut d)?;
+            let extra_delay = SimDuration::from_micros(d.u64()?);
+            let tamper = d.bool()?;
+            let active = d.bool()?;
+            compromises.push((
+                CompromiseSpec {
+                    relays,
+                    extra_delay,
+                    tamper,
+                },
+                active,
+            ));
+        }
+        let n_blackouts = d.usize()?;
+        let mut blackouts = Vec::with_capacity(n_blackouts.min(1 << 16));
+        for _ in 0..n_blackouts {
+            let min = dec_point(&mut d)?;
+            let max = dec_point(&mut d)?;
+            let affected = dec_id_set(&mut d)?;
+            blackouts.push(Blackout {
+                rect: Rect::new(min, max),
+                affected,
+            });
+        }
+
+        let graph_cached = d.bool()?;
+
+        let n_events = d.usize()?;
+        let mut queue = BinaryHeap::with_capacity(n_events.min(1 << 20));
+        for _ in 0..n_events {
+            let at = SimTime::from_micros(d.u64()?);
+            let seq = d.u64()?;
+            let event = dec_event(&mut d)?;
+            queue.push(Reverse(Queued { at, seq, event }));
+        }
+
+        let n_behaviors = d.usize()?;
+        let mut behaviors: BTreeMap<NodeId, Box<dyn Behavior>> = BTreeMap::new();
+        for _ in 0..n_behaviors {
+            let node = dec_id(&mut d)?;
+            let kind = d.str()?;
+            let state = d.bytes()?.to_vec();
+            if !self.core.nodes.contains_key(&node) {
+                return Err(SnapshotError::UnknownNode(node.raw()));
+            }
+            let mut behavior = registry
+                .create(&kind)
+                .ok_or_else(|| SnapshotError::UnknownBehaviorKind(kind.clone()))?;
+            if !behavior.restore_state(&state) {
+                return Err(SnapshotError::BehaviorRestore { node, kind });
+            }
+            behaviors.insert(node, behavior);
+        }
+        let n_started = d.usize()?;
+        let mut started = Vec::with_capacity(n_started.min(1 << 20));
+        for _ in 0..n_started {
+            started.push(dec_id(&mut d)?);
+        }
+        d.finish()?;
+
+        // Everything decoded cleanly; now mutate the simulator.
+        let core = &mut self.core;
+        core.now = now;
+        core.seq = seq;
+        core.rng = rand::rngs::StdRng::from_state(rng_state);
+        core.stats = stats;
+        for nr in node_restores {
+            // lint: allow(panic) — membership was verified during decoding above
+            let n = core.nodes.get_mut(&nr.id).expect("verified during decode");
+            n.mobility = nr.mobility;
+            n.energy = nr.energy;
+            n.alive = nr.alive;
+            n.sleep = nr.sleep;
+        }
+        core.channel.replace_jammers(jammers);
+        core.channel.set_extra_loss_db(extra_loss_db);
+        core.latency_mult = latency_mult;
+        core.partitions = partitions;
+        core.degradations = degradations;
+        core.compromises = compromises;
+        core.blackouts = blackouts;
+        core.queue = queue;
+        core.graph = None;
+        if graph_cached {
+            // Derived state: rebuild without recording a trace event.
+            core.graph = Some(core.build_graph());
+        }
+        self.behaviors = behaviors;
+        self.started = started;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Context;
+    use crate::terrain::Terrain;
+    use iobt_types::{Affiliation, NodeCatalog, NodeSpec, Radio, RadioKind};
+
+    fn catalog(n: u64, gap_m: f64) -> NodeCatalog {
+        let mut catalog = NodeCatalog::new();
+        for i in 0..n {
+            catalog
+                .insert(
+                    NodeSpec::builder(NodeId::new(i))
+                        .affiliation(Affiliation::Blue)
+                        .position(Point::new(i as f64 * gap_m, 0.0))
+                        .radio(Radio::new(RadioKind::Wifi))
+                        .energy(EnergyBudget::new(10_000.0))
+                        .build(),
+                )
+                .unwrap();
+        }
+        catalog
+    }
+
+    /// A checkpointable periodic sender used to exercise behaviour
+    /// save/restore.
+    struct Beacon {
+        target: NodeId,
+        period: SimDuration,
+        sent: u64,
+    }
+
+    impl Behavior for Beacon {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+            self.sent += 1;
+            ctx.send(self.target, 7, vec![0u8; 32]);
+            ctx.set_timer(self.period, 0);
+        }
+        fn save_state(&self) -> Option<BehaviorSnapshot> {
+            let mut e = Enc::new();
+            e.u64(self.target.raw());
+            e.u64(self.period.as_micros());
+            e.u64(self.sent);
+            Some(BehaviorSnapshot::new("test.beacon", e.into_bytes()))
+        }
+        fn restore_state(&mut self, state: &[u8]) -> bool {
+            let mut d = Dec::new(state);
+            let Ok(target) = d.u64() else { return false };
+            let Ok(period) = d.u64() else { return false };
+            let Ok(sent) = d.u64() else { return false };
+            if d.finish().is_err() {
+                return false;
+            }
+            self.target = NodeId::new(target);
+            self.period = SimDuration::from_micros(period);
+            self.sent = sent;
+            true
+        }
+    }
+
+    fn beacon_registry() -> BehaviorRegistry {
+        let mut reg = BehaviorRegistry::new();
+        reg.register("test.beacon", || {
+            Box::new(Beacon {
+                target: NodeId::new(0),
+                period: SimDuration::from_millis(1),
+                sent: 0,
+            })
+        });
+        reg
+    }
+
+    fn build_sim(seed: u64) -> Simulator {
+        let mut sim = Simulator::builder(catalog(4, 80.0))
+            .seed(seed)
+            .terrain(Terrain::default())
+            .build();
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(Beacon {
+                target: NodeId::new(3),
+                period: SimDuration::from_millis(40),
+                sent: 0,
+            }),
+        );
+        sim
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        // Uninterrupted reference run.
+        let mut reference = build_sim(42);
+        reference.run_for(SimDuration::from_secs_f64(8.0));
+
+        // Interrupted run: stop at 3 s, snapshot, restore into a fresh
+        // simulator, continue to 8 s.
+        let mut first = build_sim(42);
+        first.run_for(SimDuration::from_secs_f64(3.0));
+        let blob = first.save_state().unwrap();
+        drop(first);
+
+        let mut resumed = build_sim(42);
+        // Note: build_sim attached a behaviour (whose on_start already
+        // fired); restore replaces behaviours and all queued events.
+        resumed.restore_state(&blob, &beacon_registry()).unwrap();
+        assert_eq!(resumed.now(), SimTime::from_secs_f64(3.0));
+        resumed.run_until(SimTime::from_secs_f64(8.0));
+
+        assert_eq!(resumed.stats(), reference.stats());
+        for i in 0..4 {
+            let id = NodeId::new(i);
+            assert_eq!(resumed.position(id), reference.position(id));
+            assert_eq!(
+                resumed.energy(id).map(|b| b.remaining_j().to_bits()),
+                reference.energy(id).map(|b| b.remaining_j().to_bits()),
+                "node {i} energy must match bit-for-bit"
+            );
+        }
+        // The RNG stream must be at the same position.
+        let a = resumed.save_state().unwrap();
+        let b = reference.save_state().unwrap();
+        assert_eq!(a, b, "full end state must be byte-identical");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_stable() {
+        let mut sim = build_sim(7);
+        sim.run_for(SimDuration::from_secs_f64(2.0));
+        let blob = sim.save_state().unwrap();
+        let mut restored = build_sim(7);
+        restored.restore_state(&blob, &beacon_registry()).unwrap();
+        let blob2 = restored.save_state().unwrap();
+        assert_eq!(blob, blob2, "save → restore → save must be identity");
+    }
+
+    #[test]
+    fn non_checkpointable_behavior_fails_save() {
+        struct Opaque;
+        impl Behavior for Opaque {}
+        let mut sim = build_sim(1);
+        sim.set_behavior(NodeId::new(2), Box::new(Opaque));
+        assert!(matches!(
+            sim.save_state(),
+            Err(SnapshotError::NotCheckpointable(n)) if n == NodeId::new(2)
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_and_node_count_mismatch_are_rejected() {
+        let mut sim = build_sim(3);
+        sim.run_for(SimDuration::from_millis(100));
+        let blob = sim.save_state().unwrap();
+
+        // Empty registry: the beacon kind cannot be reconstructed.
+        let mut fresh = build_sim(3);
+        assert!(matches!(
+            fresh.restore_state(&blob, &BehaviorRegistry::new()),
+            Err(SnapshotError::UnknownBehaviorKind(_))
+        ));
+
+        // A simulator over a different catalog must refuse the blob.
+        let mut other = Simulator::builder(catalog(5, 80.0)).seed(3).build();
+        assert!(matches!(
+            other.restore_state(&blob, &beacon_registry()),
+            Err(SnapshotError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_snapshots_never_panic() {
+        let mut sim = build_sim(9);
+        sim.run_for(SimDuration::from_millis(500));
+        let blob = sim.save_state().unwrap();
+        for len in 0..blob.len() {
+            let mut fresh = build_sim(9);
+            assert!(
+                fresh.restore_state(&blob[..len], &beacon_registry()).is_err(),
+                "truncation to {len} bytes must be rejected"
+            );
+        }
+    }
+}

@@ -91,6 +91,19 @@ impl Summary {
         self.samples[idx]
     }
 
+    /// The raw recorded samples, in insertion order unless a quantile
+    /// query has sorted them. Exposed so checkpoints can capture the
+    /// exact sample set.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Replaces the sample set wholesale (checkpoint restore).
+    pub(crate) fn set_samples(&mut self, samples: Vec<f64>) {
+        self.samples = samples;
+        self.sorted = false;
+    }
+
     /// Smallest sample, or `0.0` when empty.
     pub fn min(&self) -> f64 {
         self.samples

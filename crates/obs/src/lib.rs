@@ -43,13 +43,13 @@ pub mod sink;
 
 pub use event::{DropCause, Subsystem, TraceEvent, TraceRecord};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsDigest, MetricsRegistry};
-pub use recorder::{Recorder, SamplingConfig};
+pub use recorder::{Recorder, RecorderCheckpoint, SamplingConfig};
 pub use sink::{JsonlSink, NullSink, RingHandle, RingSink, SharedBytes, TraceSink};
 
 /// Convenience re-exports mirroring the other subsystem crates.
 pub mod prelude {
     pub use crate::event::{DropCause, Subsystem, TraceEvent, TraceRecord};
     pub use crate::metrics::{Histogram, HistogramSnapshot, MetricsDigest, MetricsRegistry};
-    pub use crate::recorder::{Recorder, SamplingConfig};
+    pub use crate::recorder::{Recorder, RecorderCheckpoint, SamplingConfig};
     pub use crate::sink::{JsonlSink, NullSink, RingHandle, RingSink, SharedBytes, TraceSink};
 }

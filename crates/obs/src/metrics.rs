@@ -5,9 +5,34 @@
 //! iteration order — and therefore the digest and its fingerprint — is
 //! identical across runs (lint rule R1 conventions).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+/// Interns a metric name, returning a `&'static str` usable as a
+/// registry key. Registry keys are `&'static str` by design (every
+/// normal call site passes a literal); checkpoint restore is the one
+/// place names arrive as owned strings, so restored names are leaked
+/// once and reused on every later restore of the same name. The set of
+/// metric names in this workspace is small and fixed, so the leak is
+/// bounded.
+fn intern(name: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let cell = INTERNED.get_or_init(|| Mutex::new(BTreeSet::new()));
+    // A poisoned lock only means another thread panicked mid-insert;
+    // the set itself is still valid, so keep going.
+    let mut set = match cell.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
 
 /// A fixed-bound histogram with explicit underflow/overflow buckets.
 ///
@@ -92,6 +117,23 @@ impl Histogram {
         &self.counts
     }
 
+    /// Rebuilds a histogram from a snapshot (checkpoint restore).
+    /// Returns `None` when the snapshot is internally inconsistent —
+    /// non-ascending/non-finite bounds or a count vector of the wrong
+    /// length — so corrupted checkpoints are rejected, not trusted.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Option<Self> {
+        let clean = Histogram::new(&snap.bounds);
+        if clean.bounds != snap.bounds || snap.counts.len() != snap.bounds.len() + 1 {
+            return None;
+        }
+        Some(Histogram {
+            bounds: snap.bounds.clone(),
+            counts: snap.counts.clone(),
+            total: snap.total,
+            sum: snap.sum,
+        })
+    }
+
     /// Freezes this histogram into a digest-friendly snapshot.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -163,6 +205,23 @@ impl MetricsRegistry {
     /// Read access to a histogram, if it exists.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Rebuilds a registry from a digest (checkpoint restore). Names
+    /// are interned so they satisfy the `&'static str` key type.
+    /// Returns `None` when any histogram snapshot is inconsistent.
+    pub fn from_digest(digest: &MetricsDigest) -> Option<Self> {
+        let mut reg = MetricsRegistry::new();
+        for (name, v) in &digest.counters {
+            reg.counters.insert(intern(name), *v);
+        }
+        for (name, v) in &digest.gauges {
+            reg.gauges.insert(intern(name), *v);
+        }
+        for (name, snap) in &digest.histograms {
+            reg.histograms.insert(intern(name), Histogram::from_snapshot(snap)?);
+        }
+        Some(reg)
     }
 
     /// Freezes the registry into a stable, comparable digest.

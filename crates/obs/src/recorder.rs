@@ -58,6 +58,25 @@ impl SamplingConfig {
     }
 }
 
+/// A recorder's mutable progress state, captured for mission
+/// checkpoints: the shared clock, the global sequence counter, the
+/// per-subsystem emission counters that drive sampling, and the full
+/// metrics registry. The sink itself is *not* part of the checkpoint —
+/// a resumed run opens a fresh sink and appends only post-resume
+/// records, which is exactly what makes resumed traces byte-comparable
+/// to the tail of an uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecorderCheckpoint {
+    /// Sim-time clock in microseconds.
+    pub t_us: u64,
+    /// Global trace sequence counter.
+    pub seq: u64,
+    /// Per-subsystem emission counters (sampling phase).
+    pub emitted: [u64; 5],
+    /// Frozen metrics registry.
+    pub metrics: MetricsDigest,
+}
+
 struct Inner {
     t_us: u64,
     seq: u64,
@@ -221,6 +240,41 @@ impl Recorder {
             Some(inner) => inner.borrow().metrics.digest(),
             None => MetricsDigest::default(),
         }
+    }
+
+    /// Captures the recorder's mutable progress state for a mission
+    /// checkpoint, or `None` when disabled (a disabled recorder has no
+    /// state worth saving — resume just builds another disabled one).
+    pub fn checkpoint(&self) -> Option<RecorderCheckpoint> {
+        self.0.as_ref().map(|inner| {
+            let i = inner.borrow();
+            RecorderCheckpoint {
+                t_us: i.t_us,
+                seq: i.seq,
+                emitted: i.emitted,
+                metrics: i.metrics.digest(),
+            }
+        })
+    }
+
+    /// Overwrites the recorder's clock, sequence counter, sampling
+    /// phase, and metrics registry from a checkpoint. The sink is left
+    /// untouched. Returns `false` (leaving the recorder unchanged) when
+    /// the recorder is disabled or the checkpoint's metrics are
+    /// internally inconsistent.
+    pub fn restore_checkpoint(&self, ckpt: &RecorderCheckpoint) -> bool {
+        let Some(inner) = &self.0 else {
+            return false;
+        };
+        let Some(metrics) = MetricsRegistry::from_digest(&ckpt.metrics) else {
+            return false;
+        };
+        let mut i = inner.borrow_mut();
+        i.t_us = ckpt.t_us;
+        i.seq = ckpt.seq;
+        i.emitted = ckpt.emitted;
+        i.metrics = metrics;
+        true
     }
 
     /// Flushes the sink (e.g. the JSONL writer's buffer).
@@ -403,6 +457,52 @@ mod tests {
             r.metrics_digest().counter("adapt.actuation.approved"),
             Some(1)
         );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_clock_sampling_and_metrics() {
+        let sampling = SamplingConfig::keep_all().with(Subsystem::Netsim, 2);
+        let (a, ring_a) = Recorder::memory(64);
+        let a = a.with_sampling(sampling);
+        a.set_time_us(1_000);
+        for i in 0..5 {
+            a.record(TraceEvent::MsgSent { from: i, to: 0 });
+        }
+        a.observe("x.lat", &[1.0, 10.0], 3.0);
+        let ckpt = a.checkpoint().expect("enabled recorder checkpoints");
+
+        // A fresh recorder restored from the checkpoint must continue
+        // with the same seq, sampling phase, and metrics...
+        let (b, ring_b) = Recorder::memory(64);
+        let b = b.with_sampling(sampling);
+        assert!(b.restore_checkpoint(&ckpt));
+        assert_eq!(b.now_us(), 1_000);
+        assert_eq!(b.metrics_digest(), a.metrics_digest());
+        // ...so post-restore events get the same seq numbers and the
+        // same sampling verdicts in both recorders: the 6th netsim
+        // event (phase 5) is dropped by every-2nd sampling, the 7th
+        // (phase 6) is kept with seq 6.
+        for r in [&a, &b] {
+            r.record(TraceEvent::MsgSent { from: 9, to: 0 });
+            r.record(TraceEvent::MsgSent { from: 9, to: 1 });
+        }
+        let last_a = ring_a.records().last().cloned().unwrap();
+        let last_b = ring_b.records().last().cloned().unwrap();
+        assert_eq!(last_a, last_b);
+        assert_eq!(last_b.seq, 6);
+        assert_eq!(ring_b.len(), 1, "only the kept event lands post-restore");
+        assert_eq!(a.metrics_digest(), b.metrics_digest());
+
+        // Disabled recorders neither checkpoint nor restore.
+        assert!(Recorder::disabled().checkpoint().is_none());
+        assert!(!Recorder::disabled().restore_checkpoint(&ckpt));
+
+        // An inconsistent histogram snapshot is rejected.
+        let mut bad = ckpt.clone();
+        if let Some((_, snap)) = bad.metrics.histograms.first_mut() {
+            snap.counts.pop();
+        }
+        assert!(!Recorder::null().restore_checkpoint(&bad));
     }
 
     #[test]

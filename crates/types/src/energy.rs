@@ -44,6 +44,19 @@ impl EnergyBudget {
         EnergyBudget::new(f64::INFINITY)
     }
 
+    /// Rebuilds a budget at an exact state previously read back via
+    /// [`EnergyBudget::capacity_j`] / [`EnergyBudget::remaining_j`]
+    /// (checkpoint restore). Negative capacity clamps to zero and
+    /// `remaining_j` clamps into `[0, capacity_j]`, so a corrupted
+    /// snapshot can never produce an invalid budget.
+    pub fn from_parts(capacity_j: f64, remaining_j: f64) -> Self {
+        let capacity_j = capacity_j.max(0.0);
+        EnergyBudget {
+            capacity_j,
+            remaining_j: remaining_j.clamp(0.0, capacity_j),
+        }
+    }
+
     /// Total capacity in joules.
     pub const fn capacity_j(&self) -> f64 {
         self.capacity_j

@@ -13,21 +13,33 @@
 //! cargo run --release --example chaos -- --seed 1009
 //! # Machine-readable one-liner (CI compares two runs for equality):
 //! cargo run --release --example chaos -- --seed 17 --fingerprint
+//! # Crash-safe run: checkpoint every window, die after window 5 (exit
+//! # code 17), then rerun the same command line to resume from the last
+//! # good checkpoint — the final fingerprint matches an uninterrupted run.
+//! cargo run --release --example chaos -- --checkpoint-dir /tmp/ckpt --kill-at-window 5
+//! cargo run --release --example chaos -- --checkpoint-dir /tmp/ckpt --fingerprint
 //! ```
 
 use iobt::prelude::*;
 
 const DURATION_S: f64 = 120.0;
 
+/// Exit code for the deliberate `--kill-at-window` crash, so scripts can
+/// tell "died on purpose" from a real failure.
+const KILL_EXIT_CODE: i32 = 17;
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed: u64 = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42);
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let seed: u64 = flag_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
     let fingerprint_only = args.iter().any(|a| a == "--fingerprint");
+    let checkpoint_dir = flag_value("--checkpoint-dir");
+    let kill_at_window: Option<usize> = flag_value("--kill-at-window").and_then(|s| s.parse().ok());
 
     let mut scenario = persistent_surveillance(200, seed);
     let blue: Vec<NodeId> = scenario
@@ -50,8 +62,44 @@ fn main() {
         .degradation_ladder(true)
         .acked_tasking(true)
         .recorder(recorder.clone())
-        .build();
-    let report = run_mission(&scenario, &config);
+        .build()
+        .expect("valid run config");
+
+    let store = checkpoint_dir
+        .map(|dir| CheckpointStore::open(dir).expect("checkpoint directory must be creatable"));
+    let mut runner = match &store {
+        Some(store) => {
+            let latest = store
+                .load_latest_good(seed)
+                .expect("checkpoint directory must be listable");
+            for (path, err) in &latest.skipped {
+                eprintln!("skipping corrupt checkpoint {}: {err}", path.display());
+            }
+            match latest.loaded {
+                Some((window, payload)) => {
+                    eprintln!("resuming from checkpoint at window {window}");
+                    MissionRunner::resume(&scenario, &config, &payload)
+                        .expect("verified checkpoint must resume")
+                }
+                None => MissionRunner::new(&scenario, &config),
+            }
+        }
+        None => MissionRunner::new(&scenario, &config),
+    };
+    while runner.step_window().is_some() {
+        if let Some(store) = &store {
+            let completed = runner.window_index();
+            let payload = runner.save().expect("mission behaviours are checkpointable");
+            store
+                .save(seed, completed as u64, &payload)
+                .expect("checkpoint write must succeed");
+            if kill_at_window == Some(completed) {
+                eprintln!("killed after window {completed} (simulated crash, exit {KILL_EXIT_CODE})");
+                std::process::exit(KILL_EXIT_CODE);
+            }
+        }
+    }
+    let report = runner.finish();
     let metrics = recorder.metrics_digest();
 
     if fingerprint_only {

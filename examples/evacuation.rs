@@ -23,7 +23,7 @@ fn run(adaptive: bool, recorder: Recorder) -> MissionReport {
         .duration(SimDuration::from_secs_f64(180.0))
         .adaptive(adaptive)
         .recorder(recorder)
-        .build();
+        .build().expect("valid run config");
     run_mission(&scenario, &config)
 }
 

@@ -21,7 +21,7 @@ fn main() {
 
     let config = RunConfig::builder()
         .duration(SimDuration::from_secs_f64(120.0))
-        .build();
+        .build().expect("valid run config");
     let report = run_mission(&scenario, &config);
 
     println!("\n--- mission report ---");

@@ -10,7 +10,10 @@
 //!
 //! let scenario = persistent_surveillance(200, 42);
 //! let (recorder, ring) = Recorder::memory(4096);
-//! let config = RunConfig::builder().recorder(recorder.clone()).build();
+//! let config = RunConfig::builder()
+//!     .recorder(recorder.clone())
+//!     .build()
+//!     .expect("valid run config");
 //! let report = run_mission(&scenario, &config);
 //! println!(
 //!     "recruited {}, mean utility {:.2}, {} trace events",
@@ -41,9 +44,10 @@ pub use iobt_tomography as tomography;
 pub use iobt_truth as truth;
 pub use iobt_types as types;
 
+pub use iobt_core::ckpt;
 pub use iobt_core::{
-    run_mission, EndStateDigest, MissionReport, ResilienceReport, RunConfig, RunConfigBuilder,
-    WallClockReport, WindowStat,
+    run_mission, EndStateDigest, MissionReport, MissionRunner, ResilienceReport, RunConfig,
+    RunConfigBuilder, RunConfigError, WallClockReport, WindowStat,
 };
 pub use iobt_obs::Recorder;
 
@@ -59,9 +63,13 @@ pub mod prelude {
         allocate_missions, calibrate_human_trust, diagnose_failures, disaster_relief,
         persistent_surveillance, run_mission, urban_evacuation, CalibrationSummary,
         DegradationLadder, DiagnosisReport, Disruption, EndStateDigest, FailureDetector,
-        LadderStep, MissionAllocation, MissionReport, NetworkModel, ResilienceReport, RunConfig,
-        RunConfigBuilder, Scenario, TaskingPlan, TaskingStats, WallClockReport, WindowStat,
-        COMMAND_POST_ID, MAX_LADDER_LEVEL,
+        LadderStep, MissionAllocation, MissionReport, MissionRunner, NetworkModel,
+        ResilienceReport, RunConfig, RunConfigBuilder, RunConfigError, Scenario, TaskingPlan,
+        TaskingStats, WallClockReport, WindowStat, COMMAND_POST_ID, MAX_LADDER_LEVEL,
+    };
+    // Crash-safe checkpointing (iobt-ckpt).
+    pub use iobt_core::ckpt::{
+        write_checkpoint_atomic, CheckpointStore, CkptError, LatestGood,
     };
     // Deterministic fault injection (iobt-faults).
     pub use iobt_faults::{generate_campaign, CampaignConfig, FaultEvent, FaultKind, FaultPlan};

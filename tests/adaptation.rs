@@ -17,6 +17,7 @@ fn config(adaptive: bool) -> RunConfig {
         .duration(SimDuration::from_secs_f64(150.0))
         .adaptive(adaptive)
         .build()
+        .expect("valid run config")
 }
 
 #[test]
@@ -63,7 +64,7 @@ fn node_attrition_triggers_repair_in_surveillance() {
         &RunConfig::builder()
             .duration(SimDuration::from_secs_f64(120.0))
             .repair_threshold(0.95)
-            .build(),
+            .build().expect("valid run config"),
     );
     // The killed nodes may or may not be in the selected composition, so
     // the repair count is scenario-dependent; what must hold: the run

@@ -53,7 +53,7 @@ fn chaos_config(recorder: Option<Recorder>) -> RunConfig {
     if let Some(recorder) = recorder {
         builder = builder.recorder(recorder);
     }
-    builder.build()
+    builder.build().expect("valid run config")
 }
 
 #[test]
@@ -159,7 +159,7 @@ fn c4_reaction_layer_does_not_lose_to_passive_under_chaos() {
         let passive = RunConfig::builder()
             .duration(SimDuration::from_secs_f64(DURATION_S))
             .window(SimDuration::from_secs_f64(10.0))
-            .build();
+            .build().expect("valid run config");
         passive_total += run_mission(&scenario, &passive).mean_utility();
     }
     assert!(

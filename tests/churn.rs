@@ -28,6 +28,7 @@ fn config(adaptive: bool) -> RunConfig {
         .adaptive(adaptive)
         .repair_threshold(0.9)
         .build()
+        .expect("valid run config")
 }
 
 #[test]
@@ -127,7 +128,7 @@ fn churn_and_jammer_overlap_with_fault_campaign() {
         .duration(SimDuration::from_secs_f64(120.0))
         .early_repair(true)
         .degradation_ladder(true)
-        .build();
+        .build().expect("valid run config");
     let a = run_mission(&scenario, &cfg);
     let b = run_mission(&scenario, &cfg);
     assert_eq!(a.digest, b.digest, "overlapping disruption channels diverged");
@@ -156,7 +157,7 @@ fn sole_modality_fleet_failure_degrades_gracefully() {
         .duration(SimDuration::from_secs_f64(120.0))
         .early_repair(true)
         .degradation_ladder(true)
-        .build();
+        .build().expect("valid run config");
     let report = run_mission(&scenario, &cfg);
     let res = report.digest.resilience;
     assert!(

@@ -31,7 +31,7 @@ fn missions_are_reproducible() {
     let scenario = urban_evacuation(120, 21);
     let cfg = RunConfig::builder()
         .duration(SimDuration::from_secs_f64(50.0))
-        .build();
+        .build().expect("valid run config");
     let a = run_mission(&scenario, &cfg);
     let b = run_mission(&scenario, &cfg);
     assert_eq!(a.windows, b.windows);
@@ -55,7 +55,7 @@ fn f1_end_state_digest_is_identical_across_runs() {
     let scenario = urban_evacuation(120, 21);
     let cfg = RunConfig::builder()
         .duration(SimDuration::from_secs_f64(50.0))
-        .build();
+        .build().expect("valid run config");
     let a = run_mission(&scenario, &cfg);
     let b = run_mission(&scenario, &cfg);
 

@@ -17,7 +17,7 @@ fn traced_run(sink: SharedBytes) -> (MissionReport, MetricsDigest) {
     let config = RunConfig::builder()
         .duration(SimDuration::from_secs_f64(60.0))
         .recorder(recorder.clone())
-        .build();
+        .build().expect("valid run config");
     let report = run_mission(&f1_scenario(), &config);
     recorder.flush();
     (report, recorder.metrics_digest())
@@ -81,7 +81,7 @@ fn sinks_do_not_change_the_mission_and_metrics_agree() {
         let config = RunConfig::builder()
             .duration(SimDuration::from_secs_f64(40.0))
             .recorder(recorder)
-            .build();
+            .build().expect("valid run config");
         run_mission(&scenario, &config)
     };
 
@@ -115,7 +115,7 @@ fn sampling_gates_the_sink_but_not_the_metrics() {
         let config = RunConfig::builder()
             .duration(SimDuration::from_secs_f64(40.0))
             .recorder(recorder.clone())
-            .build();
+            .build().expect("valid run config");
         run_mission(&scenario, &config);
         (recorder.metrics_digest(), ring.records())
     };

@@ -7,6 +7,7 @@ fn quick() -> RunConfig {
     RunConfig::builder()
         .duration(SimDuration::from_secs_f64(60.0))
         .build()
+        .expect("valid run config")
 }
 
 fn check_report_invariants(report: &MissionReport) {
