@@ -5,7 +5,7 @@
 //! | offset | size | field                                    |
 //! |--------|------|------------------------------------------|
 //! | 0      | 8    | magic `b"IOBTCKPT"`                      |
-//! | 8      | 4    | format version (`u32`, currently 1)      |
+//! | 8      | 4    | format version (`u32`, currently 2)      |
 //! | 12     | 8    | mission seed (`u64`)                     |
 //! | 20     | 8    | window index (`u64`, windows completed)  |
 //! | 28     | 8    | payload length (`u64`)                   |
@@ -31,7 +31,12 @@ pub const MAGIC: [u8; 8] = *b"IOBTCKPT";
 
 /// Current checkpoint format version. Bump on any layout change; the
 /// loader rejects versions it does not understand.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 recorded the netsim graph cache as a present/absent
+/// bool; v2 widened that byte to a three-state disposition (absent,
+/// clean, pending-liveness-patch) for incremental connectivity
+/// maintenance, so v1 readers would misparse v2 payloads.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Fixed header size in bytes (magic + version + seed + window + len).
 pub const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;

@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use iobt_ckpt::{Dec, Enc};
 use iobt_netsim::{
-    Behavior, BehaviorRegistry, BehaviorSnapshot, Context, Message, SimDuration, SimTime,
+    Behavior, BehaviorRegistry, BehaviorSnapshot, Bytes, Context, Message, SimDuration, SimTime,
 };
 use iobt_obs::TraceEvent;
 use iobt_types::NodeId;
@@ -312,7 +312,7 @@ impl Behavior for TaskingSink {
                     attempt: u64::from(attempts),
                 });
             }
-            ctx.send(node, KIND_TASK, Vec::new());
+            ctx.send(node, KIND_TASK, Bytes::new());
         }
         for &(node, attempts) in &dropped {
             ctx.recorder().record(TraceEvent::TaskAbandoned {
@@ -358,6 +358,11 @@ pub struct SensorReporter {
     sink: NodeId,
     period: SimDuration,
     payload_bytes: usize,
+    // Report payloads are all-zero filler of a fixed size, so one shared
+    // refcounted buffer serves every report this node ever sends: each
+    // send clones the `Bytes` handle (an O(1) refcount bump) instead of
+    // allocating and zeroing a fresh vector per period.
+    payload: Bytes,
     dormant: bool,
     reporting: bool,
 }
@@ -369,6 +374,7 @@ impl SensorReporter {
             sink,
             period,
             payload_bytes,
+            payload: Bytes::from(vec![0u8; payload_bytes]),
             dormant: false,
             reporting: false,
         }
@@ -426,6 +432,9 @@ impl Behavior for SensorReporter {
         }
         self.sink = NodeId::new(sink);
         self.period = SimDuration::from_micros(period);
+        if payload_bytes != self.payload_bytes {
+            self.payload = Bytes::from(vec![0u8; payload_bytes]);
+        }
         self.payload_bytes = payload_bytes;
         self.dormant = dormant;
         self.reporting = reporting;
@@ -442,7 +451,7 @@ impl Behavior for SensorReporter {
         if !self.reporting {
             return;
         }
-        ctx.send(self.sink, KIND_REPORT, vec![0u8; self.payload_bytes]);
+        ctx.send(self.sink, KIND_REPORT, self.payload.clone());
         self.schedule_next(ctx);
     }
 
@@ -452,7 +461,7 @@ impl Behavior for SensorReporter {
         if msg.kind() != KIND_TASK || msg.tampered() {
             return;
         }
-        ctx.send(msg.src(), KIND_TASK_ACK, Vec::new());
+        ctx.send(msg.src(), KIND_TASK_ACK, Bytes::new());
         if self.dormant && !self.reporting {
             self.start_reporting(ctx);
         }

@@ -85,6 +85,13 @@ pub struct RunConfig {
     /// Observability recorder threaded through the whole pipeline
     /// (simulator, solver, repair reflex). Disabled by default.
     pub recorder: Recorder,
+    /// Run the network simulator on its legacy reference path
+    /// (one-event-at-a-time loop, per-query routing, full graph rebuild
+    /// on every invalidation) instead of the batched/incremental fast
+    /// path. Both paths are bit-identical by contract; this flag exists
+    /// so equivalence tests can hold the oracle and the optimized run
+    /// side by side in one process. Off by default.
+    pub reference_mode: bool,
 }
 
 impl Default for RunConfig {
@@ -109,6 +116,7 @@ impl Default for RunConfig {
             task_attempts: 4,
             task_retry_base: SimDuration::from_millis(250),
             recorder: Recorder::disabled(),
+            reference_mode: false,
         }
     }
 }
@@ -310,6 +318,13 @@ impl RunConfigBuilder {
     /// Attaches an observability recorder.
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.config.recorder = recorder;
+        self
+    }
+
+    /// Runs the simulator on its legacy reference path (the oracle for
+    /// batched/incremental equivalence tests).
+    pub fn reference_mode(mut self, enable: bool) -> Self {
+        self.config.reference_mode = enable;
         self
     }
 
@@ -583,6 +598,7 @@ pub(crate) fn prologue(scenario: &Scenario, config: &RunConfig, recorder: &Recor
         let mut probe_sim = Simulator::builder(scenario.catalog.clone())
             .terrain(scenario.terrain.clone())
             .seed(scenario.seed)
+            .reference_mode(config.reference_mode)
             .build();
         let graph = probe_sim.connectivity();
         let before = specs.len();
@@ -637,6 +653,7 @@ pub(crate) fn build_sim(
     let mut builder = Simulator::builder(scenario.catalog.clone())
         .terrain(scenario.terrain.clone())
         .seed(scenario.seed)
+        .reference_mode(config.reference_mode)
         .recorder(config.recorder.clone());
     for j in &scenario.jammers {
         builder = builder.jammer(*j);

@@ -171,6 +171,37 @@ impl Channel {
     pub fn mean_delivery_probability(&self, from: Point, to: Point, radio: RadioKind) -> f64 {
         logistic((self.sinr_db(from, to, radio) - SINR_MIDPOINT_DB) / SINR_SLOPE_DB)
     }
+
+    /// Precomputes the radio-independent terms of a link's SINR: path
+    /// loss between the endpoints and interference-plus-noise at the
+    /// receiver. Graph builds evaluate every shared radio of a candidate
+    /// pair against one budget instead of re-deriving both terms (a
+    /// terrain query, a log, and a per-jammer sum) per radio kind.
+    pub fn link_budget(&self, from: Point, to: Point) -> LinkBudget {
+        LinkBudget {
+            path_loss_db: self.path_loss_db(from, to),
+            noise_dbm: self.noise_dbm(to),
+        }
+    }
+
+    /// Mean delivery probability for `radio` over a precomputed
+    /// [`LinkBudget`]. Bit-identical to
+    /// [`Channel::mean_delivery_probability`] for the same endpoints:
+    /// the SINR terms combine in the same order.
+    pub fn mean_delivery_probability_budgeted(&self, budget: LinkBudget, radio: RadioKind) -> f64 {
+        let sinr = watts_to_dbm(radio.tx_power_w()) - budget.path_loss_db - budget.noise_dbm
+            - self.extra_loss_db;
+        logistic((sinr - SINR_MIDPOINT_DB) / SINR_SLOPE_DB)
+    }
+}
+
+/// The radio-independent part of a link's SINR computation, produced by
+/// [`Channel::link_budget`]. Valid only for the channel state (jammers,
+/// degradation, terrain) it was computed under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    path_loss_db: f64,
+    noise_dbm: f64,
 }
 
 impl Default for Channel {
@@ -258,6 +289,29 @@ mod tests {
             let p2 = ch.delivery_probability(&mut rng2, Point::ORIGIN, to, RadioKind::Wifi);
             assert!((0.0..=1.0).contains(&p1));
             assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn budgeted_probability_is_bit_identical() {
+        let mut ch = open_channel();
+        ch.add_jammer(Jammer::new(Point::new(300.0, 50.0), 5.0));
+        ch.set_extra_loss_db(3.0);
+        let tx = Point::ORIGIN;
+        for i in 0..50 {
+            let rx = Point::new(5.0 + i as f64 * 37.0, i as f64 * 11.0);
+            let budget = ch.link_budget(tx, rx);
+            for radio in [
+                RadioKind::Wifi,
+                RadioKind::Bluetooth,
+                RadioKind::Cellular,
+                RadioKind::TacticalUhf,
+                RadioKind::Satcom,
+            ] {
+                let plain = ch.mean_delivery_probability(tx, rx, radio);
+                let budgeted = ch.mean_delivery_probability_budgeted(budget, radio);
+                assert_eq!(plain.to_bits(), budgeted.to_bits());
+            }
         }
     }
 

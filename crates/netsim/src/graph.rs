@@ -5,9 +5,29 @@
 //! into a [`ConnectivityGraph`], then routes messages along the most
 //! reliable path (Dijkstra on `-ln p` weights, so path weight is the
 //! negative log of end-to-end delivery probability).
+//!
+//! The graph is built for battlefield scale:
+//!
+//! * **Dense `u32` indexing** — node ids are mapped once to dense
+//!   indices; the id universe (`Rc<[NodeId]>`) and index map are shared
+//!   with the simulator, so adjacency, routing scratch, and route trees
+//!   all run on flat `Vec`s with no per-query map lookups.
+//! * **Radius-matched spatial hashing** — the bucket size is the largest
+//!   radio range actually present (capped at [`MAX_LINK_RANGE_M`]), so a
+//!   wifi-only mesh gets ~120 m cells instead of 6 km ones and pair
+//!   testing stays near-linear.
+//! * **Incremental maintenance** — [`ConnectivityGraph::refresh_node`]
+//!   recomputes one node's liveness and incident links in place, which
+//!   is what lets the simulator survive churn without rebuilding the
+//!   whole graph (see the sim's dirty-tracking for the rules).
+//! * **Route trees** — [`ConnectivityGraph::route_tree`] runs Dijkstra
+//!   to completion from one source; the resulting predecessor tree
+//!   answers every destination until the graph's [`epoch`](Self::epoch)
+//!   moves, producing bit-identical paths to per-query routing.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::rc::Rc;
 
 use iobt_types::{NodeId, Point, RadioKind};
 
@@ -31,8 +51,10 @@ pub struct GraphNode {
     pub id: NodeId,
     /// Current position.
     pub position: Point,
-    /// Radio technologies the node carries.
-    pub radios: Vec<RadioKind>,
+    /// Radio technologies the node carries. Refcounted so graph builds
+    /// and snapshots share the immutable catalog data instead of cloning
+    /// a `Vec` per node per rebuild.
+    pub radios: Rc<[RadioKind]>,
     /// Whether the node is up (dead nodes keep their slot but get no links).
     pub alive: bool,
 }
@@ -40,9 +62,20 @@ pub struct GraphNode {
 /// Snapshot of who can talk to whom.
 #[derive(Debug, Clone, Default)]
 pub struct ConnectivityGraph {
-    ids: Vec<NodeId>,
-    index: BTreeMap<NodeId, usize>,
-    adj: Vec<Vec<(usize, LinkQuality)>>,
+    ids: Rc<[NodeId]>,
+    index: Rc<BTreeMap<NodeId, u32>>,
+    /// Retained builder inputs, so single-node refreshes can recompute
+    /// links without the caller re-supplying the world.
+    nodes: Vec<GraphNode>,
+    adj: Vec<Vec<(u32, LinkQuality)>>,
+    /// Spatial hash over *all* radio-equipped nodes (dead ones included,
+    /// so a revived node can rediscover its neighborhood). Valid while
+    /// positions are unchanged; any movement requires a full rebuild.
+    buckets: BTreeMap<(i64, i64), Vec<u32>>,
+    cell_m: f64,
+    /// Bumped on every content change (full build or node refresh);
+    /// route trees and caches are valid only for their stamped epoch.
+    epoch: u64,
 }
 
 /// Minimum mean delivery probability for a link to exist at all.
@@ -52,6 +85,28 @@ pub const MIN_LINK_QUALITY: f64 = 0.05;
 /// construction near-linear via spatial hashing. Satcom-style infinite-range
 /// radios are modelled as reachback, not mesh links.
 pub const MAX_LINK_RANGE_M: f64 = 6_000.0;
+
+/// Spatial-hash cell side: the longest radio range actually present,
+/// capped at [`MAX_LINK_RANGE_M`]. No link can span more than one cell
+/// diagonal's worth of range, so the 3×3 neighborhood scan stays exact
+/// while short-range meshes get proportionally fine cells.
+fn cell_size_m(nodes: &[GraphNode]) -> f64 {
+    let mut cell: f64 = 0.0;
+    for n in nodes {
+        for r in n.radios.iter() {
+            cell = cell.max(r.nominal_range_m().min(MAX_LINK_RANGE_M));
+        }
+    }
+    if cell > 0.0 && cell.is_finite() {
+        cell
+    } else {
+        MAX_LINK_RANGE_M
+    }
+}
+
+fn bucket_key(p: Point, cell: f64) -> (i64, i64) {
+    ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+}
 
 impl ConnectivityGraph {
     /// Builds the graph from node states and the channel model.
@@ -65,64 +120,182 @@ impl ConnectivityGraph {
     /// [`ConnectivityGraph::build`] with a link-deny predicate: any pair
     /// for which `deny(a, b)` returns true gets no link regardless of
     /// radio compatibility. This is how network-partition faults cut the
-    /// topology without touching node liveness.
+    /// topology without touching node liveness. The predicate must be
+    /// symmetric; it is consulted once per unordered pair.
     pub fn build_filtered(
         nodes: &[GraphNode],
         channel: &Channel,
         deny: &dyn Fn(NodeId, NodeId) -> bool,
     ) -> Self {
-        let n = nodes.len();
-        let ids: Vec<NodeId> = nodes.iter().map(|g| g.id).collect();
-        let index: BTreeMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-        let mut adj: Vec<Vec<(usize, LinkQuality)>> = vec![Vec::new(); n];
+        let ids: Rc<[NodeId]> = nodes.iter().map(|g| g.id).collect();
+        let index: Rc<BTreeMap<NodeId, u32>> = Rc::new(
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| (id, i as u32))
+                .collect(),
+        );
+        Self::build_shared(ids, index, nodes.to_vec(), channel, deny)
+    }
 
-        // Spatial hash with cell side MAX_LINK_RANGE_M.
-        let cell = MAX_LINK_RANGE_M;
-        let mut buckets: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+    /// [`ConnectivityGraph::build_filtered`] over a pre-built dense index.
+    ///
+    /// The simulator constructs the id universe once and shares it with
+    /// every graph it builds, so graph index `i` and simulator index `i`
+    /// always name the same node. `nodes[i].id` must equal `ids[i]`.
+    pub fn build_shared(
+        ids: Rc<[NodeId]>,
+        index: Rc<BTreeMap<NodeId, u32>>,
+        nodes: Vec<GraphNode>,
+        channel: &Channel,
+        deny: &dyn Fn(NodeId, NodeId) -> bool,
+    ) -> Self {
+        debug_assert_eq!(ids.len(), nodes.len());
+        debug_assert!(nodes.iter().enumerate().all(|(i, n)| n.id == ids[i]));
+        let n = nodes.len();
+        let mut adj: Vec<Vec<(u32, LinkQuality)>> = vec![Vec::new(); n];
+
+        let cell = cell_size_m(&nodes);
+        let mut buckets: BTreeMap<(i64, i64), Vec<u32>> = BTreeMap::new();
         for (i, node) in nodes.iter().enumerate() {
-            if !node.alive || node.radios.is_empty() {
+            if node.radios.is_empty() {
                 continue;
             }
-            let key = (
-                (node.position.x / cell).floor() as i64,
-                (node.position.y / cell).floor() as i64,
-            );
-            buckets.entry(key).or_default().push(i);
+            buckets
+                .entry(bucket_key(node.position, cell))
+                .or_default()
+                .push(i as u32);
         }
+        // Each unordered pair is visited exactly once with the lower
+        // index as owner, so no dedup pass is needed and the stored link
+        // orientation is deterministic regardless of bucket layout.
         for (&(bx, by), members) in &buckets {
             for &i in members {
+                if !nodes[i as usize].alive {
+                    continue;
+                }
                 for dx in -1..=1 {
                     for dy in -1..=1 {
                         let Some(others) = buckets.get(&(bx + dx, by + dy)) else {
                             continue;
                         };
                         for &j in others {
-                            if j <= i && (dx, dy) == (0, 0) {
-                                continue; // handle each in-bucket pair once
-                            }
-                            if (dx, dy) != (0, 0) && j == i {
+                            if j <= i || !nodes[j as usize].alive {
                                 continue;
                             }
-                            if deny(nodes[i].id, nodes[j].id) {
+                            if deny(nodes[i as usize].id, nodes[j as usize].id) {
                                 continue;
                             }
-                            if let Some(link) = best_link(&nodes[i], &nodes[j], channel) {
-                                adj[i].push((j, link));
-                                adj[j].push((i, link));
+                            if let Some(link) =
+                                best_link(&nodes[i as usize], &nodes[j as usize], channel)
+                            {
+                                adj[i as usize].push((j, link));
+                                adj[j as usize].push((i, link));
                             }
                         }
                     }
                 }
             }
         }
-        // Deduplicate (cross-bucket pairs are visited from both buckets) and
-        // sort for deterministic iteration.
-        for (i, list) in adj.iter_mut().enumerate() {
+        for list in &mut adj {
             list.sort_by_key(|(j, _)| *j);
-            list.dedup_by_key(|(j, _)| *j);
-            debug_assert!(list.iter().all(|(j, _)| *j != i));
         }
-        ConnectivityGraph { ids, index, adj }
+        ConnectivityGraph {
+            ids,
+            index,
+            nodes,
+            adj,
+            buckets,
+            cell_m: cell,
+            epoch: 0,
+        }
+    }
+
+    /// Recomputes one node's liveness and incident links in place.
+    ///
+    /// Sound only while everything *else* is unchanged since the last
+    /// full build: positions, radios, the channel (jammers, degradation
+    /// loss), and the deny predicate must all be as they were — the
+    /// caller falls back to a full rebuild for those. Produces a graph
+    /// identical to rebuilding from scratch with the node's new
+    /// liveness, and bumps [`epoch`](Self::epoch).
+    pub fn refresh_node(
+        &mut self,
+        i: u32,
+        alive: bool,
+        channel: &Channel,
+        deny: &dyn Fn(NodeId, NodeId) -> bool,
+    ) {
+        let iu = i as usize;
+        if iu >= self.nodes.len() {
+            return;
+        }
+        self.epoch += 1;
+        // Tear out the node's current incident links from both sides.
+        let old = std::mem::take(&mut self.adj[iu]);
+        for (j, _) in old {
+            let list = &mut self.adj[j as usize];
+            if let Ok(pos) = list.binary_search_by_key(&i, |(k, _)| *k) {
+                list.remove(pos);
+            }
+        }
+        self.nodes[iu].alive = alive;
+        if !alive || self.nodes[iu].radios.is_empty() {
+            return;
+        }
+        // Rediscover links against the (position-frozen) neighborhood,
+        // with the same lower-index-owner orientation as a full build.
+        let (bx, by) = bucket_key(self.nodes[iu].position, self.cell_m);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(others) = self.buckets.get(&(bx + dx, by + dy)) else {
+                    continue;
+                };
+                for &j in others {
+                    if j == i || !self.nodes[j as usize].alive {
+                        continue;
+                    }
+                    let (a, b) = if i < j { (iu, j as usize) } else { (j as usize, iu) };
+                    if deny(self.nodes[a].id, self.nodes[b].id) {
+                        continue;
+                    }
+                    if let Some(link) = best_link(&self.nodes[a], &self.nodes[b], channel) {
+                        self.adj[iu].push((j, link));
+                        let list = &mut self.adj[j as usize];
+                        if let Err(pos) = list.binary_search_by_key(&i, |(k, _)| *k) {
+                            list.insert(pos, (i, link));
+                        }
+                    }
+                }
+            }
+        }
+        self.adj[iu].sort_by_key(|(j, _)| *j);
+    }
+
+    /// Whether two graphs describe the same routable topology: same id
+    /// universe, same per-node liveness, and bit-identical adjacency.
+    /// This is the oracle the incremental-maintenance checks compare
+    /// against a from-scratch rebuild.
+    pub fn same_topology(&self, other: &Self) -> bool {
+        self.ids == other.ids
+            && self
+                .nodes
+                .iter()
+                .zip(&other.nodes)
+                .all(|(a, b)| a.alive == b.alive)
+            && self.adj == other.adj
+    }
+
+    /// Content version: bumped on every full build or node refresh.
+    /// Route trees and next-hop caches are valid only while the epoch
+    /// they were built at still matches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamps the content version; the simulator uses this to keep the
+    /// epoch monotonic across full rebuilds (a fresh build starts at 0).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Number of nodes (including dead ones, which have no links).
@@ -140,12 +313,23 @@ impl ConnectivityGraph {
         self.adj.iter().map(Vec::len).sum::<usize>() / 2
     }
 
+    /// Dense index of a node id, if known.
+    pub fn index_of(&self, id: NodeId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// Node id at a dense index. Panics on out-of-range indices, which
+    /// can only come from a different id universe.
+    pub fn id_at(&self, i: u32) -> NodeId {
+        self.ids[i as usize]
+    }
+
     /// Neighbors of a node, with link qualities. Empty for unknown ids.
     pub fn neighbors(&self, id: NodeId) -> Vec<(NodeId, LinkQuality)> {
         match self.index.get(&id) {
-            Some(&i) => self.adj[i]
+            Some(&i) => self.adj[i as usize]
                 .iter()
-                .map(|&(j, q)| (self.ids[j], q))
+                .map(|&(j, q)| (self.ids[j as usize], q))
                 .collect(),
             None => Vec::new(),
         }
@@ -177,11 +361,30 @@ impl ConnectivityGraph {
     ) -> Option<Vec<NodeId>> {
         let &s = self.index.get(&src)?;
         let &d = self.index.get(&dst)?;
+        Some(
+            self.route_idx_with(scratch, s, d)?
+                .into_iter()
+                .map(|i| self.ids[i as usize])
+                .collect(),
+        )
+    }
+
+    /// [`ConnectivityGraph::route_with`] on dense indices: the hot-path
+    /// form the simulator uses, avoiding id↔index translation entirely.
+    pub fn route_idx_with(
+        &self,
+        scratch: &mut RouteScratch,
+        s: u32,
+        d: u32,
+    ) -> Option<Vec<u32>> {
+        if s as usize >= self.ids.len() || d as usize >= self.ids.len() {
+            return None;
+        }
         if s == d {
-            return Some(vec![src]);
+            return Some(vec![s]);
         }
         scratch.reset(self.ids.len());
-        scratch.set(s, 0.0, usize::MAX);
+        scratch.set(s, 0.0, u32::MAX);
         scratch.heap.push(HeapEntry { cost: 0.0, node: s });
         while let Some(HeapEntry { cost, node }) = scratch.heap.pop() {
             if cost > scratch.dist(node) {
@@ -190,7 +393,7 @@ impl ConnectivityGraph {
             if node == d {
                 break;
             }
-            for &(next, q) in &self.adj[node] {
+            for &(next, q) in &self.adj[node as usize] {
                 let w = -(q.delivery_prob.max(1e-12)).ln();
                 let nd = cost + w;
                 if nd < scratch.dist(next) {
@@ -209,14 +412,110 @@ impl ConnectivityGraph {
             path.push(cur);
         }
         path.reverse();
-        Some(path.into_iter().map(|i| self.ids[i]).collect())
+        Some(path)
+    }
+
+    /// Runs Dijkstra to completion from `src` and returns the full
+    /// shortest-path tree, valid for every destination at the current
+    /// [`epoch`](Self::epoch).
+    ///
+    /// Routes read out of the tree are bit-identical to per-destination
+    /// [`route_with`](Self::route_with) queries: early exit only skips
+    /// work *after* the destination settles, and settled predecessors
+    /// never change under non-negative weights, so both walks read the
+    /// same predecessor chain.
+    pub fn route_tree(&self, scratch: &mut RouteScratch, src: NodeId) -> Option<RouteTree> {
+        let &s = self.index.get(&src)?;
+        Some(self.route_tree_idx(scratch, s))
+    }
+
+    /// [`ConnectivityGraph::route_tree`] on a dense source index.
+    pub fn route_tree_idx(&self, scratch: &mut RouteScratch, s: u32) -> RouteTree {
+        let n = self.ids.len();
+        scratch.reset(n);
+        if (s as usize) < n {
+            scratch.set(s, 0.0, s);
+            scratch.heap.push(HeapEntry { cost: 0.0, node: s });
+        }
+        while let Some(HeapEntry { cost, node }) = scratch.heap.pop() {
+            if cost > scratch.dist(node) {
+                continue;
+            }
+            for &(next, q) in &self.adj[node as usize] {
+                let w = -(q.delivery_prob.max(1e-12)).ln();
+                let nd = cost + w;
+                if nd < scratch.dist(next) {
+                    scratch.set(next, nd, node);
+                    scratch.heap.push(HeapEntry { cost: nd, node: next });
+                }
+            }
+        }
+        let prev: Vec<u32> = (0..n as u32)
+            .map(|i| {
+                if scratch.stamp[i as usize] == scratch.epoch {
+                    scratch.prev[i as usize]
+                } else {
+                    u32::MAX
+                }
+            })
+            .collect();
+        RouteTree {
+            src: s,
+            epoch: self.epoch,
+            prev,
+        }
+    }
+
+    /// Reads the route to `dst` out of a shortest-path tree, as dense
+    /// indices from the tree's source to `dst` inclusive. `None` when
+    /// unreachable. The tree must come from this graph at the current
+    /// epoch.
+    pub fn route_idx_from_tree(&self, tree: &RouteTree, d: u32) -> Option<Vec<u32>> {
+        debug_assert_eq!(tree.epoch, self.epoch, "route tree used across graph changes");
+        debug_assert_eq!(tree.prev.len(), self.ids.len());
+        if d as usize >= tree.prev.len() {
+            return None;
+        }
+        if d == tree.src {
+            return Some(vec![d]);
+        }
+        if tree.prev[d as usize] == u32::MAX {
+            return None;
+        }
+        let mut path = vec![d];
+        let mut cur = d;
+        while cur != tree.src {
+            cur = tree.prev[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Id-level convenience over [`Self::route_idx_from_tree`].
+    pub fn route_from_tree(&self, tree: &RouteTree, dst: NodeId) -> Option<Vec<NodeId>> {
+        let &d = self.index.get(&dst)?;
+        Some(
+            self.route_idx_from_tree(tree, d)?
+                .into_iter()
+                .map(|i| self.ids[i as usize])
+                .collect(),
+        )
     }
 
     /// Link quality between two adjacent nodes, if a link exists.
     pub fn link(&self, a: NodeId, b: NodeId) -> Option<LinkQuality> {
         let &i = self.index.get(&a)?;
         let &j = self.index.get(&b)?;
-        self.adj[i].iter().find(|(k, _)| *k == j).map(|(_, q)| *q)
+        self.link_idx(i, j)
+    }
+
+    /// [`ConnectivityGraph::link`] on dense indices.
+    pub fn link_idx(&self, i: u32, j: u32) -> Option<LinkQuality> {
+        let list = self.adj.get(i as usize)?;
+        list.binary_search_by_key(&j, |(k, _)| *k)
+            .ok()
+            .map(|pos| list[pos].1)
     }
 
     /// Connected components as sorted id lists, largest first.
@@ -234,9 +533,9 @@ impl ConnectivityGraph {
             while let Some(i) = stack.pop() {
                 comp.push(self.ids[i]);
                 for &(j, _) in &self.adj[i] {
-                    if !seen[j] {
-                        seen[j] = true;
-                        stack.push(j);
+                    if !seen[j as usize] {
+                        seen[j as usize] = true;
+                        stack.push(j as usize);
                     }
                 }
             }
@@ -273,14 +572,20 @@ fn best_link(a: &GraphNode, b: &GraphNode, channel: &Channel) -> Option<LinkQual
         return None;
     }
     let mut best: Option<LinkQuality> = None;
-    for &ra in &a.radios {
+    // Path loss and receiver noise are radio-independent; compute them at
+    // most once per pair (only when some shared radio survives the range
+    // checks) and evaluate each radio against the shared budget.
+    let mut budget = None;
+    for &ra in a.radios.iter() {
         if !b.radios.contains(&ra) {
             continue;
         }
         if distance_m > ra.nominal_range_m() {
             continue;
         }
-        let p = channel.mean_delivery_probability(a.position, b.position, ra);
+        let budget =
+            *budget.get_or_insert_with(|| channel.link_budget(a.position, b.position));
+        let p = channel.mean_delivery_probability_budgeted(budget, ra);
         if p < MIN_LINK_QUALITY {
             continue;
         }
@@ -297,6 +602,30 @@ fn best_link(a: &GraphNode, b: &GraphNode, channel: &Channel) -> Option<LinkQual
     best
 }
 
+/// A full shortest-path tree from one source node, produced by
+/// [`ConnectivityGraph::route_tree`]. Valid only at the graph epoch it
+/// was built from; the owner checks the stamp before reuse.
+#[derive(Debug, Clone)]
+pub struct RouteTree {
+    src: u32,
+    epoch: u64,
+    /// Predecessor per dense index: the source maps to itself,
+    /// unreachable nodes to `u32::MAX`.
+    prev: Vec<u32>,
+}
+
+impl RouteTree {
+    /// Dense index of the tree's source node.
+    pub fn src(&self) -> u32 {
+        self.src
+    }
+
+    /// Graph epoch the tree was computed at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
 /// Reusable Dijkstra working state for [`ConnectivityGraph::route_with`].
 ///
 /// Distance and predecessor slots are validated by an epoch stamp, so
@@ -305,7 +634,7 @@ fn best_link(a: &GraphNode, b: &GraphNode, channel: &Channel) -> Option<LinkQual
 #[derive(Debug, Clone, Default)]
 pub struct RouteScratch {
     dist: Vec<f64>,
-    prev: Vec<usize>,
+    prev: Vec<u32>,
     stamp: Vec<u32>,
     epoch: u32,
     heap: BinaryHeap<HeapEntry>,
@@ -321,7 +650,7 @@ impl RouteScratch {
     fn reset(&mut self, n: usize) {
         if self.dist.len() < n {
             self.dist.resize(n, f64::INFINITY);
-            self.prev.resize(n, usize::MAX);
+            self.prev.resize(n, u32::MAX);
             self.stamp.resize(n, 0);
             // A resize may keep a prefix whose stamps collide with a
             // restarted epoch sequence; invalidate everything.
@@ -340,32 +669,32 @@ impl RouteScratch {
     }
 
     #[inline]
-    fn dist(&self, i: usize) -> f64 {
-        if self.stamp[i] == self.epoch {
-            self.dist[i]
+    fn dist(&self, i: u32) -> f64 {
+        if self.stamp[i as usize] == self.epoch {
+            self.dist[i as usize]
         } else {
             f64::INFINITY
         }
     }
 
     #[inline]
-    fn prev(&self, i: usize) -> usize {
-        debug_assert_eq!(self.stamp[i], self.epoch);
-        self.prev[i]
+    fn prev(&self, i: u32) -> u32 {
+        debug_assert_eq!(self.stamp[i as usize], self.epoch);
+        self.prev[i as usize]
     }
 
     #[inline]
-    fn set(&mut self, i: usize, dist: f64, prev: usize) {
-        self.dist[i] = dist;
-        self.prev[i] = prev;
-        self.stamp[i] = self.epoch;
+    fn set(&mut self, i: u32, dist: f64, prev: u32) {
+        self.dist[i as usize] = dist;
+        self.prev[i as usize] = prev;
+        self.stamp[i as usize] = self.epoch;
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct HeapEntry {
     cost: f64,
-    node: usize,
+    node: u32,
 }
 
 impl Eq for HeapEntry {}
@@ -396,7 +725,7 @@ mod tests {
         GraphNode {
             id: NodeId::new(id),
             position: Point::new(x, y),
-            radios: radios.to_vec(),
+            radios: Rc::from(radios),
             alive: true,
         }
     }
@@ -569,5 +898,110 @@ mod tests {
             }
         }
         assert_eq!(g.link_count(), expected);
+    }
+
+    #[test]
+    fn mixed_radio_ranges_keep_hashing_exact() {
+        // Cell size follows the longest range present (cellular, 2 km),
+        // but short-range links must still be found exactly.
+        let mut nodes: Vec<GraphNode> = (0..30)
+            .map(|i| node(i, (i as f64) * 85.0, 0.0, &[RadioKind::Wifi]))
+            .collect();
+        nodes.push(node(100, 0.0, 900.0, &[RadioKind::Cellular]));
+        nodes.push(node(101, 1_500.0, 900.0, &[RadioKind::Cellular]));
+        let ch = open_channel();
+        let g = ConnectivityGraph::build(&nodes, &ch);
+        let mut expected = 0;
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if best_link(&nodes[i], &nodes[j], &ch).is_some() {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(g.link_count(), expected);
+    }
+
+    #[test]
+    fn refresh_node_matches_full_rebuild() {
+        // Kill and revive nodes one at a time; after every step the
+        // incrementally maintained graph must be indistinguishable from
+        // a from-scratch build over the same world state.
+        let ch = open_channel();
+        let mut world: Vec<GraphNode> = (0..36)
+            .map(|i| node(i, (i % 6) as f64 * 75.0, (i / 6) as f64 * 75.0, &[RadioKind::Wifi]))
+            .collect();
+        let mut g = ConnectivityGraph::build(&world, &ch);
+        let start_epoch = g.epoch();
+        // A deterministic little churn script: down, down, up, down, up...
+        let script: [(u32, bool); 8] = [
+            (7, false),
+            (14, false),
+            (7, true),
+            (0, false),
+            (35, false),
+            (14, true),
+            (0, true),
+            (21, false),
+        ];
+        for &(i, alive) in &script {
+            world[i as usize].alive = alive;
+            g.refresh_node(i, alive, &ch, &|_, _| false);
+            let fresh = ConnectivityGraph::build(&world, &ch);
+            assert!(
+                g.same_topology(&fresh),
+                "incremental refresh diverged at node {i} alive={alive}"
+            );
+        }
+        assert_eq!(g.epoch(), start_epoch + script.len() as u64);
+    }
+
+    #[test]
+    fn refresh_node_respects_deny_predicate() {
+        let ch = open_channel();
+        let mut world = vec![
+            node(0, 0.0, 0.0, &[RadioKind::Wifi]),
+            node(1, 60.0, 0.0, &[RadioKind::Wifi]),
+            node(2, 120.0, 0.0, &[RadioKind::Wifi]),
+        ];
+        let deny = |a: NodeId, b: NodeId| {
+            let (a, b) = (a.raw().min(b.raw()), a.raw().max(b.raw()));
+            (a, b) == (0, 1)
+        };
+        let mut g = ConnectivityGraph::build_filtered(&world, &ch, &deny);
+        assert!(g.link(NodeId::new(0), NodeId::new(1)).is_none());
+        // Bounce node 1; the denied pair must stay cut afterwards.
+        world[1].alive = false;
+        g.refresh_node(1, false, &ch, &deny);
+        assert!(g.same_topology(&ConnectivityGraph::build_filtered(&world, &ch, &deny)));
+        world[1].alive = true;
+        g.refresh_node(1, true, &ch, &deny);
+        assert!(g.same_topology(&ConnectivityGraph::build_filtered(&world, &ch, &deny)));
+        assert!(g.link(NodeId::new(0), NodeId::new(1)).is_none());
+        assert!(g.link(NodeId::new(1), NodeId::new(2)).is_some());
+    }
+
+    #[test]
+    fn route_tree_matches_per_destination_routes() {
+        // Every destination read out of one source's tree must equal the
+        // early-exit per-destination query, including unreachable ones.
+        let ch = open_channel();
+        let mut nodes: Vec<GraphNode> = (0..25)
+            .map(|i| node(i, (i % 5) as f64 * 70.0, (i / 5) as f64 * 70.0, &[RadioKind::Wifi]))
+            .collect();
+        nodes.push(node(99, 15_000.0, 0.0, &[RadioKind::Wifi])); // isolated
+        let g = ConnectivityGraph::build(&nodes, &ch);
+        let mut scratch = RouteScratch::new();
+        for src in [0u64, 7, 24, 99] {
+            let tree = g.route_tree(&mut scratch, NodeId::new(src)).unwrap();
+            for n in &nodes {
+                assert_eq!(
+                    g.route_from_tree(&tree, n.id),
+                    g.route_with(&mut scratch, NodeId::new(src), n.id),
+                    "tree route {src} -> {:?}",
+                    n.id
+                );
+            }
+        }
     }
 }

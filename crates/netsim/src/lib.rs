@@ -27,7 +27,8 @@ pub mod stats;
 pub mod terrain;
 pub mod time;
 
-pub use channel::{Channel, Jammer};
+pub use bytes::Bytes;
+pub use channel::{Channel, Jammer, LinkBudget};
 pub use churn::{ChurnPlan, ChurnProcess};
 pub use graph::{ConnectivityGraph, GraphNode, LinkQuality, RouteScratch};
 pub use message::Message;
@@ -45,7 +46,7 @@ pub use iobt_obs::Recorder;
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::{
-        Behavior, BehaviorRegistry, BehaviorSnapshot, Channel, ChurnProcess, Clutter,
+        Behavior, BehaviorRegistry, BehaviorSnapshot, Bytes, Channel, ChurnProcess, Clutter,
         CompromiseSpec, ConnectivityGraph, Context, Jammer, LinkDegradation, Message,
         MobilityModel, NetStats, PartitionSpec, SimDuration, SimTime, Simulator, SleepSchedule,
         SnapshotError, Summary, Terrain,

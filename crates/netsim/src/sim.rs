@@ -41,8 +41,10 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::rc::Rc;
 
+use bytes::Bytes;
 use iobt_obs::{DropCause, Recorder, TraceEvent};
 use iobt_types::{EnergyBudget, NodeCatalog, NodeId, Point, RadioKind, Rect};
 use rand::rngs::StdRng;
@@ -53,7 +55,7 @@ mod snapshot;
 pub use snapshot::{BehaviorRegistry, BehaviorSnapshot, SnapshotError};
 
 use crate::channel::{Channel, Jammer};
-use crate::graph::{ConnectivityGraph, GraphNode, LinkQuality, RouteScratch};
+use crate::graph::{ConnectivityGraph, GraphNode, LinkQuality, RouteScratch, RouteTree};
 use crate::message::Message;
 use crate::mobility::{MobilityModel, MobilityState};
 use crate::stats::NetStats;
@@ -221,11 +223,13 @@ struct Blackout {
     affected: BTreeSet<NodeId>,
 }
 
-/// Per-node runtime state.
+/// Per-node runtime state. Stored densely (index order = id order) so
+/// the hot path never touches a map; the radio list is shared with every
+/// graph snapshot instead of being recloned per rebuild.
 #[derive(Debug)]
 struct NodeRuntime {
     id: NodeId,
-    radios: Vec<RadioKind>,
+    radios: Rc<[RadioKind]>,
     tx_power_w: f64,
     mobility: MobilityState,
     energy: EnergyBudget,
@@ -291,12 +295,14 @@ impl<'a> Context<'a> {
 
     /// Current position of this node.
     pub fn position(&self) -> Point {
-        self.core.nodes[&self.node].mobility.position()
+        // lint: allow(panic) — contexts are only constructed for catalog nodes
+        self.core.node(self.node).expect("context node exists").mobility.position()
     }
 
     /// Remaining energy fraction of this node in `[0, 1]`.
     pub fn energy_fraction(&self) -> f64 {
-        self.core.nodes[&self.node].energy.fraction_remaining()
+        // lint: allow(panic) — contexts are only constructed for catalog nodes
+        self.core.node(self.node).expect("context node exists").energy.fraction_remaining()
     }
 
     /// Ids of nodes this node currently has a direct link to.
@@ -312,13 +318,20 @@ impl<'a> Context<'a> {
     /// Sends a unicast message; the network routes it over the current
     /// connectivity graph with per-hop losses, retries, latency, and energy
     /// accounting. Delivery (or drop) happens asynchronously.
-    pub fn send(&mut self, dst: NodeId, kind: u32, payload: Vec<u8>) {
+    ///
+    /// The payload is refcounted end to end: passing [`Bytes`] (or
+    /// anything convertible) shares the buffer with zero copies, so a
+    /// behaviour can hold one buffer and send it to many peers.
+    pub fn send(&mut self, dst: NodeId, kind: u32, payload: impl Into<Bytes>) {
         let msg = Message::new(self.node, dst, kind, payload).stamped(self.core.now);
         self.core.transmit(msg);
     }
 
-    /// Sends the same payload to every current one-hop neighbor.
-    pub fn broadcast(&mut self, kind: u32, payload: Vec<u8>) {
+    /// Sends the same payload to every current one-hop neighbor. The
+    /// payload is converted to shared [`Bytes`] once; each recipient's
+    /// message holds a refcounted handle, not a copy.
+    pub fn broadcast(&mut self, kind: u32, payload: impl Into<Bytes>) {
+        let payload: Bytes = payload.into();
         for n in self.neighbors() {
             self.send(n, kind, payload.clone());
         }
@@ -365,6 +378,7 @@ pub struct SimulatorBuilder {
     retries: u32,
     idle_drain_w: f64,
     recorder: Recorder,
+    reference_mode: bool,
 }
 
 impl SimulatorBuilder {
@@ -428,6 +442,17 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Runs the simulator on the legacy reference path: one-at-a-time
+    /// event dispatch, per-query Dijkstra, and full graph rebuilds on
+    /// every invalidation (default: off). Results are bit-identical
+    /// either way — this exists so the equivalence tests can compare the
+    /// optimized hot path against the straightforward implementation
+    /// in-process.
+    pub fn reference_mode(mut self, on: bool) -> Self {
+        self.reference_mode = on;
+        self
+    }
+
     /// Builds the simulator. Behaviours are attached afterwards with
     /// [`Simulator::set_behavior`].
     pub fn build(self) -> Simulator {
@@ -435,7 +460,12 @@ impl SimulatorBuilder {
         for j in self.jammers {
             channel.add_jammer(j);
         }
-        let mut nodes = BTreeMap::new();
+        // Dense node storage: index order = catalog (id) order. The id
+        // universe is fixed for the simulator's lifetime and shared with
+        // every connectivity graph, so graph index i and node index i
+        // always name the same node.
+        let mut ids: Vec<NodeId> = Vec::with_capacity(self.catalog.len());
+        let mut nodes: Vec<NodeRuntime> = Vec::with_capacity(self.catalog.len());
         for spec in self.catalog.iter() {
             let model = self
                 .mobility
@@ -448,29 +478,47 @@ impl SimulatorBuilder {
                 .iter()
                 .map(|r| r.kind().tx_power_w())
                 .fold(0.0, f64::max);
-            nodes.insert(
-                spec.id(),
-                NodeRuntime {
-                    id: spec.id(),
-                    radios: spec.capabilities().radios().iter().map(|r| r.kind()).collect(),
-                    tx_power_w,
-                    mobility: MobilityState::new(model, spec.position()),
-                    energy: spec.energy(),
-                    alive: true,
-                    sleep: self.sleep.get(&spec.id()).copied(),
-                },
-            );
+            ids.push(spec.id());
+            nodes.push(NodeRuntime {
+                id: spec.id(),
+                radios: spec
+                    .capabilities()
+                    .radios()
+                    .iter()
+                    .map(|r| r.kind())
+                    .collect::<Vec<_>>()
+                    .into(),
+                tx_power_w,
+                mobility: MobilityState::new(model, spec.position()),
+                energy: spec.energy(),
+                alive: true,
+                sleep: self.sleep.get(&spec.id()).copied(),
+            });
         }
+        let index: BTreeMap<NodeId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        let has_sleep = nodes.iter().any(|n| n.sleep.is_some());
         let mut core = Core {
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
+            ids: ids.into(),
+            index: Rc::new(index),
             nodes,
+            has_sleep,
             channel,
             rng: StdRng::seed_from_u64(self.seed),
             stats: NetStats::new(),
             graph: None,
+            graph_dirty: GraphDirty::Full,
+            graph_epoch: 0,
             route_scratch: RouteScratch::new(),
+            route_trees: BTreeMap::new(),
+            route_tree_fifo: VecDeque::new(),
+            last_route: None,
             retries: self.retries,
             mobility_step: self.mobility_step,
             idle_drain_w: self.idle_drain_w,
@@ -480,27 +528,78 @@ impl SimulatorBuilder {
             latency_mult: 1.0,
             compromises: Vec::new(),
             blackouts: Vec::new(),
+            events_processed: 0,
+            reference_mode: self.reference_mode,
         };
         core.push(SimTime::ZERO + self.mobility_step, Event::MobilityTick);
         Simulator {
             core,
             behaviors: BTreeMap::new(),
             started: Vec::new(),
+            batch: Vec::new(),
         }
     }
 }
+
+/// How stale the cached connectivity graph is relative to world state.
+///
+/// The legacy design invalidated by dropping the cache (`graph = None`)
+/// and rebuilding from scratch on next access. This enum keeps the
+/// cache and records *what* changed instead, so the next access can
+/// patch only the affected nodes' links in place. Whenever the state is
+/// not `Clean`, the next [`Core::refresh_graph`] emits a `GraphRebuilt`
+/// trace — exactly when and how often the legacy blanket invalidation
+/// did, so observability streams stay bit-identical.
+#[derive(Debug)]
+enum GraphDirty {
+    /// Cache (when present) matches world state.
+    Clean,
+    /// Only the listed nodes' liveness changed since the cache was
+    /// built; positions, radios, channel, and partitions are untouched.
+    /// An empty list still forces a refresh event (a mobility tick that
+    /// moved nothing) without recomputing any links.
+    Nodes(Vec<u32>),
+    /// Anything broader changed (movement, jammers, partitions,
+    /// degradations, sleep phases): rebuild from scratch.
+    Full,
+}
+
+/// Cap on retained per-source route trees (FIFO eviction). At 100k
+/// nodes a tree is ~400 KB, so the cache tops out around 13 MB.
+const MAX_ROUTE_TREES: usize = 32;
 
 /// Internal mutable world state shared with behaviour contexts.
 struct Core {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Reverse<Queued>>,
-    nodes: BTreeMap<NodeId, NodeRuntime>,
+    /// Node ids in index order (sorted); shared with every graph.
+    ids: Rc<[NodeId]>,
+    /// `NodeId → dense index`, fixed at construction; shared with every
+    /// graph so both sides agree on what index `i` means.
+    index: Rc<BTreeMap<NodeId, u32>>,
+    /// Dense per-node runtime state, parallel to `ids`.
+    nodes: Vec<NodeRuntime>,
+    /// Whether any node carries a sleep schedule. Sleep phases fold the
+    /// clock into graph liveness, so incremental maintenance is disabled
+    /// and every invalidation falls back to a full rebuild.
+    has_sleep: bool,
     channel: Channel,
     rng: StdRng,
     stats: NetStats,
-    graph: Option<ConnectivityGraph>,
+    graph: Option<Rc<ConnectivityGraph>>,
+    graph_dirty: GraphDirty,
+    /// Monotonic graph content version across full rebuilds and
+    /// incremental refreshes; stamps route trees for invalidation.
+    graph_epoch: u64,
     route_scratch: RouteScratch,
+    /// Per-source shortest-path trees, valid at their stamped epoch.
+    route_trees: BTreeMap<u32, RouteTree>,
+    /// Insertion order of `route_trees` keys, for FIFO eviction.
+    route_tree_fifo: VecDeque<u32>,
+    /// Last routed `(graph epoch, source index)`: a repeat promotes the
+    /// source to a full route tree.
+    last_route: Option<(u64, u32)>,
     retries: u32,
     mobility_step: SimDuration,
     idle_drain_w: f64,
@@ -511,6 +610,12 @@ struct Core {
     latency_mult: f64,
     compromises: Vec<(CompromiseSpec, bool)>,
     blackouts: Vec<Blackout>,
+    /// Events dispatched since construction. Reporting-only (throughput
+    /// harnesses); deliberately excluded from checkpoints and digests.
+    events_processed: u64,
+    /// Legacy execution path for equivalence testing; see
+    /// [`SimulatorBuilder::reference_mode`].
+    reference_mode: bool,
 }
 
 /// Base MAC backoff before the first retransmission, in seconds.
@@ -533,16 +638,70 @@ impl Core {
         self.queue.push(Reverse(Queued { at, seq, event }));
     }
 
+    /// Dense index of a node id, if the node exists.
+    fn idx(&self, id: NodeId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// Node runtime by id, if the node exists.
+    fn node(&self, id: NodeId) -> Option<&NodeRuntime> {
+        self.idx(id).map(|i| &self.nodes[i as usize])
+    }
+
+    /// Whether the node is up (alive and not energy-depleted).
+    fn is_up(&self, id: NodeId) -> bool {
+        self.node(id)
+            .map(|n| n.alive && !n.energy.is_depleted())
+            .unwrap_or(false)
+    }
+
     /// Whether the node is up *and* awake right now.
     fn is_active(&self, node: NodeId) -> bool {
-        self.nodes
-            .get(&node)
+        self.node(node)
             .map(|n| {
                 n.alive
                     && !n.energy.is_depleted()
                     && n.sleep.is_none_or(|s| s.is_awake(self.now))
             })
             .unwrap_or(false)
+    }
+
+    /// Records that only node `i`'s liveness changed: the next graph
+    /// access patches that node's links in place instead of rebuilding.
+    /// Falls back to full invalidation when incremental maintenance
+    /// cannot apply (no cache yet, sleep schedules folding the clock
+    /// into liveness, or the legacy reference path).
+    fn invalidate_node(&mut self, i: u32) {
+        if self.reference_mode || self.has_sleep || self.graph.is_none() {
+            self.graph_dirty = GraphDirty::Full;
+            return;
+        }
+        match &mut self.graph_dirty {
+            GraphDirty::Full => {}
+            GraphDirty::Nodes(v) => {
+                if !v.contains(&i) {
+                    v.push(i);
+                }
+            }
+            GraphDirty::Clean => self.graph_dirty = GraphDirty::Nodes(vec![i]),
+        }
+    }
+
+    /// Records a channel-wide change (jammer, partition, degradation):
+    /// the next graph access rebuilds from scratch.
+    fn invalidate_graph(&mut self) {
+        self.graph_dirty = GraphDirty::Full;
+    }
+
+    /// Invalidation for a mobility tick: a tick that moved nothing still
+    /// refreshes the graph (matching the legacy blanket invalidation and
+    /// its trace event) but costs no link recomputation.
+    fn invalidate_tick(&mut self, moved: bool) {
+        if moved || self.reference_mode || self.has_sleep || self.graph.is_none() {
+            self.graph_dirty = GraphDirty::Full;
+        } else if matches!(self.graph_dirty, GraphDirty::Clean) {
+            self.graph_dirty = GraphDirty::Nodes(Vec::new());
+        }
     }
 
     /// Builds the connectivity graph from current world state without
@@ -554,11 +713,11 @@ impl Core {
         let now = self.now;
         let nodes: Vec<GraphNode> = self
             .nodes
-            .values()
+            .iter()
             .map(|n| GraphNode {
                 id: n.id,
                 position: n.mobility.position(),
-                radios: n.radios.clone(),
+                radios: Rc::clone(&n.radios),
                 alive: n.alive
                     && !n.energy.is_depleted()
                     && n.sleep.is_none_or(|s| s.is_awake(now)),
@@ -566,20 +725,110 @@ impl Core {
             .collect();
         let partitions = &self.partitions;
         let deny = |x: NodeId, y: NodeId| partitions.iter().any(|(p, on)| *on && p.cuts(x, y));
-        ConnectivityGraph::build_filtered(&nodes, &self.channel, &deny)
+        ConnectivityGraph::build_shared(
+            Rc::clone(&self.ids),
+            Rc::clone(&self.index),
+            nodes,
+            &self.channel,
+            &deny,
+        )
+    }
+
+    /// Brings the cached graph in sync with world state, emitting one
+    /// `GraphRebuilt` trace if anything was stale — the same times and
+    /// counts as the legacy rebuild-on-access, whether the refresh is a
+    /// full rebuild or an in-place patch of a few nodes.
+    fn refresh_graph(&mut self) {
+        if self.graph.is_some() && matches!(self.graph_dirty, GraphDirty::Clean) {
+            return;
+        }
+        let dirty = std::mem::replace(&mut self.graph_dirty, GraphDirty::Clean);
+        self.graph_epoch += 1;
+        let epoch = self.graph_epoch;
+        let refreshed = match (self.graph.take(), dirty) {
+            (Some(mut rc), GraphDirty::Nodes(changed)) => {
+                {
+                    // Copy-on-write: external `connectivity()` holders
+                    // keep their frozen snapshot, matching the legacy
+                    // clone-out semantics.
+                    let g = Rc::make_mut(&mut rc);
+                    let partitions = &self.partitions;
+                    let deny = |x: NodeId, y: NodeId| {
+                        partitions.iter().any(|(p, on)| *on && p.cuts(x, y))
+                    };
+                    for i in changed {
+                        let n = &self.nodes[i as usize];
+                        let alive = n.alive && !n.energy.is_depleted();
+                        g.refresh_node(i, alive, &self.channel, &deny);
+                    }
+                    g.set_epoch(epoch);
+                }
+                debug_assert!(
+                    rc.same_topology(&self.build_graph()),
+                    "incremental graph maintenance diverged from a full rebuild"
+                );
+                rc
+            }
+            _ => {
+                let mut built = self.build_graph();
+                built.set_epoch(epoch);
+                Rc::new(built)
+            }
+        };
+        self.recorder.record(TraceEvent::GraphRebuilt {
+            nodes: refreshed.len() as u64,
+            edges: refreshed.link_count() as u64,
+        });
+        self.graph = Some(refreshed);
     }
 
     fn graph(&mut self) -> &ConnectivityGraph {
-        if self.graph.is_none() {
-            let built = self.build_graph();
-            self.recorder.record(TraceEvent::GraphRebuilt {
-                nodes: built.len() as u64,
-                edges: built.link_count() as u64,
-            });
-            self.graph = Some(built);
+        self.refresh_graph();
+        // lint: allow(panic) — refresh_graph always leaves a cached graph behind
+        self.graph.as_deref().expect("refreshed")
+    }
+
+    /// A refcounted handle to the up-to-date graph snapshot.
+    fn graph_handle(&mut self) -> Rc<ConnectivityGraph> {
+        self.refresh_graph();
+        // lint: allow(panic) — refresh_graph always leaves a cached graph behind
+        Rc::clone(self.graph.as_ref().expect("refreshed"))
+    }
+
+    /// Routes `s → d` over `graph`, promoting hot sources to full route
+    /// trees: the first query from a source runs plain early-exit
+    /// Dijkstra; a second query from the same source at the same graph
+    /// epoch invests in the full predecessor tree and serves every later
+    /// destination in O(path-length). Paths are bit-identical either way
+    /// (settled predecessors never change under non-negative weights),
+    /// and epoch stamps invalidate trees the moment the graph changes.
+    fn route_cached(&mut self, graph: &ConnectivityGraph, s: u32, d: u32) -> Option<Vec<u32>> {
+        if self.reference_mode {
+            return graph.route_idx_with(&mut self.route_scratch, s, d);
         }
-        // lint: allow(panic) — the branch above just populated the option when it was empty
-        self.graph.as_ref().expect("just built")
+        let epoch = graph.epoch();
+        if let Some(tree) = self.route_trees.get(&s) {
+            if tree.epoch() == epoch {
+                return graph.route_idx_from_tree(tree, d);
+            }
+            self.route_trees.remove(&s);
+            self.route_tree_fifo.retain(|&x| x != s);
+        }
+        if self.last_route == Some((epoch, s)) {
+            let tree = graph.route_tree_idx(&mut self.route_scratch, s);
+            let out = graph.route_idx_from_tree(&tree, d);
+            if self.route_trees.insert(s, tree).is_none() {
+                self.route_tree_fifo.push_back(s);
+                if self.route_tree_fifo.len() > MAX_ROUTE_TREES {
+                    if let Some(evicted) = self.route_tree_fifo.pop_front() {
+                        self.route_trees.remove(&evicted);
+                    }
+                }
+            }
+            return out;
+        }
+        self.last_route = Some((epoch, s));
+        graph.route_idx_with(&mut self.route_scratch, s, d)
     }
 
     /// Simulates a unicast transmission hop by hop and schedules delivery
@@ -590,17 +839,13 @@ impl Core {
             from: msg.src().raw(),
             to: msg.dst().raw(),
         });
-        let src_alive = self
-            .nodes
-            .get(&msg.src())
-            .map(|n| n.alive && !n.energy.is_depleted())
-            .unwrap_or(false);
-        let dst_alive = self
-            .nodes
-            .get(&msg.dst())
-            .map(|n| n.alive && !n.energy.is_depleted())
-            .unwrap_or(false);
-        if !src_alive || !dst_alive {
+        let (src, dst) = (self.idx(msg.src()), self.idx(msg.dst()));
+        let (Some(src), Some(dst)) = (src, dst) else {
+            self.drop_message(&msg, DropCause::Dead);
+            return;
+        };
+        let up = |n: &NodeRuntime| n.alive && !n.energy.is_depleted();
+        if !up(&self.nodes[src as usize]) || !up(&self.nodes[dst as usize]) {
             self.drop_message(&msg, DropCause::Dead);
             return;
         }
@@ -609,12 +854,10 @@ impl Core {
             self.drop_message(&msg, DropCause::Asleep);
             return;
         }
-        // Split borrows: the lazily-built graph is immutable while the
-        // scratch (reused across every transmission) is mutated.
-        self.graph();
-        // lint: allow(panic) — self.graph() on the previous line guarantees the snapshot exists
-        let graph = self.graph.as_ref().expect("just built");
-        let Some(route) = graph.route_with(&mut self.route_scratch, msg.src(), msg.dst()) else {
+        // A refcounted handle keeps the routing snapshot alive while the
+        // scratch, route trees, and node state are mutated below.
+        let graph = self.graph_handle();
+        let Some(route) = self.route_cached(&graph, src, dst) else {
             self.drop_message(&msg, DropCause::NoRoute);
             return;
         };
@@ -623,12 +866,13 @@ impl Core {
         let mut success = true;
         for hop in route.windows(2) {
             let (from, to) = (hop[0], hop[1]);
-            let Some(link) = self.graph().link(from, to) else {
-                // The topology changed underneath the route (e.g. a relay
-                // depleted while forwarding): fall back to the drop path.
+            // Re-check the link against the *current* graph each hop: a
+            // relay may deplete mid-message, and the refreshed topology
+            // must be consulted exactly as the legacy rebuild-per-hop did.
+            let Some(link) = self.graph().link_idx(from, to) else {
                 self.recorder.record(TraceEvent::RouteFallback {
-                    from: from.raw(),
-                    to: to.raw(),
+                    from: self.ids[from as usize].raw(),
+                    to: self.ids[to as usize].raw(),
                 });
                 success = false;
                 break;
@@ -645,7 +889,7 @@ impl Core {
                 .sum();
             latency = latency + SimDuration::from_secs_f64(service_s * self.latency_mult);
             // Energy: transmitter pays per attempt, receiver pays once.
-            let tx_energy = self.nodes[&from].tx_power_w * tx_time_s * attempts as f64;
+            let tx_energy = self.nodes[from as usize].tx_power_w * tx_time_s * attempts as f64;
             self.drain(from, tx_energy);
             self.drain(to, 0.5 * link.radio.tx_power_w() * tx_time_s);
             if !hop_ok {
@@ -662,11 +906,12 @@ impl Core {
                 .iter()
                 .skip(1)
                 .take(route.len().saturating_sub(2))
+                .map(|&i| self.ids[i as usize])
                 .find_map(|relay| {
                     self.compromises
                         .iter()
-                        .find(|(spec, on)| *on && spec.relays.contains(relay))
-                        .map(|(spec, _)| (*relay, spec.extra_delay, spec.tamper))
+                        .find(|(spec, on)| *on && spec.relays.contains(&relay))
+                        .map(|(spec, _)| (relay, spec.extra_delay, spec.tamper))
                 });
             if let Some((relay, extra_delay, tamper)) = interdiction {
                 latency = latency + extra_delay;
@@ -709,9 +954,9 @@ impl Core {
 
     /// Tries a hop up to `retries + 1` times; returns success and the
     /// number of attempts consumed.
-    fn attempt_hop(&mut self, from: NodeId, to: NodeId, link: LinkQuality) -> (bool, u32) {
-        let from_pos = self.nodes[&from].mobility.position();
-        let to_pos = self.nodes[&to].mobility.position();
+    fn attempt_hop(&mut self, from: u32, to: u32, link: LinkQuality) -> (bool, u32) {
+        let from_pos = self.nodes[from as usize].mobility.position();
+        let to_pos = self.nodes[to as usize].mobility.position();
         for attempt in 1..=(self.retries + 1) {
             let p = self
                 .channel
@@ -723,45 +968,47 @@ impl Core {
         (false, self.retries + 1)
     }
 
-    fn drain(&mut self, node: NodeId, joules: f64) {
-        if let Some(n) = self.nodes.get_mut(&node) {
-            n.energy.drain(joules);
-            self.stats.energy_spent_j += joules;
-            if n.energy.is_depleted() && n.alive {
-                n.alive = false;
-                self.graph = None;
-                self.recorder
-                    .record(TraceEvent::NodeDepleted { node: node.raw() });
-            }
+    fn drain(&mut self, i: u32, joules: f64) {
+        let n = &mut self.nodes[i as usize];
+        n.energy.drain(joules);
+        self.stats.energy_spent_j += joules;
+        if self.nodes[i as usize].energy.is_depleted() && self.nodes[i as usize].alive {
+            self.nodes[i as usize].alive = false;
+            self.invalidate_node(i);
+            let node = self.ids[i as usize].raw();
+            self.recorder.record(TraceEvent::NodeDepleted { node });
         }
     }
 
     fn mobility_tick(&mut self) {
         let dt = self.mobility_step.as_secs_f64();
-        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
-        for id in ids {
-            // Split borrow: temporarily move mobility state out.
-            let mut mob = {
-                // lint: allow(panic) — id came from self.nodes.keys() and nodes are never removed
-                let n = self.nodes.get_mut(&id).expect("node exists");
-                std::mem::replace(&mut n.mobility, MobilityState::new(MobilityModel::Static, Point::ORIGIN))
-            };
+        let mut moved = false;
+        for i in 0..self.nodes.len() {
+            // Split borrow: temporarily move mobility state out so the
+            // model can draw from the shared RNG.
+            let mut mob = std::mem::replace(
+                &mut self.nodes[i].mobility,
+                MobilityState::new(MobilityModel::Static, Point::ORIGIN),
+            );
+            let before = mob.position();
             mob.step(&mut self.rng, dt);
-            // lint: allow(panic) — same key as above; the entry cannot have vanished mid-loop
-            let n = self.nodes.get_mut(&id).expect("node exists");
-            n.mobility = mob;
-            if n.alive {
+            moved |= mob.position() != before;
+            self.nodes[i].mobility = mob;
+            if self.nodes[i].alive {
                 let idle = self.idle_drain_w * dt;
-                n.energy.drain(idle);
+                self.nodes[i].energy.drain(idle);
                 self.stats.energy_spent_j += idle;
-                if n.energy.is_depleted() {
-                    n.alive = false;
-                    self.recorder
-                        .record(TraceEvent::NodeDepleted { node: id.raw() });
+                if self.nodes[i].energy.is_depleted() {
+                    self.nodes[i].alive = false;
+                    self.invalidate_node(i as u32);
+                    let node = self.ids[i].raw();
+                    self.recorder.record(TraceEvent::NodeDepleted { node });
                 }
             }
         }
-        self.graph = None;
+        // A tick over an all-static fleet refreshes liveness only; any
+        // actual movement forces the full spatial rebuild.
+        self.invalidate_tick(moved);
         self.recorder
             .set_gauge("netsim.energy_spent_j", self.stats.energy_spent_j);
         let next = self.now + self.mobility_step;
@@ -775,6 +1022,8 @@ pub struct Simulator {
     core: Core,
     behaviors: BTreeMap<NodeId, Box<dyn Behavior>>,
     started: Vec<NodeId>,
+    /// Reused buffer for same-timestamp event batches in the run loop.
+    batch: Vec<Event>,
 }
 
 impl Simulator {
@@ -791,6 +1040,7 @@ impl Simulator {
             retries: 3,
             idle_drain_w: 0.01,
             recorder: Recorder::disabled(),
+            reference_mode: false,
         }
     }
 
@@ -803,7 +1053,7 @@ impl Simulator {
     }
 
     fn dispatch_start(&mut self, node: NodeId) {
-        if self.started.contains(&node) || !self.core.nodes.contains_key(&node) {
+        if self.started.contains(&node) || self.core.idx(node).is_none() {
             return;
         }
         if let Some(mut b) = self.behaviors.remove(&node) {
@@ -827,6 +1077,13 @@ impl Simulator {
         &self.core.stats
     }
 
+    /// Events dispatched by the event loop since construction. A
+    /// throughput denominator for scale harnesses; not part of any
+    /// digest or checkpoint, so resumed runs restart the count.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
     /// The observability recorder this simulator records into (disabled
     /// unless one was attached via [`SimulatorBuilder::recorder`]).
     pub fn recorder(&self) -> &Recorder {
@@ -835,26 +1092,27 @@ impl Simulator {
 
     /// Whether a node is up (alive and not energy-depleted).
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.core
-            .nodes
-            .get(&node)
-            .map(|n| n.alive && !n.energy.is_depleted())
-            .unwrap_or(false)
+        self.core.is_up(node)
     }
 
     /// Current position of a node, or `None` for unknown ids.
     pub fn position(&self, node: NodeId) -> Option<Point> {
-        self.core.nodes.get(&node).map(|n| n.mobility.position())
+        self.core.node(node).map(|n| n.mobility.position())
     }
 
     /// Remaining energy of a node, or `None` for unknown ids.
     pub fn energy(&self, node: NodeId) -> Option<EnergyBudget> {
-        self.core.nodes.get(&node).map(|n| n.energy)
+        self.core.node(node).map(|n| n.energy)
     }
 
-    /// A snapshot of the current connectivity graph.
-    pub fn connectivity(&mut self) -> ConnectivityGraph {
-        self.core.graph().clone()
+    /// A shared handle to the current connectivity graph snapshot.
+    ///
+    /// O(1) when the cached graph is fresh: the handle is refcounted,
+    /// not a deep copy. The snapshot is frozen at this instant — the
+    /// simulator copies-on-write before mutating its own graph, so the
+    /// handle never changes underneath the caller.
+    pub fn connectivity(&mut self) -> Rc<ConnectivityGraph> {
+        self.core.graph_handle()
     }
 
     /// Schedules a node failure at `at` (battle damage, crash).
@@ -946,17 +1204,52 @@ impl Simulator {
         for n in pending {
             self.dispatch_start(n);
         }
-        while let Some(Reverse(next)) = self.core.queue.peek() {
-            if next.at > deadline {
-                break;
+        if self.core.reference_mode {
+            // Legacy single-pop dispatch, kept verbatim as the oracle the
+            // batched loop is tested against.
+            while let Some(Reverse(next)) = self.core.queue.peek() {
+                if next.at > deadline {
+                    break;
+                }
+                // lint: allow(panic) — the loop condition peeked this entry, so pop cannot fail
+                let Reverse(q) = self.core.queue.pop().expect("peeked");
+                self.core.now = q.at;
+                // Stamp the shared observability clock before dispatching so
+                // every event recorded downstream carries this sim time.
+                self.core.recorder.set_time_us(q.at.as_micros());
+                self.core.events_processed += 1;
+                self.handle(q.event);
             }
-            // lint: allow(panic) — the loop condition peeked this entry, so pop cannot fail
-            let Reverse(q) = self.core.queue.pop().expect("peeked");
-            self.core.now = q.at;
-            // Stamp the shared observability clock before dispatching so
-            // every event recorded downstream carries this sim time.
-            self.core.recorder.set_time_us(q.at.as_micros());
-            self.handle(q.event);
+        } else {
+            // Batched dispatch: drain every event sharing the head
+            // timestamp in one pass (heap pops yield them in seq order,
+            // i.e. schedule order), stamp the observability clock once,
+            // then dispatch in order. Events scheduled *at* the current
+            // timestamp during dispatch are picked up by the next outer
+            // iteration — after the in-flight batch, exactly where the
+            // one-at-a-time loop would have popped them.
+            let mut batch = std::mem::take(&mut self.batch);
+            loop {
+                let at = match self.core.queue.peek() {
+                    Some(Reverse(head)) if head.at <= deadline => head.at,
+                    _ => break,
+                };
+                self.core.now = at;
+                self.core.recorder.set_time_us(at.as_micros());
+                while let Some(Reverse(head)) = self.core.queue.peek() {
+                    if head.at != at {
+                        break;
+                    }
+                    // lint: allow(panic) — the loop condition peeked this entry, so pop cannot fail
+                    let Reverse(q) = self.core.queue.pop().expect("peeked");
+                    batch.push(q.event);
+                }
+                for event in batch.drain(..) {
+                    self.core.events_processed += 1;
+                    self.handle(event);
+                }
+            }
+            self.batch = batch;
         }
         if self.core.now < deadline {
             self.core.now = deadline;
@@ -973,13 +1266,7 @@ impl Simulator {
     fn handle(&mut self, event: Event) {
         match event {
             Event::Deliver(msg) => {
-                let alive = self
-                    .core
-                    .nodes
-                    .get(&msg.dst())
-                    .map(|n| n.alive && !n.energy.is_depleted())
-                    .unwrap_or(false);
-                if !alive {
+                if !self.core.is_up(msg.dst()) {
                     self.core.drop_message(&msg, DropCause::Dead);
                     return;
                 }
@@ -1014,13 +1301,7 @@ impl Simulator {
                 }
             }
             Event::Timer { node, token } => {
-                let alive = self
-                    .core
-                    .nodes
-                    .get(&node)
-                    .map(|n| n.alive && !n.energy.is_depleted())
-                    .unwrap_or(false);
-                if !alive {
+                if !self.core.is_up(node) {
                     return;
                 }
                 if let Some(mut b) = self.behaviors.remove(&node) {
@@ -1034,19 +1315,19 @@ impl Simulator {
             }
             Event::MobilityTick => self.core.mobility_tick(),
             Event::NodeDown(id) => {
-                if let Some(n) = self.core.nodes.get_mut(&id) {
-                    n.alive = false;
-                    self.core.graph = None;
+                if let Some(i) = self.core.idx(id) {
+                    self.core.nodes[i as usize].alive = false;
+                    self.core.invalidate_node(i);
                     self.core
                         .recorder
                         .record(TraceEvent::NodeDown { node: id.raw() });
                 }
             }
             Event::NodeUp(id) => {
-                if let Some(n) = self.core.nodes.get_mut(&id) {
-                    if !n.energy.is_depleted() {
-                        n.alive = true;
-                        self.core.graph = None;
+                if let Some(i) = self.core.idx(id) {
+                    if !self.core.nodes[i as usize].energy.is_depleted() {
+                        self.core.nodes[i as usize].alive = true;
+                        self.core.invalidate_node(i);
                         self.core
                             .recorder
                             .record(TraceEvent::NodeUp { node: id.raw() });
@@ -1055,7 +1336,7 @@ impl Simulator {
             }
             Event::SetJammer { index, active } => {
                 self.core.channel.set_jammer_active(index, active);
-                self.core.graph = None;
+                self.core.invalidate_graph();
                 self.core.recorder.record(TraceEvent::JammerSet {
                     index: index as u64,
                     on: active,
@@ -1064,7 +1345,7 @@ impl Simulator {
             Event::SetPartition { index, active } => {
                 if let Some(p) = self.core.partitions.get_mut(index) {
                     p.1 = active;
-                    self.core.graph = None;
+                    self.core.invalidate_graph();
                     self.core.recorder.record(TraceEvent::PartitionSet {
                         index: index as u64,
                         on: active,
@@ -1085,7 +1366,7 @@ impl Simulator {
                     }
                     self.core.channel.set_extra_loss_db(loss);
                     self.core.latency_mult = mult;
-                    self.core.graph = None;
+                    self.core.invalidate_graph();
                     self.core.recorder.record(TraceEvent::DegradeSet {
                         index: index as u64,
                         on: active,
@@ -1108,14 +1389,20 @@ impl Simulator {
                     return;
                 };
                 // Membership is resolved at fire time so mobile nodes are
-                // caught wherever they actually are.
+                // caught wherever they actually are. Dense iteration is
+                // id-ascending, matching the legacy map order.
                 let mut killed = BTreeSet::new();
-                for (id, n) in self.core.nodes.iter_mut() {
+                let mut killed_idx: Vec<u32> = Vec::new();
+                for (i, n) in self.core.nodes.iter_mut().enumerate() {
                     if n.alive && !n.energy.is_depleted() && rect.contains(n.mobility.position())
                     {
                         n.alive = false;
-                        killed.insert(*id);
+                        killed.insert(n.id);
+                        killed_idx.push(i as u32);
                     }
+                }
+                for &i in &killed_idx {
+                    self.core.invalidate_node(i);
                 }
                 for id in &killed {
                     self.core
@@ -1126,9 +1413,6 @@ impl Simulator {
                     index: index as u64,
                     killed: killed.len() as u64,
                 });
-                if !killed.is_empty() {
-                    self.core.graph = None;
-                }
                 self.core.blackouts[index].affected = killed;
             }
             Event::RegionRestore { index } => {
@@ -1138,11 +1422,13 @@ impl Simulator {
                 let affected = std::mem::take(&mut b.affected);
                 let mut revived = 0u64;
                 for id in &affected {
-                    if let Some(n) = self.core.nodes.get_mut(id) {
+                    if let Some(i) = self.core.idx(*id) {
                         // Energy depletion during the outage is permanent.
+                        let n = &mut self.core.nodes[i as usize];
                         if !n.energy.is_depleted() && !n.alive {
                             n.alive = true;
                             revived += 1;
+                            self.core.invalidate_node(i);
                             self.core
                                 .recorder
                                 .record(TraceEvent::NodeUp { node: id.raw() });
@@ -1153,9 +1439,6 @@ impl Simulator {
                     index: index as u64,
                     revived,
                 });
-                if revived > 0 {
-                    self.core.graph = None;
-                }
             }
         }
     }

@@ -31,8 +31,8 @@ use crate::mobility::{MobilityModel, MobilityState};
 use crate::time::{SimDuration, SimTime};
 
 use super::{
-    Behavior, Blackout, CompromiseSpec, Event, Jammer, LinkDegradation, PartitionSpec, Queued,
-    Simulator, SleepSchedule,
+    Behavior, Blackout, CompromiseSpec, Event, GraphDirty, Jammer, LinkDegradation, PartitionSpec,
+    Queued, Simulator, SleepSchedule,
 };
 
 /// One behaviour's serialised state plus the registry key used to
@@ -441,8 +441,8 @@ impl Simulator {
             e.u64(*count);
         }
 
-        // Per-node mutable state.
-        for n in core.nodes.values() {
+        // Per-node mutable state (dense storage iterates in id order).
+        for n in &core.nodes {
             enc_id(&mut e, n.id);
             enc_mobility(&mut e, &n.mobility);
             e.f64(n.energy.capacity_j());
@@ -496,9 +496,18 @@ impl Simulator {
             enc_id_set(&mut e, &b.affected);
         }
 
-        // Whether the graph cache was populated (rebuilt silently at
-        // restore; the graph itself is derived state).
-        e.bool(core.graph.is_some());
+        // Graph-cache disposition (the graph itself is derived state,
+        // rebuilt silently at restore): 0 = absent or fully stale, 1 =
+        // present and clean, 2 = present with a pending liveness patch.
+        // The distinction matters because the next graph access after
+        // resume must emit (or not emit) a `GraphRebuilt` trace exactly
+        // as the uninterrupted run would. Values 0/1 coincide with the
+        // bool this byte used to be.
+        e.u8(match (&core.graph, &core.graph_dirty) {
+            (None, _) | (Some(_), GraphDirty::Full) => 0,
+            (Some(_), GraphDirty::Clean) => 1,
+            (Some(_), GraphDirty::Nodes(_)) => 2,
+        });
 
         // The event queue, in deterministic (at, seq) order.
         let mut entries: Vec<&Queued> = core.queue.iter().map(|Reverse(q)| q).collect();
@@ -624,7 +633,7 @@ impl Simulator {
             } else {
                 None
             };
-            if !self.core.nodes.contains_key(&id) {
+            if self.core.idx(id).is_none() {
                 return Err(SnapshotError::UnknownNode(id.raw()));
             }
             node_restores.push(NodeRestore {
@@ -699,7 +708,15 @@ impl Simulator {
             });
         }
 
-        let graph_cached = d.bool()?;
+        let graph_cached = match d.u8()? {
+            v @ 0..=2 => v,
+            tag => {
+                return Err(SnapshotError::Decode(DecodeError::UnknownTag {
+                    what: "graph cache state",
+                    tag,
+                }))
+            }
+        };
 
         let n_events = d.usize()?;
         let mut queue = BinaryHeap::with_capacity(n_events.min(1 << 20));
@@ -716,7 +733,7 @@ impl Simulator {
             let node = dec_id(&mut d)?;
             let kind = d.str()?;
             let state = d.bytes()?.to_vec();
-            if !self.core.nodes.contains_key(&node) {
+            if self.core.idx(node).is_none() {
                 return Err(SnapshotError::UnknownNode(node.raw()));
             }
             let mut behavior = registry
@@ -742,12 +759,14 @@ impl Simulator {
         core.stats = stats;
         for nr in node_restores {
             // lint: allow(panic) — membership was verified during decoding above
-            let n = core.nodes.get_mut(&nr.id).expect("verified during decode");
+            let i = core.idx(nr.id).expect("verified during decode");
+            let n = &mut core.nodes[i as usize];
             n.mobility = nr.mobility;
             n.energy = nr.energy;
             n.alive = nr.alive;
             n.sleep = nr.sleep;
         }
+        core.has_sleep = core.nodes.iter().any(|n| n.sleep.is_some());
         core.channel.replace_jammers(jammers);
         core.channel.set_extra_loss_db(extra_loss_db);
         core.latency_mult = latency_mult;
@@ -756,10 +775,30 @@ impl Simulator {
         core.compromises = compromises;
         core.blackouts = blackouts;
         core.queue = queue;
+        // Route caches are derived state scoped to a graph epoch; a
+        // restored world starts them cold.
+        core.route_trees.clear();
+        core.route_tree_fifo.clear();
+        core.last_route = None;
         core.graph = None;
-        if graph_cached {
-            // Derived state: rebuild without recording a trace event.
-            core.graph = Some(core.build_graph());
+        core.graph_dirty = GraphDirty::Full;
+        if graph_cached > 0 {
+            // Derived state: rebuild without recording a trace event. A
+            // pending liveness patch (2) resolves to the same topology as
+            // a fresh build of the restored world, but the next graph
+            // access must still emit `GraphRebuilt` like the
+            // uninterrupted run's patch application would — an empty
+            // pending list encodes exactly that.
+            core.graph_epoch += 1;
+            let epoch = core.graph_epoch;
+            let mut built = core.build_graph();
+            built.set_epoch(epoch);
+            core.graph = Some(std::rc::Rc::new(built));
+            core.graph_dirty = if graph_cached == 2 {
+                GraphDirty::Nodes(Vec::new())
+            } else {
+                GraphDirty::Clean
+            };
         }
         self.behaviors = behaviors;
         self.started = started;
