@@ -91,10 +91,12 @@ impl Behavior for CommandSink {
     fn save_state(&self) -> Option<BehaviorSnapshot> {
         // The shared log handle is supplied by the registry factory;
         // the sink itself carries no other state.
+        let Self { log: _ } = self;
         Some(BehaviorSnapshot::new(BEHAVIOR_COMMAND_SINK, Vec::new()))
     }
 
     fn restore_state(&mut self, state: &[u8]) -> bool {
+        let Self { log: _ } = self;
         state.is_empty()
     }
 
@@ -245,13 +247,17 @@ impl Behavior for TaskingSink {
     fn save_state(&self) -> Option<BehaviorSnapshot> {
         // Shared log/board handles come from the registry factory; the
         // board's pending map is checkpointed separately by the runner.
+        let Self { log: _, board: _, max_attempts, retry_base } = self;
         let mut e = Enc::new();
-        e.u32(self.max_attempts);
-        e.u64(self.retry_base.as_micros());
+        e.u32(*max_attempts);
+        e.u64(retry_base.as_micros());
         Some(BehaviorSnapshot::new(BEHAVIOR_TASKING_SINK, e.into_bytes()))
     }
 
     fn restore_state(&mut self, state: &[u8]) -> bool {
+        // Coverage guard: every field's restore story is decided below
+        // (shared handles keep their factory-supplied values).
+        let Self { log: _, board: _, max_attempts: _, retry_base: _ } = self;
         let mut d = Dec::new(state);
         let Ok(max_attempts) = d.u32() else {
             return false;
@@ -406,12 +412,15 @@ impl SensorReporter {
 
 impl Behavior for SensorReporter {
     fn save_state(&self) -> Option<BehaviorSnapshot> {
+        // `payload` is all-zero filler reconstructed from `payload_bytes`
+        // on restore, so the buffer itself is not persisted.
+        let Self { sink, period, payload_bytes, payload: _, dormant, reporting } = self;
         let mut e = Enc::new();
-        e.u64(self.sink.raw());
-        e.u64(self.period.as_micros());
-        e.usize(self.payload_bytes);
-        e.bool(self.dormant);
-        e.bool(self.reporting);
+        e.u64(sink.raw());
+        e.u64(period.as_micros());
+        e.usize(*payload_bytes);
+        e.bool(*dormant);
+        e.bool(*reporting);
         Some(BehaviorSnapshot::new(
             BEHAVIOR_SENSOR_REPORTER,
             e.into_bytes(),
@@ -419,6 +428,15 @@ impl Behavior for SensorReporter {
     }
 
     fn restore_state(&mut self, state: &[u8]) -> bool {
+        // Coverage guard: every field's restore story is decided below.
+        let Self {
+            sink: _,
+            period: _,
+            payload_bytes: _,
+            payload: _,
+            dormant: _,
+            reporting: _,
+        } = self;
         let mut d = Dec::new(state);
         let Ok(sink) = d.u64() else { return false };
         let Ok(period) = d.u64() else { return false };

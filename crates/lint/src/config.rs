@@ -7,7 +7,7 @@
 //! sandboxes. Unknown keys are ignored; malformed lines are reported as
 //! errors so a typo cannot silently disable a rule.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use crate::lexer::Comment;
 use crate::rules::Rule;
@@ -24,6 +24,14 @@ pub struct Config {
     /// Per-rule allowlisted path prefixes, keyed by rule name. A file
     /// whose relative path starts with an entry is exempt from that rule.
     pub allow_paths: BTreeMap<String, Vec<String>>,
+    /// Per-rule *positive* path scopes, keyed by rule name (`paths = […]`).
+    /// For R6 these are the snapshot/checkpoint files whose every fn —
+    /// not just `save_state`/`restore_state` — is audited.
+    pub rule_paths: BTreeMap<String, Vec<String>>,
+    /// Per-rule type-name scopes, keyed by rule name (`types = […]`).
+    /// For R7 these are the digest roots whose fields must flow into
+    /// `canonical_string`/`fingerprint`.
+    pub rule_types: BTreeMap<String, Vec<String>>,
 }
 
 impl Default for Config {
@@ -32,6 +40,8 @@ impl Default for Config {
             skip: vec!["target".into(), "compat".into()],
             scopes: BTreeMap::new(),
             allow_paths: BTreeMap::new(),
+            rule_paths: BTreeMap::new(),
+            rule_types: BTreeMap::new(),
         }
     }
 }
@@ -51,6 +61,24 @@ impl Config {
         self.allow_paths
             .get(rule.name())
             .is_some_and(|prefixes| prefixes.iter().any(|p| rel_path.starts_with(p.as_str())))
+    }
+
+    /// The positive path scope of `rule` (`paths = […]` override, else the
+    /// rule's built-in default paths).
+    pub fn paths_of(&self, rule: Rule) -> Vec<String> {
+        if let Some(paths) = self.rule_paths.get(rule.name()) {
+            return paths.clone();
+        }
+        rule.default_paths().iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The type-name scope of `rule` (`types = […]` override, else the
+    /// rule's built-in default types).
+    pub fn types_of(&self, rule: Rule) -> Vec<String> {
+        if let Some(types) = self.rule_types.get(rule.name()) {
+            return types.clone();
+        }
+        rule.default_types().iter().map(|s| s.to_string()).collect()
     }
 
     /// Whether `rel_path` is skipped entirely.
@@ -88,12 +116,24 @@ impl Config {
                 ([r, name], "allow") if r == "rules" => {
                     config.allow_paths.insert(name.clone(), value);
                 }
+                ([r, name], "paths") if r == "rules" => {
+                    config.rule_paths.insert(name.clone(), value);
+                }
+                ([r, name], "types") if r == "rules" => {
+                    config.rule_types.insert(name.clone(), value);
+                }
                 // Unknown keys/sections are tolerated for forward
                 // compatibility (e.g. documentation-only entries).
                 _ => {}
             }
         }
-        for name in config.scopes.keys().chain(config.allow_paths.keys()) {
+        for name in config
+            .scopes
+            .keys()
+            .chain(config.allow_paths.keys())
+            .chain(config.rule_paths.keys())
+            .chain(config.rule_types.keys())
+        {
             if Rule::from_name(name).is_none() {
                 return Err(format!("lint.toml: unknown rule `{name}`"));
             }
@@ -153,39 +193,69 @@ fn parse_string(s: &str) -> Option<String> {
 /// reason next to every exemption.
 #[derive(Debug, Clone, Default)]
 pub struct AllowSet {
-    /// `(rule name, line)` pairs that are exempt.
-    allowed: BTreeSet<(String, u32)>,
-    /// `(rule name, line)` pairs covered by a directive lacking a reason.
-    unjustified: BTreeSet<(String, u32)>,
+    directives: Vec<Directive>,
+}
+
+/// One parsed `// lint: allow(<rule>)` directive.
+///
+/// `rule` is kept as the raw written name (it may not be a known rule —
+/// R8 reports that), `line` anchors R8 findings to the comment itself,
+/// and `[from, to]` is the inclusive line span the directive covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// The rule name as written inside `allow(…)`.
+    pub rule: String,
+    /// The comment's first line — where a stale-directive finding lands.
+    pub line: u32,
+    /// First covered line (the comment's own span start).
+    pub from: u32,
+    /// Last covered line (the comment's span end plus one line below).
+    pub to: u32,
+    /// Whether a non-empty justification follows the directive.
+    pub justified: bool,
 }
 
 impl AllowSet {
-    /// Builds the set from a file's comments.
+    /// Builds the set from a file's comments. Doc comments are skipped:
+    /// they *describe* the directive syntax (rule docs quote it), they
+    /// don't enact it — a directive must sit in a regular comment.
     pub fn from_comments(comments: &[Comment]) -> AllowSet {
         let mut set = AllowSet::default();
         for c in comments {
+            if c.doc {
+                continue;
+            }
             for (rule, justified) in parse_directives(&c.text) {
-                for line in c.line..=c.end_line + 1 {
-                    if justified {
-                        set.allowed.insert((rule.clone(), line));
-                    } else {
-                        set.unjustified.insert((rule.clone(), line));
-                    }
-                }
+                set.directives.push(Directive {
+                    rule,
+                    line: c.line,
+                    from: c.line,
+                    to: c.end_line + 1,
+                    justified,
+                });
             }
         }
         set
     }
 
+    /// All directives in the file, in source order.
+    pub fn directives(&self) -> &[Directive] {
+        &self.directives
+    }
+
     /// Whether `rule` is allowed on `line` by a justified directive.
     pub fn allowed(&self, rule: Rule, line: u32) -> bool {
-        self.allowed.contains(&(rule.name().to_string(), line))
+        self.directives
+            .iter()
+            .any(|d| d.justified && d.rule == rule.name() && d.from <= line && line <= d.to)
     }
 
     /// Whether an unjustified directive covers `(rule, line)` — used to
     /// improve the violation message.
     pub fn unjustified(&self, rule: Rule, line: u32) -> bool {
-        self.unjustified.contains(&(rule.name().to_string(), line))
+        self.directives
+            .iter()
+            .any(|d| !d.justified && d.rule == rule.name() && d.from <= line && line <= d.to)
     }
 }
 
@@ -304,6 +374,15 @@ crates = ["types"]
             let a = AllowSet::from_comments(&lexed.comments);
             assert!(a.allowed(Rule::WallClock, 2), "separator {sep:?}");
         }
+    }
+
+    #[test]
+    fn doc_comments_never_enact_directives() {
+        let lexed = lex(
+            "/// Quote the syntax: `// lint: allow(panic) — reason here`.\nfn f() { x.unwrap(); }\n",
+        );
+        let a = AllowSet::from_comments(&lexed.comments);
+        assert!(a.directives().is_empty());
     }
 
     #[test]

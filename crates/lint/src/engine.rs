@@ -14,16 +14,26 @@
 //! Rule applicability: R1/R2 run on `Lib`+`Bin` of their scoped crates;
 //! R3 on all `Lib` code (panic discipline is a library property); R4
 //! everywhere (OS entropy is never acceptable); R5 on `Lib` of the
-//! contract crates.
+//! contract crates; R6 on `Lib`+`Bin` of its scoped crates plus any file
+//! listed in its `paths` config; R7 on `Lib` of its scoped crates; R8
+//! everywhere (a stale directive is stale wherever it sits).
+//!
+//! Since the semantic rules (R6/R7) need cross-file context, linting is
+//! two-pass: pass one lexes/parses every file and builds the workspace
+//! [`SymbolTable`]; pass two runs the rules and filters through the
+//! allow directives.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::config::{AllowSet, Config};
-use crate::lexer::lex;
-use crate::regions::map_file;
-use crate::rules::{check_file, Rule, Violation};
+use crate::lexer::{lex, Lexed};
+use crate::parser::{parse_items, ParsedFile, SymbolTable};
+use crate::regions::{map_file, FileMap};
+use crate::rules::{
+    apply_allows, check_digest_coverage, check_file_raw, FileInput, Rule, Violation,
+};
 
 /// Which cargo target-kind a file belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,9 +102,27 @@ pub fn applicable_rules(class: &FileClass, rel_path: &str, config: &Config) -> V
             Rule::Panic => class.section == Section::Lib,
             Rule::Entropy => true,
             Rule::Docs => class.section == Section::Lib && in_scope(rule),
+            Rule::StateCoverage => {
+                (matches!(class.section, Section::Lib | Section::Bin) && in_scope(rule))
+                    || r6_path_scoped(rel_path, config)
+            }
+            Rule::DigestCoverage => class.section == Section::Lib && in_scope(rule),
+            // Stale directives are reported wherever they sit — a dead
+            // exemption in a test file is just as misleading.
+            Rule::StaleAllow => true,
         })
         .filter(|&rule| !config.path_allowed(rule, rel_path))
         .collect()
+}
+
+/// Whether `rel_path` is one of R6's `paths = […]` files, where the
+/// exhaustiveness convention applies to every fn, not just the
+/// `save_state`/`restore_state` pairs.
+fn r6_path_scoped(rel_path: &str, config: &Config) -> bool {
+    config
+        .paths_of(Rule::StateCoverage)
+        .iter()
+        .any(|p| p == rel_path)
 }
 
 /// The result of linting a tree.
@@ -113,17 +141,66 @@ impl Report {
     }
 }
 
+/// One fully-analysed file, owning pass-one artifacts.
+struct Unit {
+    rel_path: String,
+    crate_name: Option<String>,
+    lexed: Lexed,
+    map: FileMap,
+    parsed: ParsedFile,
+    allows: AllowSet,
+    rules: Vec<Rule>,
+    r6_path_scoped: bool,
+}
+
 /// Lints every `.rs` file under `root` according to `config`.
 pub fn lint_root(root: &Path, config: &Config) -> io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, root, config, &mut files)?;
     files.sort();
-    let mut report = Report::default();
+
+    // Pass one: lex, parse, classify, and build the symbol table.
+    let mut units: Vec<Unit> = Vec::new();
+    let mut table = SymbolTable::default();
     for rel in files {
-        report.files_scanned += 1;
         let src = fs::read_to_string(root.join(&rel))?;
-        for v in lint_source(&rel, &src, config) {
-            report.violations.push((rel.clone(), v));
+        let unit = analyse(&rel, &src, config);
+        if let Some(crate_name) = &unit.crate_name {
+            table.add_file(crate_name, &rel, &unit.parsed);
+        }
+        units.push(unit);
+    }
+
+    // Pass two: per-file rules, then the workspace-wide R7 pass, then the
+    // allow-directive filter (which implements R8).
+    let mut report = Report {
+        files_scanned: units.len(),
+        violations: Vec::new(),
+    };
+    let inputs: Vec<FileInput> = units.iter().map(file_input).collect();
+    let mut raw: Vec<Vec<Violation>> = units
+        .iter()
+        .zip(&inputs)
+        .map(|(u, input)| check_file_raw(input, &table, &u.rules, u.r6_path_scoped))
+        .collect();
+    let r7_applicable: Vec<bool> = units
+        .iter()
+        .map(|u| u.rules.contains(&Rule::DigestCoverage))
+        .collect();
+    let mut digest_violations = Vec::new();
+    check_digest_coverage(
+        &inputs,
+        &config.types_of(Rule::DigestCoverage),
+        &r7_applicable,
+        &mut digest_violations,
+    );
+    for (i, v) in digest_violations {
+        raw[i].push(v);
+    }
+    for (u, raw) in units.iter().zip(raw) {
+        let stale_check = u.rules.contains(&Rule::StaleAllow);
+        for v in apply_allows(raw, &u.allows, stale_check) {
+            report.violations.push((u.rel_path.clone(), v));
         }
     }
     Ok(report)
@@ -131,13 +208,36 @@ pub fn lint_root(root: &Path, config: &Config) -> io::Result<Report> {
 
 /// Lints one file's source text under its relative path. Exposed so the
 /// fixture tests (and future editor integrations) can lint in-memory
-/// content.
+/// content. Cross-file context is limited to this one file: R6 resolves
+/// only structs declared here, and R7 sees only this file's digest fns.
 pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Violation> {
-    let class = classify(rel_path);
-    let rules = applicable_rules(&class, rel_path, config);
-    if rules.is_empty() {
+    let unit = analyse(rel_path, source, config);
+    if unit.rules.is_empty() {
         return Vec::new();
     }
+    let mut table = SymbolTable::default();
+    if let Some(crate_name) = &unit.crate_name {
+        table.add_file(crate_name, rel_path, &unit.parsed);
+    }
+    let input = file_input(&unit);
+    let mut raw = check_file_raw(&input, &table, &unit.rules, unit.r6_path_scoped);
+    if unit.rules.contains(&Rule::DigestCoverage) {
+        let mut digest_violations = Vec::new();
+        check_digest_coverage(
+            std::slice::from_ref(&input),
+            &config.types_of(Rule::DigestCoverage),
+            &[true],
+            &mut digest_violations,
+        );
+        raw.extend(digest_violations.into_iter().map(|(_, v)| v));
+    }
+    apply_allows(raw, &unit.allows, unit.rules.contains(&Rule::StaleAllow))
+}
+
+/// Pass one for a single file.
+fn analyse(rel_path: &str, source: &str, config: &Config) -> Unit {
+    let class = classify(rel_path);
+    let rules = applicable_rules(&class, rel_path, config);
     let lexed = lex(source);
     let map = map_file(&lexed);
     // Files in test/bench/example sections are wholly non-library code:
@@ -147,8 +247,28 @@ pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Violati
         Section::Tests | Section::Benches | Section::Examples => map.with_whole_file_test(),
         _ => map,
     };
+    let parsed = parse_items(&lexed);
     let allows = AllowSet::from_comments(&lexed.comments);
-    check_file(&lexed, &map, &allows, &rules)
+    Unit {
+        rel_path: rel_path.to_string(),
+        crate_name: class.crate_name,
+        lexed,
+        map,
+        parsed,
+        allows,
+        rules,
+        r6_path_scoped: r6_path_scoped(rel_path, config),
+    }
+}
+
+fn file_input(u: &Unit) -> FileInput<'_> {
+    FileInput {
+        rel_path: &u.rel_path,
+        crate_name: u.crate_name.as_deref(),
+        lexed: &u.lexed,
+        map: &u.map,
+        parsed: &u.parsed,
+    }
 }
 
 fn collect_rs_files(
@@ -216,28 +336,69 @@ mod tests {
     fn rule_applicability_follows_scope_and_section() {
         let config = Config::default();
         let lib = |p: &str| applicable_rules(&classify(p), p, &config);
-        // Scoped sim crate: everything except docs (netsim not a contract crate).
+        // Scoped sim crate: everything except docs (netsim not a contract
+        // crate); R6 applies (netsim holds snapshot code), R7 does not.
         assert_eq!(
             lib("crates/netsim/src/sim.rs"),
-            vec![Rule::HashIter, Rule::WallClock, Rule::Panic, Rule::Entropy]
+            vec![
+                Rule::HashIter,
+                Rule::WallClock,
+                Rule::Panic,
+                Rule::Entropy,
+                Rule::StateCoverage,
+                Rule::StaleAllow
+            ]
         );
-        // Contract crate in both determinism and docs scope.
+        // Contract crate in determinism, docs, state, and digest scopes.
         assert_eq!(
             lib("crates/core/src/runtime.rs"),
-            vec![Rule::HashIter, Rule::WallClock, Rule::Panic, Rule::Entropy, Rule::Docs]
+            vec![
+                Rule::HashIter,
+                Rule::WallClock,
+                Rule::Panic,
+                Rule::Entropy,
+                Rule::Docs,
+                Rule::StateCoverage,
+                Rule::DigestCoverage,
+                Rule::StaleAllow
+            ]
         );
-        // Unscoped crate: only panic + entropy discipline.
+        // Unscoped crate: panic + entropy discipline and stale-allow hygiene.
         assert_eq!(
             lib("crates/tomography/src/boolean.rs"),
-            vec![Rule::Panic, Rule::Entropy]
+            vec![Rule::Panic, Rule::Entropy, Rule::StaleAllow]
         );
-        // Benches: entropy only.
+        // Benches: entropy + stale-allow only.
         assert_eq!(
             lib("crates/bench/benches/f2_synthesis_scale.rs"),
-            vec![Rule::Entropy]
+            vec![Rule::Entropy, Rule::StaleAllow]
         );
-        // Root integration tests: entropy only.
-        assert_eq!(lib("tests/determinism.rs"), vec![Rule::Entropy]);
+        // Root integration tests: entropy + stale-allow only.
+        assert_eq!(
+            lib("tests/determinism.rs"),
+            vec![Rule::Entropy, Rule::StaleAllow]
+        );
+    }
+
+    #[test]
+    fn r6_paths_config_pulls_in_out_of_scope_files() {
+        let config = Config::parse(
+            "[rules.state-coverage]\ncrates = []\npaths = [\"crates/obs/src/recorder.rs\"]\n",
+        )
+        .unwrap();
+        let rules = applicable_rules(
+            &classify("crates/obs/src/recorder.rs"),
+            "crates/obs/src/recorder.rs",
+            &config,
+        );
+        assert!(rules.contains(&Rule::StateCoverage));
+        // Sibling file in the same crate: not pulled in.
+        let rules = applicable_rules(
+            &classify("crates/obs/src/metrics.rs"),
+            "crates/obs/src/metrics.rs",
+            &config,
+        );
+        assert!(!rules.contains(&Rule::StateCoverage));
     }
 
     #[test]
@@ -272,5 +433,26 @@ mod tests {
             &config
         )
         .is_empty());
+    }
+
+    #[test]
+    fn lint_source_runs_semantic_rules() {
+        let config = Config::default();
+        // A save_state that never destructures Self: R6 fires.
+        let v = lint_source(
+            "crates/netsim/src/fake.rs",
+            "struct S { a: u32 }\nimpl S {\n    fn save_state(&self) -> u32 { self.a }\n}\n",
+            &config,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::StateCoverage);
+        // A stale directive: R8 fires even in an unscoped crate.
+        let v = lint_source(
+            "crates/tomography/src/fake.rs",
+            "// lint: allow(panic) — nothing here panics any more\nfn f() {}\n",
+            &config,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::StaleAllow);
     }
 }

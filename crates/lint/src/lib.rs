@@ -10,17 +10,22 @@
 //! without failing a single test — so this crate makes the invariants
 //! machine-checkable instead of conventional.
 //!
-//! It is a from-scratch, token-level static analysis pass (no `syn`, no
-//! clippy plugin — the workspace builds fully offline):
+//! It is a from-scratch static analysis pass (no `syn`, no clippy
+//! plugin — the workspace builds fully offline), token-level for R1–R5
+//! and item-level for the semantic rules R6–R8:
 //!
 //! * [`lexer`] — a Rust lexer that gets the lexical layer right (nested
 //!   block comments, raw strings, char-vs-lifetime, doc comments);
 //! * [`regions`] — line classification: `#[cfg(test)]` / `mod tests`
 //!   regions, attribute and doc-comment lines, trait-impl spans;
-//! * [`rules`] — the rule catalogue, R1–R5;
+//! * [`parser`] — a lightweight item parser over the token stream:
+//!   structs (fields, derives, cfg-gating), impl blocks, fn bodies, and
+//!   the workspace-wide symbol table the semantic rules resolve against;
+//! * [`rules`] — the rule catalogue, R1–R8;
 //! * [`config`] — `lint.toml` parsing and inline
 //!   `// lint: allow(<rule>) — <reason>` directives;
-//! * [`engine`] — the workspace walker and per-file rule dispatch.
+//! * [`engine`] — the workspace walker and two-pass rule dispatch
+//!   (parse everything, then check with cross-file context).
 //!
 //! | ID | name | invariant |
 //! |----|------|-----------|
@@ -29,9 +34,14 @@
 //! | R3 | `panic`      | no `unwrap`/`expect` in non-test library code |
 //! | R4 | `entropy`    | no `thread_rng`/`from_entropy` anywhere |
 //! | R5 | `docs`       | public items in contract crates are documented |
+//! | R6 | `state-coverage` | save/restore/encode/decode fns destructure `Self` exhaustively; codec twins agree in order |
+//! | R7 | `digest-coverage` | every digest-root field flows into the fingerprint; equality is derived |
+//! | R8 | `stale-allow` | allow directives must suppress something |
 //!
 //! The `iobt-lint` binary (`cargo run -p iobt-lint -- --deny-all`) wires
-//! this into CI; see the README's "Static analysis" section.
+//! this into CI with `--format json`, a findings baseline for
+//! ratcheting, and `--explain Rn` rationale text; see the README's
+//! "Static analysis" section.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +49,7 @@
 pub mod config;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod regions;
 pub mod rules;
 

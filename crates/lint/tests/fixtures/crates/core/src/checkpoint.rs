@@ -1,0 +1,39 @@
+//! Fixture: the R6 path-scoped checkpoint file with seeded
+//! state-coverage violations mirroring the PR 5 bug class, plus a
+//! stale allow directive (seeded R8).
+
+struct RunnerState {
+    tick: u64,
+    seed: u64,
+    pending: u32,
+}
+
+// Seeded R8 on the next line: nothing here uses hash containers.
+// lint: allow(hash-iter) — justified once, but the map is long gone
+
+impl RunnerState {
+    /// Seeded R6: persists state without destructuring `Self`.
+    fn save_state(&self) -> u64 {
+        self.tick ^ self.seed ^ u64::from(self.pending)
+    }
+
+    /// Seeded R6: the destructure misses `pending`.
+    fn restore_state(&mut self, tick: u64, seed: u64) {
+        let Self { tick: t, seed: s } = self;
+        *t = tick;
+        *s = seed;
+    }
+}
+
+/// Clean: exhaustive destructure of a sibling struct in a free fn.
+fn enc_runner(w: &mut Writer, s: &RunnerState) {
+    let RunnerState { tick, seed, pending } = s;
+    w.u64(*tick);
+    w.u64(*seed);
+    w.u32(*pending);
+}
+
+/// Seeded R6: reads fields in a different order than `enc_runner` writes.
+fn dec_runner(r: &mut Reader) -> RunnerState {
+    RunnerState { tick: r.u64(), pending: r.u32(), seed: r.u64() }
+}

@@ -1,0 +1,34 @@
+//! Fixture: digest types with seeded R7 coverage violations.
+
+/// Seeded R7: a digest type that does not derive `PartialEq`.
+#[derive(Debug, Clone)]
+struct EndStateDigest {
+    delivered: u64,
+    dropped: u64,
+}
+
+/// Derives equality, but hashes by hand — seeded R7 at the impl.
+#[derive(Debug, Clone, PartialEq)]
+struct ResilienceReport {
+    repairs: u64,
+}
+
+impl std::hash::Hash for ResilienceReport {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.repairs);
+    }
+}
+
+/// Every field must flow into `canonical_string`; `spare` does not.
+#[derive(Debug, Clone, PartialEq)]
+struct MetricsDigest {
+    ticks: u64,
+    spare: u64,
+}
+
+impl MetricsDigest {
+    /// Seeded R7: `spare` is declared but never hashed.
+    fn canonical_string(&self) -> String {
+        format!("ticks={}", self.ticks)
+    }
+}

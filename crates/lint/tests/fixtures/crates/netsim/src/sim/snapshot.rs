@@ -1,0 +1,22 @@
+//! Fixture: snapshot file with a rest-pattern destructure (seeded R6)
+//! next to the clean exhaustive convention.
+
+struct LinkState {
+    up: bool,
+    latency_us: u64,
+}
+
+impl LinkState {
+    /// Seeded R6: `..` hides any field added tomorrow.
+    fn save_state(&self) -> (bool, u64) {
+        let Self { up, .. } = self;
+        (*up, self.latency_us)
+    }
+
+    /// Clean: the exhaustive destructure convention.
+    fn restore_state(&mut self, up: bool, latency_us: u64) {
+        let Self { up: u, latency_us: l } = self;
+        *u = up;
+        *l = latency_us;
+    }
+}

@@ -31,8 +31,8 @@ use crate::mobility::{MobilityModel, MobilityState};
 use crate::time::{SimDuration, SimTime};
 
 use super::{
-    Behavior, Blackout, CompromiseSpec, Event, GraphDirty, Jammer, LinkDegradation, PartitionSpec,
-    Queued, Simulator, SleepSchedule,
+    Behavior, Blackout, CompromiseSpec, Core, Event, GraphDirty, Jammer, LinkDegradation,
+    PartitionSpec, Queued, Simulator, SleepSchedule,
 };
 
 /// One behaviour's serialised state plus the registry key used to
@@ -397,7 +397,45 @@ impl Simulator {
     /// silently dropping behaviour state would produce a checkpoint
     /// that resumes to a *different* run.
     pub fn save_state(&self) -> Result<Vec<u8>, SnapshotError> {
-        let core = &self.core;
+        // Exhaustive-destructure convention (R6): adding a field to
+        // `Simulator` or `Core` fails this lint (and this compile) until
+        // its checkpoint story is written. `batch` is a reused scratch
+        // buffer, empty between events.
+        let Self { core, behaviors, started, batch: _ } = self;
+        // Every `Core` field is either serialised below or deliberately
+        // excluded as derived (`ids`/`index`/`graph*`/`route*`),
+        // fixed-configuration (`has_sleep`/`recorder`/`reference_mode`),
+        // or reporting-only (`events_processed`) state.
+        let Core {
+            now: _,
+            seq: _,
+            queue: _,
+            ids: _,
+            index: _,
+            nodes: _,
+            has_sleep: _,
+            channel: _,
+            rng: _,
+            stats: _,
+            graph: _,
+            graph_dirty: _,
+            graph_epoch: _,
+            route_scratch: _,
+            route_trees: _,
+            route_tree_fifo: _,
+            last_route: _,
+            retries: _,
+            mobility_step: _,
+            idle_drain_w: _,
+            recorder: _,
+            partitions: _,
+            degradations: _,
+            latency_mult: _,
+            compromises: _,
+            blackouts: _,
+            events_processed: _,
+            reference_mode: _,
+        } = core;
         let mut e = Enc::new();
 
         // Fixed-configuration guard, checked at restore.
@@ -520,8 +558,8 @@ impl Simulator {
         }
 
         // Behaviours, via their save hooks.
-        e.usize(self.behaviors.len());
-        for (node, behavior) in &self.behaviors {
+        e.usize(behaviors.len());
+        for (node, behavior) in behaviors {
             let snap = behavior
                 .save_state()
                 .ok_or(SnapshotError::NotCheckpointable(*node))?;
@@ -529,8 +567,8 @@ impl Simulator {
             e.str(&snap.kind);
             e.bytes(&snap.state);
         }
-        e.usize(self.started.len());
-        for node in &self.started {
+        e.usize(started.len());
+        for node in started {
             enc_id(&mut e, *node);
         }
 
@@ -546,6 +584,10 @@ impl Simulator {
         bytes: &[u8],
         registry: &BehaviorRegistry,
     ) -> Result<(), SnapshotError> {
+        // Coverage guard (R6): every field's restore story is decided in
+        // this fn — `core` is patched in place, `behaviors`/`started` are
+        // rebuilt from the blob, `batch` is scratch.
+        let Self { core: _, behaviors: _, started: _, batch: _ } = self;
         let mut d = Dec::new(bytes);
 
         let retries = d.u32()?;

@@ -303,6 +303,12 @@ impl MetricsDigest {
         }
         for (k, h) in &self.histograms {
             let _ = write!(s, "h:{k}=n{}s{}", h.total, h.sum);
+            // Bucket bounds are part of the histogram's identity: two
+            // runs bucketing the same samples differently must not
+            // fingerprint as equal.
+            for b in &h.bounds {
+                let _ = write!(s, "|{b}");
+            }
             for c in &h.counts {
                 let _ = write!(s, ",{c}");
             }
