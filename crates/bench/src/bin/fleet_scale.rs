@@ -1,0 +1,220 @@
+//! Fleet-saturation harness: missions/sec, p99 slice latency, and peak
+//! RSS with 1k/10k concurrent missions on one scheduler.
+//!
+//! Each mission is a small persistent-surveillance vignette (32 nodes,
+//! 20 simulated seconds, two utility windows). Submitting thousands of
+//! them at once drives the scheduler far past its per-worker residency
+//! cap, so the run exercises the full admission → slice → checkpoint-
+//! evict → resume → complete cycle under genuine memory pressure — the
+//! regime the fleet exists for. Per-mission results stay a pure function
+//! of each mission's seed, which is what `--fingerprint` checks.
+//!
+//! ```sh
+//! cargo run -p iobt-bench --release --bin fleet_scale -- --json
+//! # CI determinism smoke (no timing in the output):
+//! cargo run -p iobt-bench --release --bin fleet_scale -- --missions 1000 --fingerprint
+//! ```
+//!
+//! Wall-clock use here is reporting-only: it never feeds back into the
+//! scheduler or any mission, whose results are pure functions of their
+//! seeds.
+
+use std::time::Instant;
+
+use iobt_core::{persistent_surveillance, RunConfig};
+use iobt_fleet::FleetBuilder;
+use iobt_netsim::SimDuration;
+
+/// Nodes per mission (small: the point is mission count, not field size).
+const MISSION_NODES: usize = 32;
+/// Simulated seconds per mission.
+const MISSION_SECONDS: f64 = 20.0;
+/// Utility-window seconds (two windows per mission).
+const WINDOW_SECONDS: f64 = 10.0;
+
+struct SizeResult {
+    missions: usize,
+    workers: usize,
+    wall_s: f64,
+    slices: u64,
+    evictions: u64,
+    resumes: u64,
+    p50_slice_ms: f64,
+    p99_slice_ms: f64,
+    peak_rss_mb: f64,
+    fingerprint: u64,
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+fn run_size(missions: usize, workers: usize, seed: u64) -> SizeResult {
+    let root = std::env::temp_dir().join(format!(
+        "iobt-fleet-scale-{}-{missions}",
+        std::process::id()
+    ));
+    let mut fleet = FleetBuilder::new()
+        .workers(workers)
+        .checkpoint_root(&root)
+        .build()
+        .expect("bench fleet config is valid");
+
+    let mut tickets = Vec::with_capacity(missions);
+    for i in 0..missions {
+        let scenario = persistent_surveillance(MISSION_NODES, seed.wrapping_add(i as u64));
+        let cfg = RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(MISSION_SECONDS))
+            .window(SimDuration::from_secs_f64(WINDOW_SECONDS))
+            .build()
+            .expect("bench run config is valid");
+        tickets.push(fleet.submit(scenario, cfg).expect("admissible mission"));
+    }
+
+    let start = Instant::now();
+    let summary = fleet.drain();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        summary.completed, missions,
+        "every submitted mission must complete"
+    );
+
+    // Combined fingerprint over every mission's end state, in ticket
+    // order: metrics fingerprint plus the digest's headline counters.
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    for &t in &tickets {
+        let d = fleet.digest(t).expect("completed mission has a digest");
+        let m = fleet
+            .metrics_fingerprint(t)
+            .expect("mission metrics are on by default");
+        fnv1a(&mut fp, &m.to_le_bytes());
+        for v in [d.sent, d.delivered, d.dropped] {
+            fnv1a(&mut fp, &v.to_le_bytes());
+        }
+        fnv1a(&mut fp, &d.energy_spent_j.to_bits().to_le_bytes());
+        fnv1a(&mut fp, &d.mean_utility.to_bits().to_le_bytes());
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+    SizeResult {
+        missions,
+        workers,
+        wall_s,
+        slices: summary.slices,
+        evictions: summary.evictions,
+        resumes: summary.resumes,
+        p50_slice_ms: summary.p50_slice_ms,
+        p99_slice_ms: summary.p99_slice_ms,
+        peak_rss_mb: peak_rss_mb(),
+        fingerprint: fp,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let fingerprint_only = args.iter().any(|a| a == "--fingerprint");
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, usize::from));
+    let sizes: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--missions")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1_000, 10_000]);
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let r = run_size(n, workers, seed);
+        if fingerprint_only {
+            // Eviction/resume counts reflect the actual schedule and vary
+            // across multi-worker runs; the smoke output carries only the
+            // schedule-independent facts (slice count at quantum 1 is the
+            // total window count).
+            println!(
+                "missions={} workers={} seed={} slices={} fingerprint={:016x}",
+                r.missions, r.workers, seed, r.slices, r.fingerprint
+            );
+        } else if !json {
+            println!(
+                "missions={:>6} workers={:>3} wall={:>7.2}s missions/s={:>8.1} \
+                 slices={} evictions={} resumes={} p50_slice={:.2}ms p99_slice={:.2}ms \
+                 peak_rss={:.0}MB fp={:016x}",
+                r.missions,
+                r.workers,
+                r.wall_s,
+                r.missions as f64 / r.wall_s.max(1e-9),
+                r.slices,
+                r.evictions,
+                r.resumes,
+                r.p50_slice_ms,
+                r.p99_slice_ms,
+                r.peak_rss_mb,
+                r.fingerprint
+            );
+        }
+        rows.push(r);
+    }
+
+    if json {
+        let mut out = String::from("{\n  \"bench\": \"fleet_scale\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"missions\": {}, \"workers\": {}, \"mission_seconds\": {}, \
+                 \"windows_per_mission\": 2, \"wall_s\": {:.3}, \"missions_per_sec\": {:.1}, \
+                 \"slices\": {}, \"evictions\": {}, \"resumes\": {}, \"p50_slice_ms\": {:.3}, \
+                 \"p99_slice_ms\": {:.3}, \"peak_rss_mb\": {:.1}, \"fingerprint\": \"{:016x}\"}}{}\n",
+                r.missions,
+                r.workers,
+                MISSION_SECONDS,
+                r.wall_s,
+                r.missions as f64 / r.wall_s.max(1e-9),
+                r.slices,
+                r.evictions,
+                r.resumes,
+                r.p50_slice_ms,
+                r.p99_slice_ms,
+                r.peak_rss_mb,
+                r.fingerprint,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        print!("{out}");
+    }
+}

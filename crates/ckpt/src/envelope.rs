@@ -35,8 +35,11 @@ pub const MAGIC: [u8; 8] = *b"IOBTCKPT";
 /// History: v1 recorded the netsim graph cache as a present/absent
 /// bool; v2 widened that byte to a three-state disposition (absent,
 /// clean, pending-liveness-patch) for incremental connectivity
-/// maintenance, so v1 readers would misparse v2 payloads.
-pub const FORMAT_VERSION: u32 = 2;
+/// maintenance, so v1 readers would misparse v2 payloads; v3 widened
+/// the recorder's per-subsystem emission-counter array from 5 to 6
+/// slots when the `fleet` subsystem was added, shifting every field
+/// after it.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Fixed header size in bytes (magic + version + seed + window + len).
 pub const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;

@@ -32,7 +32,7 @@
 
 use iobt_ckpt::{CkptError, Dec, DecodeError, Enc};
 use iobt_netsim::{SimDuration, SimTime};
-use iobt_obs::{HistogramSnapshot, MetricsDigest, Recorder, RecorderCheckpoint};
+use iobt_obs::{HistogramSnapshot, MetricsDigest, Recorder, RecorderCheckpoint, Subsystem};
 use iobt_synthesis::CompositionResult;
 use iobt_types::NodeId;
 
@@ -610,7 +610,7 @@ impl MissionRunner {
         let recorder_ck = if d.bool()? {
             let t_us = d.u64()?;
             let seq = d.u64()?;
-            let mut emitted = [0u64; 5];
+            let mut emitted = [0u64; Subsystem::COUNT];
             for slot in &mut emitted {
                 *slot = d.u64()?;
             }
@@ -714,6 +714,7 @@ impl MissionRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::StepOutcome;
     use crate::scenario::persistent_surveillance;
     use iobt_netsim::SimDuration;
 
@@ -732,14 +733,14 @@ mod tests {
         let baseline = crate::runtime::run_mission(&scenario, &config);
 
         let mut runner = MissionRunner::new(&scenario, &config);
-        runner.step_window().expect("window 0");
-        runner.step_window().expect("window 1");
+        runner.step_window().window_stat().expect("window 0");
+        runner.step_window().window_stat().expect("window 1");
         let payload = runner.save().expect("checkpointable");
         drop(runner); // the "crashed" process
 
         let mut resumed = MissionRunner::resume(&scenario, &config, &payload).expect("resume");
         assert_eq!(resumed.window_index(), 2);
-        while resumed.step_window().is_some() {}
+        while let StepOutcome::WindowClosed { .. } = resumed.step_window() {}
         let report = resumed.finish();
         assert_eq!(report.digest, baseline.digest);
         assert_eq!(report.windows, baseline.windows);
@@ -750,7 +751,7 @@ mod tests {
         let scenario = persistent_surveillance(80, 11);
         let config = cfg();
         let mut runner = MissionRunner::new(&scenario, &config);
-        runner.step_window().expect("window 0");
+        runner.step_window().window_stat().expect("window 0");
         let payload = runner.save().expect("checkpointable");
 
         let mut other_seed = scenario.clone();
@@ -777,7 +778,7 @@ mod tests {
         let scenario = persistent_surveillance(80, 11);
         let config = cfg();
         let mut runner = MissionRunner::new(&scenario, &config);
-        runner.step_window().expect("window 0");
+        runner.step_window().window_stat().expect("window 0");
         let payload = runner.save().expect("checkpointable");
         // Every prefix must decode to an error, never panic. Stride keeps
         // the test fast on multi-hundred-KB payloads.

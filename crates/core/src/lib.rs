@@ -59,8 +59,9 @@ pub use diagnostics::{diagnose_failures, DiagnosisReport, NetworkModel};
 pub use humans::{calibrate_human_trust, CalibrationSummary};
 pub use resilience::{DegradationLadder, FailureDetector, LadderStep, MAX_LADDER_LEVEL};
 pub use runtime::{
-    run_mission, EndStateDigest, MissionReport, MissionRunner, ResilienceReport, RunConfig,
-    RunConfigBuilder, RunConfigError, WallClockReport, WindowStat,
+    run_mission, EndStateDigest, MissionReport, MissionRunner, PortableRunConfig,
+    ResilienceReport, RunConfig, RunConfigBuilder, RunConfigError, StepOutcome, WallClockReport,
+    WindowStat,
 };
 pub use tasking::{allocate_missions, MissionAllocation, TaskingPlan};
 pub use scenario::{

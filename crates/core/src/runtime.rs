@@ -362,6 +362,156 @@ impl RunConfigBuilder {
     }
 }
 
+/// The `Send` half of a [`RunConfig`]: every execution parameter except
+/// the [`Recorder`] handle.
+///
+/// A `Recorder` is deliberately *not* `Send` (it is an `Rc` over shared
+/// sinks — see `iobt-obs`), which makes a whole `RunConfig` thread-bound.
+/// Schedulers like `iobt-fleet` that move mission work between worker
+/// threads split the config with [`RunConfig::into_portable`], ship this
+/// carrier across, and rebuild a full config on the destination thread
+/// with [`PortableRunConfig::into_config`], attaching a recorder that
+/// lives on that thread.
+///
+/// The split/rebuild round trip is exact: rebuilding with the original
+/// recorder yields a config equivalent to the one that was split.
+#[derive(Debug, Clone)]
+pub struct PortableRunConfig {
+    duration: SimDuration,
+    window: SimDuration,
+    report_period: SimDuration,
+    adaptive: bool,
+    repair_threshold: f64,
+    grid: usize,
+    solver: Solver,
+    require_reachability: bool,
+    early_repair: bool,
+    detector_ticks: u32,
+    suspicion_periods: f64,
+    degradation_ladder: bool,
+    shed_threshold: f64,
+    restore_threshold: f64,
+    ladder_patience: u32,
+    acked_tasking: bool,
+    task_attempts: u32,
+    task_retry_base: SimDuration,
+    reference_mode: bool,
+}
+
+// The whole point of the carrier: it must stay `Send` even as `RunConfig`
+// grows fields. A thread-bound field mistakenly carried over would surface
+// here as a compile error rather than in downstream crates.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<PortableRunConfig>();
+};
+
+impl RunConfig {
+    /// Splits this config into its thread-portable half and the recorder
+    /// handle (the only field that cannot cross threads).
+    pub fn into_portable(self) -> (PortableRunConfig, Recorder) {
+        // Exhaustive destructure on purpose: a field added to `RunConfig`
+        // must be consciously routed here (portable) or declared
+        // thread-bound, never silently dropped.
+        let RunConfig {
+            duration,
+            window,
+            report_period,
+            adaptive,
+            repair_threshold,
+            grid,
+            solver,
+            require_reachability,
+            early_repair,
+            detector_ticks,
+            suspicion_periods,
+            degradation_ladder,
+            shed_threshold,
+            restore_threshold,
+            ladder_patience,
+            acked_tasking,
+            task_attempts,
+            task_retry_base,
+            recorder,
+            reference_mode,
+        } = self;
+        (
+            PortableRunConfig {
+                duration,
+                window,
+                report_period,
+                adaptive,
+                repair_threshold,
+                grid,
+                solver,
+                require_reachability,
+                early_repair,
+                detector_ticks,
+                suspicion_periods,
+                degradation_ladder,
+                shed_threshold,
+                restore_threshold,
+                ladder_patience,
+                acked_tasking,
+                task_attempts,
+                task_retry_base,
+                reference_mode,
+            },
+            recorder,
+        )
+    }
+}
+
+impl PortableRunConfig {
+    /// Rebuilds a full [`RunConfig`] on the current thread, attaching
+    /// `recorder` (pass [`Recorder::disabled`] to run silent).
+    pub fn into_config(self, recorder: Recorder) -> RunConfig {
+        let PortableRunConfig {
+            duration,
+            window,
+            report_period,
+            adaptive,
+            repair_threshold,
+            grid,
+            solver,
+            require_reachability,
+            early_repair,
+            detector_ticks,
+            suspicion_periods,
+            degradation_ladder,
+            shed_threshold,
+            restore_threshold,
+            ladder_patience,
+            acked_tasking,
+            task_attempts,
+            task_retry_base,
+            reference_mode,
+        } = self;
+        RunConfig {
+            duration,
+            window,
+            report_period,
+            adaptive,
+            repair_threshold,
+            grid,
+            solver,
+            require_reachability,
+            early_repair,
+            detector_ticks,
+            suspicion_periods,
+            degradation_ladder,
+            shed_threshold,
+            restore_threshold,
+            ladder_patience,
+            acked_tasking,
+            task_attempts,
+            task_retry_base,
+            recorder,
+            reference_mode,
+        }
+    }
+}
+
 /// Utility measured over one window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
@@ -374,6 +524,46 @@ pub struct WindowStat {
     pub reporting: usize,
     /// `reporting / expected` (1.0 when nothing was expected).
     pub utility: f64,
+}
+
+/// What one [`MissionRunner::step_window`] call did.
+///
+/// Replaces the old bare `Option<WindowStat>` progress signal so callers —
+/// schedulers in particular — branch on meaning rather than on `Option`
+/// combinators. `#[non_exhaustive]` so further outcomes (e.g. a yield
+/// point finer than a window) can be added without breaking matches that
+/// already handle the two fundamental cases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum StepOutcome {
+    /// One utility window executed and closed.
+    WindowClosed {
+        /// Zero-based index of the window that just closed.
+        window: usize,
+        /// The utility measured over it.
+        stats: WindowStat,
+    },
+    /// Every window had already executed; nothing ran. The runner is at a
+    /// window boundary and [`MissionRunner::finish`] will produce the
+    /// report.
+    Finished,
+}
+
+impl StepOutcome {
+    /// The closed window's stats, or `None` if the mission was already
+    /// finished. The bridge for callers that only care about the
+    /// measurement (and for tests that `expect` a window to run).
+    pub fn window_stat(self) -> Option<WindowStat> {
+        match self {
+            StepOutcome::WindowClosed { stats, .. } => Some(stats),
+            StepOutcome::Finished => None,
+        }
+    }
+
+    /// `true` when the mission had no window left to run.
+    pub fn is_finished(self) -> bool {
+        matches!(self, StepOutcome::Finished)
+    }
 }
 
 /// A full end-state fingerprint of a mission run.
@@ -829,10 +1019,12 @@ impl MissionRunner {
 
     /// Executes one utility window — simulation slices, heartbeat
     /// detection, the degradation ladder, and the repair reflex — and
-    /// returns its [`WindowStat`], or `None` when the mission is done.
-    pub fn step_window(&mut self) -> Option<WindowStat> {
+    /// reports what happened as a [`StepOutcome`]:
+    /// [`StepOutcome::WindowClosed`] with the window's index and stats, or
+    /// [`StepOutcome::Finished`] when every window had already run.
+    pub fn step_window(&mut self) -> StepOutcome {
         if self.is_finished() {
-            return None;
+            return StepOutcome::Finished;
         }
         let w = self.next_window;
         let recorder = self.config.recorder.clone();
@@ -1048,7 +1240,7 @@ impl MissionRunner {
             }
         }
         self.next_window += 1;
-        Some(stat)
+        StepOutcome::WindowClosed { window: w, stats: stat }
     }
 
     /// Builds the final [`MissionReport`] from the runner's state
@@ -1114,7 +1306,7 @@ impl MissionRunner {
 /// stepped to completion.
 pub fn run_mission(scenario: &Scenario, config: &RunConfig) -> MissionReport {
     let mut runner = MissionRunner::new(scenario, config);
-    while runner.step_window().is_some() {}
+    while let StepOutcome::WindowClosed { .. } = runner.step_window() {}
     runner.finish()
 }
 
@@ -1370,9 +1562,11 @@ mod tests {
         let mut runner = MissionRunner::new(&scenario, &cfg);
         assert_eq!(runner.total_windows(), 6);
         let mut stepped = Vec::new();
-        while let Some(stat) = runner.step_window() {
-            stepped.push(stat);
+        while let StepOutcome::WindowClosed { window, stats } = runner.step_window() {
+            assert_eq!(window, stepped.len(), "window indices arrive in order");
+            stepped.push(stats);
         }
+        assert!(runner.step_window().is_finished(), "stays Finished");
         assert!(runner.is_finished());
         assert_eq!(runner.window_index(), 6);
         let report = runner.finish();

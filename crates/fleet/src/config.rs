@@ -1,0 +1,223 @@
+//! Fleet construction: the validating builder and its error type.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use iobt_obs::Recorder;
+
+use crate::scheduler::Fleet;
+
+/// Validated scheduler parameters (internal; built by [`FleetBuilder`]).
+#[derive(Debug, Clone)]
+pub(crate) struct FleetConfig {
+    /// Worker threads in the pool.
+    pub(crate) workers: usize,
+    /// Windows executed per scheduling quantum.
+    pub(crate) quantum_windows: u32,
+    /// Missions a worker keeps materialized before evicting its
+    /// least-recently-sliced resident to disk.
+    pub(crate) max_resident: usize,
+    /// Test/chaos policy: checkpoint-evict every mission after every
+    /// slice, so each slice exercises the full resume path.
+    pub(crate) evict_every_slice: bool,
+    /// Attach a metrics-only recorder to every mission so per-mission
+    /// metrics fingerprints are available after completion.
+    pub(crate) mission_metrics: bool,
+    /// Directory evicted-mission checkpoints live under (one
+    /// subdirectory per ticket).
+    pub(crate) checkpoint_root: PathBuf,
+}
+
+/// Why a [`FleetBuilder`] configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FleetConfigError {
+    /// `workers` was 0: the pool could never run anything.
+    ZeroWorkers,
+    /// `quantum_windows` was 0: a slice would make no progress, so the
+    /// scheduler could never advance any mission.
+    ZeroQuantum,
+    /// `max_resident` was 0: a worker could never hold a mission long
+    /// enough to step it — every admission would immediately evict.
+    ZeroResidency,
+}
+
+impl fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetConfigError::ZeroWorkers => write!(f, "fleet needs at least one worker"),
+            FleetConfigError::ZeroQuantum => {
+                write!(f, "scheduling quantum must be at least one window")
+            }
+            FleetConfigError::ZeroResidency => {
+                write!(f, "eviction threshold must allow at least one resident mission")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
+/// Fluent, validating builder for a [`Fleet`] (same shape as
+/// `RunConfigBuilder`): chain setters, then [`build`](Self::build).
+///
+/// ```
+/// use iobt_fleet::FleetBuilder;
+///
+/// let fleet = FleetBuilder::new()
+///     .workers(4)
+///     .quantum_windows(2)
+///     .max_resident(64)
+///     .build()
+///     .expect("valid fleet config");
+/// # drop(fleet);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetBuilder {
+    workers: usize,
+    quantum_windows: u32,
+    max_resident: usize,
+    evict_every_slice: bool,
+    mission_metrics: bool,
+    checkpoint_root: Option<PathBuf>,
+    recorder: Recorder,
+}
+
+impl Default for FleetBuilder {
+    fn default() -> Self {
+        FleetBuilder {
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            quantum_windows: 1,
+            max_resident: 64,
+            evict_every_slice: false,
+            mission_metrics: true,
+            checkpoint_root: None,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+impl FleetBuilder {
+    /// Starts from the defaults: one worker per hardware thread, a
+    /// one-window quantum, 64 resident missions per worker, per-mission
+    /// metrics on, and a process-scoped temp directory for evictions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker threads in the pool. Must be ≥ 1. Worker count changes
+    /// scheduling only — never any mission's result.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Utility windows a mission executes per scheduling quantum. Must
+    /// be ≥ 1. Larger quanta amortize slice bookkeeping; smaller quanta
+    /// interleave missions more finely.
+    pub fn quantum_windows(mut self, windows: u32) -> Self {
+        self.quantum_windows = windows;
+        self
+    }
+
+    /// Missions a worker keeps materialized in memory (the eviction
+    /// threshold). Must be ≥ 1. When a worker exceeds this, its
+    /// least-recently-sliced mission is checkpointed to disk and its
+    /// runner dropped; any worker may later resume it.
+    pub fn max_resident(mut self, missions: usize) -> Self {
+        self.max_resident = missions;
+        self
+    }
+
+    /// Chaos/test policy: evict every mission after every slice, forcing
+    /// each slice through the full checkpoint → disk → resume path. Off
+    /// by default.
+    pub fn evict_every_slice(mut self, on: bool) -> Self {
+        self.evict_every_slice = on;
+        self
+    }
+
+    /// Attach a metrics-only recorder to every mission, making
+    /// [`Fleet::metrics_fingerprint`] available after completion. On by
+    /// default; turn off to run missions at baseline speed.
+    pub fn mission_metrics(mut self, on: bool) -> Self {
+        self.mission_metrics = on;
+        self
+    }
+
+    /// Directory under which evicted-mission checkpoints are written
+    /// (one subdirectory per ticket). Defaults to a process-scoped
+    /// directory under the system temp dir.
+    pub fn checkpoint_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.checkpoint_root = Some(root.into());
+        self
+    }
+
+    /// Recorder for the fleet's own scheduler trace (admit / slice /
+    /// evict / resume / complete events under the `fleet` subsystem).
+    /// Distinct from per-mission metrics. Disabled by default.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Validates the configuration and constructs the fleet.
+    pub fn build(self) -> Result<Fleet, FleetConfigError> {
+        if self.workers == 0 {
+            return Err(FleetConfigError::ZeroWorkers);
+        }
+        if self.quantum_windows == 0 {
+            return Err(FleetConfigError::ZeroQuantum);
+        }
+        if self.max_resident == 0 {
+            return Err(FleetConfigError::ZeroResidency);
+        }
+        let checkpoint_root = self.checkpoint_root.unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("iobt-fleet-{}", std::process::id()))
+        });
+        Ok(Fleet::from_parts(
+            FleetConfig {
+                workers: self.workers,
+                quantum_windows: self.quantum_windows,
+                max_resident: self.max_resident,
+                evict_every_slice: self.evict_every_slice,
+                mission_metrics: self.mission_metrics,
+                checkpoint_root,
+            },
+            self.recorder,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        assert_eq!(
+            FleetBuilder::new().workers(0).build().err(),
+            Some(FleetConfigError::ZeroWorkers)
+        );
+        assert_eq!(
+            FleetBuilder::new().quantum_windows(0).build().err(),
+            Some(FleetConfigError::ZeroQuantum)
+        );
+        assert_eq!(
+            FleetBuilder::new().max_resident(0).build().err(),
+            Some(FleetConfigError::ZeroResidency)
+        );
+        assert!(FleetBuilder::new().workers(1).build().is_ok());
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        for e in [
+            FleetConfigError::ZeroWorkers,
+            FleetConfigError::ZeroQuantum,
+            FleetConfigError::ZeroResidency,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! The fleet scheduler: admission queue, `std::thread::scope` worker
+//! pool, per-mission state machine, and checkpoint-eviction.
+//!
+//! # Scheduling model
+//!
+//! Missions are `Send`-able *data* (scenario + portable config +
+//! checkpoint bytes); live [`MissionRunner`]s are deliberately
+//! thread-bound and never cross a thread. A mission moves between
+//! workers only through its serialized checkpoint — which is exactly the
+//! eviction path, so migration and crash recovery are one mechanism.
+//!
+//! Each worker is admission-first: it prefers the global queue (fresh
+//! and evicted tickets) over its own residents, so every submitted
+//! mission keeps making progress instead of the first `max_resident`
+//! running to completion while the rest wait. When a worker's resident
+//! count exceeds its threshold, the least-recently-sliced resident is
+//! checkpointed to disk and its ticket returned to the global queue for
+//! any worker to resume.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use iobt_ckpt::CheckpointStore;
+use iobt_core::{
+    EndStateDigest, MissionReport, MissionRunner, PortableRunConfig, RunConfig, Scenario,
+    StepOutcome,
+};
+use iobt_obs::{Recorder, TraceEvent};
+
+use crate::config::FleetConfig;
+use crate::{FleetBuilder, MissionStatus, MissionTicket, SubmitError};
+
+/// Locks a mutex, recovering the data on poisoning: a worker that
+/// panicked mid-slice fails its own mission, but must not take the whole
+/// fleet's bookkeeping down with it.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A scheduler event observed by a worker, buffered per mission and
+/// recorded into the fleet recorder after the pool joins (in canonical
+/// ticket order — the same post-join pattern the portfolio solver uses
+/// to keep multi-threaded traces deterministic in layout).
+#[derive(Debug, Clone, Copy)]
+enum SliceEvent {
+    Slice { from_window: u64, windows: u64 },
+    Evict { window: u64, bytes: u64 },
+    Resume { window: u64 },
+    Complete { windows: u64, repairs: u64 },
+}
+
+/// Everything the fleet knows about one submitted mission.
+struct Slot {
+    scenario: Scenario,
+    portable: PortableRunConfig,
+    seed: u64,
+    window_us: u64,
+    total_windows: u64,
+    status: MissionStatus,
+    /// Window boundary of the newest on-disk checkpoint while evicted.
+    ckpt_window: Option<u64>,
+    report: Option<MissionReport>,
+    metrics_fp: Option<u64>,
+    error: Option<String>,
+    events: Vec<SliceEvent>,
+}
+
+// Missions must cross worker threads as plain data; this is the
+// compile-time proof that a `Slot` (scenario, portable config, report,
+// buffered events) contains nothing thread-bound.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Slot>();
+};
+
+/// Shared state for one `drain` run.
+struct DrainCtx<'a> {
+    cfg: &'a FleetConfig,
+    cells: &'a [Mutex<&'a mut Slot>],
+    /// Tickets runnable by any worker: fresh admissions and evicted
+    /// missions.
+    queue: Mutex<VecDeque<u64>>,
+    /// Wakes parked workers when the queue grows or the drain finishes.
+    cv: Condvar,
+    /// Missions not yet `Done`/`Failed`.
+    remaining: AtomicUsize,
+    /// Wall-clock slice latencies, milliseconds. Reporting only — never
+    /// feeds back into scheduling decisions or results.
+    latencies: Mutex<Vec<f64>>,
+}
+
+/// Aggregate outcome of one [`Fleet::drain`] call.
+///
+/// `wall_s` and the slice-latency quantiles are wall-clock measurements:
+/// reporting only, never part of any determinism contract (mirroring
+/// `WallClockReport` in `iobt-core`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
+pub struct FleetSummary {
+    /// Missions this drain started with (non-terminal at entry).
+    pub submitted: usize,
+    /// Missions that finished every window.
+    pub completed: usize,
+    /// Missions that failed in checkpoint save or resume.
+    pub failed: usize,
+    /// Scheduler quanta executed.
+    pub slices: u64,
+    /// Utility windows executed across all missions.
+    pub windows: u64,
+    /// Checkpoint-evictions to disk.
+    pub evictions: u64,
+    /// Resumes from an on-disk checkpoint.
+    pub resumes: u64,
+    /// Wall-clock duration of the drain, seconds (reporting only).
+    pub wall_s: f64,
+    /// Median slice latency, milliseconds (reporting only).
+    pub p50_slice_ms: f64,
+    /// 99th-percentile slice latency, milliseconds (reporting only).
+    pub p99_slice_ms: f64,
+}
+
+/// A multi-tenant mission scheduler: submit missions, drain the batch
+/// across a worker pool, poll tickets for status and results.
+///
+/// Built by [`FleetBuilder`]; see the crate docs for an example and the
+/// determinism contract.
+pub struct Fleet {
+    cfg: FleetConfig,
+    recorder: Recorder,
+    slots: Vec<Slot>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("workers", &self.cfg.workers)
+            .field("missions", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    pub(crate) fn from_parts(cfg: FleetConfig, recorder: Recorder) -> Self {
+        Fleet {
+            cfg,
+            recorder,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Admits a mission and returns its ticket. The config must not
+    /// carry an enabled recorder (recorders are thread-bound); per-
+    /// mission metrics come from
+    /// [`FleetBuilder::mission_metrics`] instead.
+    pub fn submit(
+        &mut self,
+        scenario: Scenario,
+        config: RunConfig,
+    ) -> Result<MissionTicket, SubmitError> {
+        if config.recorder.is_enabled() {
+            return Err(SubmitError::RecorderAttached);
+        }
+        if scenario.catalog.is_empty() {
+            return Err(SubmitError::EmptyCatalog);
+        }
+        let total_windows =
+            (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as u64;
+        let window_us = config.window.as_micros();
+        let seed = scenario.seed;
+        let (portable, _disabled) = config.into_portable();
+        let ticket = MissionTicket(self.slots.len() as u64);
+        self.slots.push(Slot {
+            scenario,
+            portable,
+            seed,
+            window_us,
+            total_windows,
+            status: MissionStatus::Queued,
+            ckpt_window: None,
+            report: None,
+            metrics_fp: None,
+            error: None,
+            events: Vec::new(),
+        });
+        self.recorder.record_at(
+            0,
+            TraceEvent::FleetAdmit {
+                ticket: ticket.0,
+                seed,
+                windows: total_windows,
+            },
+        );
+        Ok(ticket)
+    }
+
+    /// The mission's current lifecycle state, or `None` for a ticket
+    /// this fleet never issued.
+    pub fn poll(&self, ticket: MissionTicket) -> Option<MissionStatus> {
+        self.slots.get(ticket.0 as usize).map(|s| s.status)
+    }
+
+    /// The completed mission's full report (`None` until `Done`).
+    pub fn report(&self, ticket: MissionTicket) -> Option<&MissionReport> {
+        self.slots
+            .get(ticket.0 as usize)
+            .and_then(|s| s.report.as_ref())
+    }
+
+    /// The completed mission's end-state digest (`None` until `Done`).
+    pub fn digest(&self, ticket: MissionTicket) -> Option<&EndStateDigest> {
+        self.report(ticket).map(|r| &r.digest)
+    }
+
+    /// The completed mission's metrics fingerprint (`None` until `Done`,
+    /// or when [`FleetBuilder::mission_metrics`] is off).
+    pub fn metrics_fingerprint(&self, ticket: MissionTicket) -> Option<u64> {
+        self.slots.get(ticket.0 as usize).and_then(|s| s.metrics_fp)
+    }
+
+    /// Why a `Failed` mission failed (`None` otherwise).
+    pub fn error(&self, ticket: MissionTicket) -> Option<&str> {
+        self.slots
+            .get(ticket.0 as usize)
+            .and_then(|s| s.error.as_deref())
+    }
+
+    /// Every ticket this fleet has issued, in submission order.
+    pub fn tickets(&self) -> Vec<MissionTicket> {
+        (0..self.slots.len() as u64).map(MissionTicket).collect()
+    }
+
+    /// Total utility windows the mission will execute (`None` for a
+    /// ticket this fleet never issued).
+    pub fn total_windows(&self, ticket: MissionTicket) -> Option<u64> {
+        self.slots.get(ticket.0 as usize).map(|s| s.total_windows)
+    }
+
+    /// Runs every non-terminal mission to completion across the worker
+    /// pool and returns the batch summary. Safe to call repeatedly:
+    /// missions submitted after a drain are picked up by the next one.
+    pub fn drain(&mut self) -> FleetSummary {
+        let pending: Vec<u64> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.status.is_terminal())
+            .map(|(i, _)| i as u64)
+            .collect();
+        let submitted = pending.len();
+        let start = Instant::now(); // lint: allow(wall-clock) — reporting only; lands in FleetSummary.wall_s, never in a decision or digest
+        let mut latencies: Vec<f64> = Vec::new();
+        if submitted > 0 {
+            let cells: Vec<Mutex<&mut Slot>> = self.slots.iter_mut().map(Mutex::new).collect();
+            let ctx = DrainCtx {
+                cfg: &self.cfg,
+                cells: &cells,
+                queue: Mutex::new(pending.iter().copied().collect()),
+                cv: Condvar::new(),
+                remaining: AtomicUsize::new(submitted),
+                latencies: Mutex::new(Vec::new()),
+            };
+            std::thread::scope(|s| {
+                for _ in 0..self.cfg.workers {
+                    s.spawn(|| worker_loop(&ctx));
+                }
+            });
+            latencies = ctx.latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+
+        // Post-join: fold the workers' buffered scheduler events into
+        // the fleet trace in canonical (ticket, mission-chronological)
+        // order — the post-join pattern that keeps a multi-threaded
+        // trace's layout deterministic — and total up the summary.
+        let mut summary = FleetSummary {
+            submitted,
+            wall_s,
+            ..FleetSummary::default()
+        };
+        let recorder = self.recorder.clone();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let ticket = i as u64;
+            let window_us = slot.window_us;
+            for ev in std::mem::take(&mut slot.events) {
+                // Timestamps are the mission's own sim-time window
+                // boundaries (the fleet has no clock of its own).
+                let (t_us, event) = match ev {
+                    SliceEvent::Slice { from_window, windows } => {
+                        summary.slices += 1;
+                        summary.windows += windows;
+                        (
+                            (from_window + windows) * window_us,
+                            TraceEvent::FleetSlice { ticket, from_window, windows },
+                        )
+                    }
+                    SliceEvent::Evict { window, bytes } => {
+                        summary.evictions += 1;
+                        (window * window_us, TraceEvent::FleetEvict { ticket, window, bytes })
+                    }
+                    SliceEvent::Resume { window } => {
+                        summary.resumes += 1;
+                        (window * window_us, TraceEvent::FleetResume { ticket, window })
+                    }
+                    SliceEvent::Complete { windows, repairs } => (
+                        windows * window_us,
+                        TraceEvent::FleetComplete { ticket, windows, repairs },
+                    ),
+                };
+                recorder.record_at(t_us, event);
+            }
+        }
+        for &i in &pending {
+            match self.slots[i as usize].status {
+                MissionStatus::Done => summary.completed += 1,
+                MissionStatus::Failed => summary.failed += 1,
+                _ => {}
+            }
+        }
+        recorder.flush();
+        latencies.sort_by(f64::total_cmp);
+        summary.p50_slice_ms = quantile(&latencies, 0.50);
+        summary.p99_slice_ms = quantile(&latencies, 0.99);
+        summary
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice (0.0 when empty).
+/// Reporting only — consumed solely by the wall-clock summary fields.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn worker_loop(ctx: &DrainCtx<'_>) {
+    let mut resident: VecDeque<u64> = VecDeque::new();
+    let mut runners: BTreeMap<u64, (MissionRunner, Recorder)> = BTreeMap::new();
+    loop {
+        if ctx.remaining.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        // Admission-first: prefer the global queue so every submitted
+        // mission keeps progressing; fall back to our own residents.
+        let next = lock(&ctx.queue).pop_front().or_else(|| resident.pop_front());
+        match next {
+            Some(ticket) => run_slice(ctx, ticket, &mut resident, &mut runners),
+            None => {
+                // Nothing runnable on this worker. Park until the queue
+                // changes; the timeout bounds any missed-notify window.
+                let q = lock(&ctx.queue);
+                if q.is_empty() && ctx.remaining.load(Ordering::SeqCst) != 0 {
+                    let _ = ctx
+                        .cv
+                        .wait_timeout(q, Duration::from_millis(1))
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+}
+
+/// Executes one scheduling quantum for `ticket` on this worker:
+/// materialize (fresh or resumed) if needed, step up to
+/// `quantum_windows` windows, then complete, keep resident, or evict.
+fn run_slice(
+    ctx: &DrainCtx<'_>,
+    ticket: u64,
+    resident: &mut VecDeque<u64>,
+    runners: &mut BTreeMap<u64, (MissionRunner, Recorder)>,
+) {
+    let mut guard = lock(&ctx.cells[ticket as usize]);
+    let slot: &mut Slot = &mut guard;
+
+    let (mut runner, recorder) = match runners.remove(&ticket) {
+        Some(pair) => pair,
+        None => match materialize(ctx, slot, ticket) {
+            Ok(pair) => pair,
+            Err(msg) => {
+                fail(ctx, slot, msg);
+                return;
+            }
+        },
+    };
+
+    slot.status = MissionStatus::Running;
+    let from_window = runner.window_index() as u64;
+    let t0 = Instant::now(); // lint: allow(wall-clock) — reporting only; slice latency lands in FleetSummary, never in a decision or digest
+    let mut ran = 0u64;
+    while ran < u64::from(ctx.cfg.quantum_windows) {
+        match runner.step_window() {
+            StepOutcome::WindowClosed { .. } => ran += 1,
+            // `Finished`, and conservatively any future non-progress
+            // outcome (`StepOutcome` is `#[non_exhaustive]`): end the
+            // slice rather than spin.
+            _ => break,
+        }
+    }
+    lock(&ctx.latencies).push(t0.elapsed().as_secs_f64() * 1_000.0);
+    slot.events.push(SliceEvent::Slice { from_window, windows: ran });
+
+    if runner.is_finished() {
+        let windows = runner.total_windows() as u64;
+        let report = runner.finish();
+        slot.events.push(SliceEvent::Complete {
+            windows,
+            repairs: report.repairs as u64,
+        });
+        slot.metrics_fp = recorder
+            .is_enabled()
+            .then(|| recorder.metrics_digest().fingerprint());
+        slot.report = Some(report);
+        slot.ckpt_window = None;
+        slot.status = MissionStatus::Done;
+        // The mission's checkpoints are no longer needed; reclaim the
+        // disk space (best-effort — a leftover directory is harmless).
+        let _ = std::fs::remove_dir_all(mission_dir(ctx.cfg, ticket));
+        finish_one(ctx);
+        return;
+    }
+
+    if ctx.cfg.evict_every_slice {
+        evict(ctx, slot, ticket, runner);
+        return;
+    }
+
+    slot.status = MissionStatus::Idle;
+    resident.push_back(ticket);
+    runners.insert(ticket, (runner, recorder));
+    // Residency cap: checkpoint the least-recently-sliced mission out.
+    while resident.len() > ctx.cfg.max_resident {
+        let Some(victim) = resident.pop_front() else {
+            break;
+        };
+        let Some((victim_runner, _victim_rec)) = runners.remove(&victim) else {
+            continue;
+        };
+        // Only this worker owns `victim`, so locking its cell while
+        // holding `ticket`'s cannot contend with another worker.
+        let mut vguard = lock(&ctx.cells[victim as usize]);
+        evict(ctx, &mut vguard, victim, victim_runner);
+    }
+}
+
+/// Builds the mission's runner on this worker: fresh for `Queued`,
+/// or resumed from its newest good on-disk checkpoint for `Evicted`.
+fn materialize(
+    ctx: &DrainCtx<'_>,
+    slot: &mut Slot,
+    ticket: u64,
+) -> Result<(MissionRunner, Recorder), String> {
+    let recorder = if ctx.cfg.mission_metrics {
+        Recorder::null()
+    } else {
+        Recorder::disabled()
+    };
+    let config = slot.portable.clone().into_config(recorder.clone());
+    match slot.ckpt_window {
+        None => Ok((MissionRunner::new(&slot.scenario, &config), recorder)),
+        Some(_) => {
+            let store = CheckpointStore::open(mission_dir(ctx.cfg, ticket))
+                .map_err(|e| format!("open checkpoint store: {e}"))?;
+            let latest = store
+                .load_latest_good(slot.seed)
+                .map_err(|e| format!("scan checkpoints: {e}"))?;
+            let (window, payload) = latest
+                .loaded
+                .ok_or_else(|| "evicted mission has no good checkpoint on disk".to_string())?;
+            let runner = MissionRunner::resume(&slot.scenario, &config, &payload)
+                .map_err(|e| format!("resume from window {window}: {e}"))?;
+            slot.events.push(SliceEvent::Resume { window });
+            Ok((runner, recorder))
+        }
+    }
+}
+
+/// Checkpoints `runner` to the mission's store, drops it, and returns
+/// the ticket to the global queue for any worker to resume.
+fn evict(ctx: &DrainCtx<'_>, slot: &mut Slot, ticket: u64, runner: MissionRunner) {
+    let window = runner.window_index() as u64;
+    let payload = match runner.save() {
+        Ok(p) => p,
+        Err(e) => {
+            fail(ctx, slot, format!("checkpoint mission state: {e}"));
+            return;
+        }
+    };
+    let saved = CheckpointStore::open(mission_dir(ctx.cfg, ticket))
+        .and_then(|store| store.save(slot.seed, window, &payload));
+    if let Err(e) = saved {
+        fail(ctx, slot, format!("write checkpoint to disk: {e}"));
+        return;
+    }
+    slot.events.push(SliceEvent::Evict {
+        window,
+        bytes: payload.len() as u64,
+    });
+    slot.ckpt_window = Some(window);
+    slot.status = MissionStatus::Evicted;
+    lock(&ctx.queue).push_back(ticket);
+    ctx.cv.notify_one();
+}
+
+/// Marks a mission `Failed` and accounts for its termination.
+fn fail(ctx: &DrainCtx<'_>, slot: &mut Slot, msg: String) {
+    slot.error = Some(msg);
+    slot.status = MissionStatus::Failed;
+    finish_one(ctx);
+}
+
+/// One mission reached a terminal state; wake everyone when it was the
+/// last.
+fn finish_one(ctx: &DrainCtx<'_>) {
+    if ctx.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+        ctx.cv.notify_all();
+    }
+}
+
+/// The per-mission checkpoint directory under the fleet's root.
+fn mission_dir(cfg: &FleetConfig, ticket: u64) -> std::path::PathBuf {
+    cfg.checkpoint_root.join(format!("m-{ticket:06}"))
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        // Defaults are always valid; the builder only rejects explicit
+        // zeros.
+        match FleetBuilder::new().build() {
+            Ok(fleet) => fleet,
+            Err(_) => unreachable!("default fleet configuration is valid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iobt_core::persistent_surveillance;
+    use iobt_netsim::SimDuration;
+
+    fn quick_config() -> RunConfig {
+        RunConfig::builder()
+            .duration(SimDuration::from_secs_f64(30.0))
+            .window(SimDuration::from_secs_f64(10.0))
+            .build()
+            .expect("valid run config")
+    }
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("iobt-fleet-test-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn batch_drains_to_done_with_reports() {
+        let root = temp_root("drain");
+        let mut fleet = FleetBuilder::new()
+            .workers(2)
+            .checkpoint_root(&root)
+            .build()
+            .expect("valid");
+        let tickets: Vec<MissionTicket> = (0..4)
+            .map(|i| {
+                fleet
+                    .submit(persistent_surveillance(60, 7 + i), quick_config())
+                    .expect("admissible")
+            })
+            .collect();
+        for &t in &tickets {
+            assert_eq!(fleet.poll(t), Some(MissionStatus::Queued));
+            assert!(fleet.report(t).is_none(), "no report before drain");
+        }
+        let summary = fleet.drain();
+        assert_eq!(summary.submitted, 4);
+        assert_eq!(summary.completed, 4);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.windows, 4 * 3, "3 windows each");
+        for &t in &tickets {
+            assert_eq!(fleet.poll(t), Some(MissionStatus::Done));
+            let report = fleet.report(t).expect("report after drain");
+            assert_eq!(report.windows.len(), 3);
+            assert!(fleet.digest(t).is_some());
+            assert!(fleet.metrics_fingerprint(t).is_some());
+            assert!(fleet.error(t).is_none());
+        }
+        // A second drain has nothing to do; a late submission is picked
+        // up by the next one.
+        assert_eq!(fleet.drain().submitted, 0);
+        let late = fleet
+            .submit(persistent_surveillance(60, 99), quick_config())
+            .expect("admissible");
+        let second = fleet.drain();
+        assert_eq!(second.submitted, 1);
+        assert_eq!(second.completed, 1);
+        assert_eq!(fleet.poll(late), Some(MissionStatus::Done));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn forced_eviction_round_trips_every_slice_through_disk() {
+        let root = temp_root("evict");
+        let mut fleet = FleetBuilder::new()
+            .workers(2)
+            .evict_every_slice(true)
+            .checkpoint_root(&root)
+            .build()
+            .expect("valid");
+        for i in 0..3 {
+            fleet
+                .submit(persistent_surveillance(60, 11 + i), quick_config())
+                .expect("admissible");
+        }
+        let summary = fleet.drain();
+        assert_eq!(summary.completed, 3);
+        // 3 windows per mission at quantum 1: evicted after windows 1
+        // and 2, resumed twice, finished on the third slice.
+        assert_eq!(summary.evictions, 6);
+        assert_eq!(summary.resumes, 6);
+        assert_eq!(summary.slices, 9);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn submit_rejects_recorders_and_empty_catalogs() {
+        let mut fleet = FleetBuilder::new().build().expect("valid");
+        let (rec, _ring) = Recorder::memory(16);
+        let armed = RunConfig::builder()
+            .recorder(rec)
+            .build()
+            .expect("valid run config");
+        assert_eq!(
+            fleet.submit(persistent_surveillance(60, 1), armed).err(),
+            Some(crate::SubmitError::RecorderAttached)
+        );
+        let mut empty = persistent_surveillance(60, 1);
+        empty.catalog = iobt_core::types::NodeCatalog::new();
+        assert_eq!(
+            fleet.submit(empty, quick_config()).err(),
+            Some(crate::SubmitError::EmptyCatalog)
+        );
+        // Unknown tickets answer `None` everywhere.
+        let stranger = MissionTicket(123);
+        assert_eq!(fleet.poll(stranger), None);
+        assert!(fleet.report(stranger).is_none());
+        assert_eq!(fleet.total_windows(stranger), None);
+    }
+
+    #[test]
+    fn scheduler_trace_counts_match_the_summary() {
+        let root = temp_root("trace");
+        let (rec, ring) = Recorder::memory(4096);
+        let mut fleet = FleetBuilder::new()
+            .workers(2)
+            .evict_every_slice(true)
+            .recorder(rec.clone())
+            .checkpoint_root(&root)
+            .build()
+            .expect("valid");
+        for i in 0..2 {
+            fleet
+                .submit(persistent_surveillance(60, 21 + i), quick_config())
+                .expect("admissible");
+        }
+        let summary = fleet.drain();
+        let records = ring.records();
+        let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count() as u64;
+        assert_eq!(count("fleet_admit"), 2);
+        assert_eq!(count("fleet_slice"), summary.slices);
+        assert_eq!(count("fleet_evict"), summary.evictions);
+        assert_eq!(count("fleet_resume"), summary.resumes);
+        assert_eq!(count("fleet_complete"), 2);
+        let d = rec.metrics_digest();
+        assert_eq!(d.counter("fleet.admitted"), Some(2));
+        assert_eq!(d.counter("fleet.completed"), Some(2));
+        assert_eq!(d.counter("fleet.slices"), Some(summary.slices));
+        assert_eq!(d.counter("fleet.windows"), Some(summary.windows));
+        // Canonical layout: all of ticket 0's post-join events precede
+        // ticket 1's.
+        let tickets: Vec<u64> = records
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::FleetSlice { ticket, .. }
+                | TraceEvent::FleetEvict { ticket, .. }
+                | TraceEvent::FleetResume { ticket, .. }
+                | TraceEvent::FleetComplete { ticket, .. } => Some(ticket),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = tickets.clone();
+        sorted.sort_unstable();
+        assert_eq!(tickets, sorted, "post-join events are grouped by ticket");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,87 @@
+//! Tickets, mission lifecycle states, and admission errors.
+
+use std::fmt;
+
+/// Opaque handle to a submitted mission, returned by
+/// [`Fleet::submit`](crate::Fleet::submit) and accepted by every
+/// per-mission query. Tickets are only meaningful to the fleet that
+/// issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MissionTicket(pub(crate) u64);
+
+impl MissionTicket {
+    /// The ticket's raw index (stable, assigned in submission order) —
+    /// for logs and trace correlation with `fleet_*` event payloads.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MissionTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m-{:06}", self.0)
+    }
+}
+
+/// Where a mission is in the scheduler's lifecycle:
+/// `Queued → Running → Idle ⇄ Evicted → Done`/`Failed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MissionStatus {
+    /// Admitted, never yet materialized on a worker.
+    Queued,
+    /// A worker is executing one of its slices right now.
+    Running,
+    /// Materialized on a worker, waiting for its next slice.
+    Idle,
+    /// Checkpointed to disk with no in-memory runner; any worker may
+    /// resume it.
+    Evicted,
+    /// Every window executed; the report is available.
+    Done,
+    /// Checkpoint save or resume failed; see
+    /// [`Fleet::error`](crate::Fleet::error).
+    Failed,
+}
+
+impl MissionStatus {
+    /// `true` once the mission will never run again (`Done` or
+    /// `Failed`).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, MissionStatus::Done | MissionStatus::Failed)
+    }
+}
+
+/// Why [`Fleet::submit`](crate::Fleet::submit) rejected a mission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The `RunConfig` carried an enabled recorder. Recorders are
+    /// thread-bound (`!Send`), so a mission that must migrate between
+    /// workers cannot bring one; use
+    /// [`FleetBuilder::mission_metrics`](crate::FleetBuilder::mission_metrics)
+    /// for per-mission metrics and
+    /// [`FleetBuilder::recorder`](crate::FleetBuilder::recorder) for the
+    /// scheduler trace instead.
+    RecorderAttached,
+    /// The scenario's node catalog was empty; the mission could never
+    /// recruit, and a seed over zero nodes identifies nothing.
+    EmptyCatalog,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::RecorderAttached => write!(
+                f,
+                "mission configs must not carry an enabled recorder (recorders are \
+                 thread-bound); use FleetBuilder::mission_metrics / FleetBuilder::recorder"
+            ),
+            SubmitError::EmptyCatalog => {
+                write!(f, "scenario catalog is empty; nothing to recruit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}

@@ -24,6 +24,8 @@ pub enum Subsystem {
     Adapt,
     /// The fault-injection subsystem (`iobt-faults`).
     Faults,
+    /// The multi-tenant mission scheduler (`iobt-fleet`).
+    Fleet,
 }
 
 impl Subsystem {
@@ -35,6 +37,7 @@ impl Subsystem {
             Subsystem::Synthesis => "synthesis",
             Subsystem::Adapt => "adapt",
             Subsystem::Faults => "faults",
+            Subsystem::Fleet => "fleet",
         }
     }
 
@@ -46,17 +49,23 @@ impl Subsystem {
             "synthesis" => Some(Subsystem::Synthesis),
             "adapt" => Some(Subsystem::Adapt),
             "faults" => Some(Subsystem::Faults),
+            "fleet" => Some(Subsystem::Fleet),
             _ => None,
         }
     }
 
+    /// Number of subsystems (the length of every per-subsystem slot
+    /// array: sampling strides, emitted counters, checkpoints).
+    pub const COUNT: usize = 6;
+
     /// All subsystems, in sampling-slot order.
-    pub const ALL: [Subsystem; 5] = [
+    pub const ALL: [Subsystem; Subsystem::COUNT] = [
         Subsystem::Netsim,
         Subsystem::Core,
         Subsystem::Synthesis,
         Subsystem::Adapt,
         Subsystem::Faults,
+        Subsystem::Fleet,
     ];
 
     pub(crate) fn slot(self) -> usize {
@@ -66,6 +75,7 @@ impl Subsystem {
             Subsystem::Synthesis => 2,
             Subsystem::Adapt => 3,
             Subsystem::Faults => 4,
+            Subsystem::Fleet => 5,
         }
     }
 }
@@ -355,6 +365,53 @@ pub enum TraceEvent {
         /// Samples that hit the saturation penalty this epoch.
         saturated: u64,
     },
+
+    // -- fleet -----------------------------------------------------------
+    /// A mission was admitted to the fleet's run queue.
+    FleetAdmit {
+        /// Fleet-assigned mission ticket.
+        ticket: u64,
+        /// The mission's scenario seed.
+        seed: u64,
+        /// Total utility windows the mission will execute.
+        windows: u64,
+    },
+    /// A scheduler quantum executed: one resident mission stepped up to
+    /// `quantum` windows on a worker.
+    FleetSlice {
+        /// Mission ticket.
+        ticket: u64,
+        /// First window index executed in this slice.
+        from_window: u64,
+        /// Windows actually executed (< quantum only at mission end).
+        windows: u64,
+    },
+    /// An idle mission was checkpointed to disk and its in-memory runner
+    /// dropped.
+    FleetEvict {
+        /// Mission ticket.
+        ticket: u64,
+        /// Window boundary the checkpoint captured.
+        window: u64,
+        /// Serialized checkpoint payload size.
+        bytes: u64,
+    },
+    /// An evicted mission was rebuilt from its on-disk checkpoint.
+    FleetResume {
+        /// Mission ticket.
+        ticket: u64,
+        /// Window boundary execution restarts from.
+        window: u64,
+    },
+    /// A mission ran its final window and produced its report.
+    FleetComplete {
+        /// Mission ticket.
+        ticket: u64,
+        /// Windows the mission executed in total.
+        windows: u64,
+        /// Composition repairs performed over the mission's life.
+        repairs: u64,
+    },
 }
 
 impl TraceEvent {
@@ -389,6 +446,11 @@ impl TraceEvent {
             | TraceEvent::TaskAbandoned { .. } => Subsystem::Core,
             TraceEvent::Solve { .. } | TraceEvent::PortfolioMember { .. } => Subsystem::Synthesis,
             TraceEvent::Actuation { .. } | TraceEvent::Allocation { .. } => Subsystem::Adapt,
+            TraceEvent::FleetAdmit { .. }
+            | TraceEvent::FleetSlice { .. }
+            | TraceEvent::FleetEvict { .. }
+            | TraceEvent::FleetResume { .. }
+            | TraceEvent::FleetComplete { .. } => Subsystem::Fleet,
         }
     }
 
@@ -425,6 +487,11 @@ impl TraceEvent {
             TraceEvent::PortfolioMember { .. } => "portfolio_member",
             TraceEvent::Actuation { .. } => "actuation",
             TraceEvent::Allocation { .. } => "allocation",
+            TraceEvent::FleetAdmit { .. } => "fleet_admit",
+            TraceEvent::FleetSlice { .. } => "fleet_slice",
+            TraceEvent::FleetEvict { .. } => "fleet_evict",
+            TraceEvent::FleetResume { .. } => "fleet_resume",
+            TraceEvent::FleetComplete { .. } => "fleet_complete",
         }
     }
 }
@@ -662,6 +729,46 @@ impl TraceRecord {
                 push_kv_u64(out, "epoch", *epoch);
                 push_kv_u64(out, "regions", *regions);
                 push_kv_u64(out, "saturated", *saturated);
+            }
+            TraceEvent::FleetAdmit {
+                ticket,
+                seed,
+                windows,
+            } => {
+                push_kv_u64(out, "ticket", *ticket);
+                push_kv_u64(out, "seed", *seed);
+                push_kv_u64(out, "windows", *windows);
+            }
+            TraceEvent::FleetSlice {
+                ticket,
+                from_window,
+                windows,
+            } => {
+                push_kv_u64(out, "ticket", *ticket);
+                push_kv_u64(out, "from_window", *from_window);
+                push_kv_u64(out, "windows", *windows);
+            }
+            TraceEvent::FleetEvict {
+                ticket,
+                window,
+                bytes,
+            } => {
+                push_kv_u64(out, "ticket", *ticket);
+                push_kv_u64(out, "window", *window);
+                push_kv_u64(out, "bytes", *bytes);
+            }
+            TraceEvent::FleetResume { ticket, window } => {
+                push_kv_u64(out, "ticket", *ticket);
+                push_kv_u64(out, "window", *window);
+            }
+            TraceEvent::FleetComplete {
+                ticket,
+                windows,
+                repairs,
+            } => {
+                push_kv_u64(out, "ticket", *ticket);
+                push_kv_u64(out, "windows", *windows);
+                push_kv_u64(out, "repairs", *repairs);
             }
         }
         out.push_str("}\n");

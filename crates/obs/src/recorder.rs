@@ -19,12 +19,12 @@ use crate::sink::{JsonlSink, NullSink, RingHandle, RingSink, TraceSink};
 /// **not** sampled — every event updates the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SamplingConfig {
-    every_nth: [u32; 5],
+    every_nth: [u32; Subsystem::COUNT],
 }
 
 impl Default for SamplingConfig {
     fn default() -> Self {
-        SamplingConfig { every_nth: [1; 5] }
+        SamplingConfig { every_nth: [1; Subsystem::COUNT] }
     }
 }
 
@@ -36,7 +36,7 @@ impl SamplingConfig {
 
     /// Applies the same `every_nth` to all subsystems.
     pub fn all(n: u32) -> Self {
-        SamplingConfig { every_nth: [n; 5] }
+        SamplingConfig { every_nth: [n; Subsystem::COUNT] }
     }
 
     /// Sets the sampling interval for one subsystem.
@@ -72,7 +72,7 @@ pub struct RecorderCheckpoint {
     /// Global trace sequence counter.
     pub seq: u64,
     /// Per-subsystem emission counters (sampling phase).
-    pub emitted: [u64; 5],
+    pub emitted: [u64; Subsystem::COUNT],
     /// Frozen metrics registry.
     pub metrics: MetricsDigest,
 }
@@ -80,7 +80,7 @@ pub struct RecorderCheckpoint {
 struct Inner {
     t_us: u64,
     seq: u64,
-    emitted: [u64; 5],
+    emitted: [u64; Subsystem::COUNT],
     sampling: SamplingConfig,
     metrics: MetricsRegistry,
     sink: Box<dyn TraceSink>,
@@ -139,7 +139,7 @@ impl Recorder {
         Recorder(Some(Rc::new(RefCell::new(Inner {
             t_us: 0,
             seq: 0,
-            emitted: [0; 5],
+            emitted: [0; Subsystem::COUNT],
             sampling: SamplingConfig::default(),
             metrics: MetricsRegistry::new(),
             sink,
@@ -376,6 +376,17 @@ fn update_metrics(m: &mut MetricsRegistry, event: &TraceEvent) {
             m.inc(name, 1);
         }
         TraceEvent::Allocation { .. } => m.inc("adapt.alloc_epochs", 1),
+        TraceEvent::FleetAdmit { .. } => m.inc("fleet.admitted", 1),
+        TraceEvent::FleetSlice { windows, .. } => {
+            m.inc("fleet.slices", 1);
+            m.inc("fleet.windows", *windows);
+        }
+        TraceEvent::FleetEvict { bytes, .. } => {
+            m.inc("fleet.evictions", 1);
+            m.inc("fleet.evicted_bytes", *bytes);
+        }
+        TraceEvent::FleetResume { .. } => m.inc("fleet.resumes", 1),
+        TraceEvent::FleetComplete { .. } => m.inc("fleet.completed", 1),
     }
 }
 

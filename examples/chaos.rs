@@ -86,7 +86,7 @@ fn main() {
         }
         None => MissionRunner::new(&scenario, &config),
     };
-    while runner.step_window().is_some() {
+    while let StepOutcome::WindowClosed { .. } = runner.step_window() {
         if let Some(store) = &store {
             let completed = runner.window_index();
             let payload = runner.save().expect("mission behaviours are checkpointable");

@@ -24,10 +24,10 @@
 //! ```
 //!
 //! The individual subsystems remain addressable by module for anything the
-//! prelude does not cover: [`mod@core`] (mission runtime), [`netsim`]
-//! (simulator), [`synthesis`], [`adapt`], [`discovery`], [`truth`]
-//! (social sensing), [`learning`], [`tomography`], [`obs`]
-//! (observability), and [`types`].
+//! prelude does not cover: [`mod@core`] (mission runtime), [`fleet`]
+//! (multi-tenant mission scheduling), [`netsim`] (simulator),
+//! [`synthesis`], [`adapt`], [`discovery`], [`truth`] (social sensing),
+//! [`learning`], [`tomography`], [`obs`] (observability), and [`types`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,8 +46,13 @@ pub use iobt_types as types;
 
 pub use iobt_core::ckpt;
 pub use iobt_core::{
-    run_mission, EndStateDigest, MissionReport, MissionRunner, ResilienceReport, RunConfig,
-    RunConfigBuilder, RunConfigError, WallClockReport, WindowStat,
+    run_mission, EndStateDigest, MissionReport, MissionRunner, PortableRunConfig,
+    ResilienceReport, RunConfig, RunConfigBuilder, RunConfigError, StepOutcome, WallClockReport,
+    WindowStat,
+};
+pub use iobt_fleet as fleet;
+pub use iobt_fleet::{
+    Fleet, FleetBuilder, FleetConfigError, FleetSummary, MissionStatus, MissionTicket, SubmitError,
 };
 pub use iobt_obs::Recorder;
 
@@ -64,8 +69,14 @@ pub mod prelude {
         persistent_surveillance, run_mission, urban_evacuation, CalibrationSummary,
         DegradationLadder, DiagnosisReport, Disruption, EndStateDigest, FailureDetector,
         LadderStep, MissionAllocation, MissionReport, MissionRunner, NetworkModel,
-        ResilienceReport, RunConfig, RunConfigBuilder, RunConfigError, Scenario, TaskingPlan,
-        TaskingStats, WallClockReport, WindowStat, COMMAND_POST_ID, MAX_LADDER_LEVEL,
+        PortableRunConfig, ResilienceReport, RunConfig, RunConfigBuilder, RunConfigError,
+        Scenario, StepOutcome, TaskingPlan, TaskingStats, WallClockReport, WindowStat,
+        COMMAND_POST_ID, MAX_LADDER_LEVEL,
+    };
+    // Multi-tenant mission scheduling (iobt-fleet).
+    pub use iobt_fleet::{
+        Fleet, FleetBuilder, FleetConfigError, FleetSummary, MissionStatus, MissionTicket,
+        SubmitError,
     };
     // Crash-safe checkpointing (iobt-ckpt).
     pub use iobt_core::ckpt::{

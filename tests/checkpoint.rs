@@ -68,7 +68,7 @@ fn crash_resume_matrix_is_bit_identical() {
         let killed_cfg = quick_config(rec_killed);
         let mut runner = MissionRunner::new(&scenario, &killed_cfg);
         let mut payloads = vec![runner.save().expect("checkpoint at window 0")];
-        while runner.step_window().is_some() {
+        while let StepOutcome::WindowClosed { .. } = runner.step_window() {
             payloads.push(runner.save().expect("checkpoint at window boundary"));
         }
         assert_eq!(payloads.len(), baseline.windows.len() + 1);
@@ -80,7 +80,7 @@ fn crash_resume_matrix_is_bit_identical() {
             let mut resumed = MissionRunner::resume(&scenario, &resumed_cfg, payload)
                 .unwrap_or_else(|e| panic!("seed {seed} kill {kill_at}: resume failed: {e}"));
             assert_eq!(resumed.window_index(), kill_at);
-            while resumed.step_window().is_some() {}
+            while let StepOutcome::WindowClosed { .. } = resumed.step_window() {}
             let report = resumed.finish();
             assert_eq!(
                 report.digest, baseline.digest,
@@ -120,7 +120,7 @@ fn chaos_run_killed_mid_campaign_resumes_bit_identically() {
     let (rec_killed, _rk) = Recorder::memory(400_000);
     let mut runner = MissionRunner::new(&scenario, &armed_chaos_config(rec_killed));
     for _ in 0..5 {
-        runner.step_window().expect("campaign run has 12 windows");
+        runner.step_window().window_stat().expect("campaign run has 12 windows");
     }
     let payload = runner.save().expect("checkpointable mid-campaign");
     drop(runner);
@@ -129,7 +129,7 @@ fn chaos_run_killed_mid_campaign_resumes_bit_identically() {
     let mut resumed =
         MissionRunner::resume(&scenario, &armed_chaos_config(rec_resumed.clone()), &payload)
             .expect("resume mid-campaign");
-    while resumed.step_window().is_some() {}
+    while let StepOutcome::WindowClosed { .. } = resumed.step_window() {}
     let report = resumed.finish();
     assert_eq!(report.digest, baseline.digest);
     assert_eq!(report.windows, baseline.windows);
@@ -154,8 +154,8 @@ fn post_resume_jsonl_trace_is_the_exact_tail_of_the_uninterrupted_one() {
 
     let killed_sink = SharedBytes::new();
     let mut runner = MissionRunner::new(&scenario, &quick_config(Recorder::jsonl(killed_sink)));
-    runner.step_window().expect("window 0");
-    runner.step_window().expect("window 1");
+    runner.step_window().window_stat().expect("window 0");
+    runner.step_window().window_stat().expect("window 1");
     let payload = runner.save().expect("checkpointable");
     drop(runner); // the crash: its sink dies with it
 
@@ -163,7 +163,7 @@ fn post_resume_jsonl_trace_is_the_exact_tail_of_the_uninterrupted_one() {
     let resumed_cfg = quick_config(Recorder::jsonl(tail_sink.clone()));
     let mut resumed =
         MissionRunner::resume(&scenario, &resumed_cfg, &payload).expect("resume");
-    while resumed.step_window().is_some() {}
+    while let StepOutcome::WindowClosed { .. } = resumed.step_window() {}
     let report = resumed.finish();
     assert_eq!(report.digest, baseline.digest);
 
@@ -188,7 +188,7 @@ fn corrupted_checkpoint_envelopes_are_always_rejected() {
     let scenario = persistent_surveillance(60, seed);
     let config = quick_config(Recorder::disabled());
     let mut runner = MissionRunner::new(&scenario, &config);
-    runner.step_window().expect("window 0");
+    runner.step_window().window_stat().expect("window 0");
     let payload = runner.save().expect("checkpointable");
     let file = encode_checkpoint(seed, 1, &payload);
     assert!(decode_checkpoint(&file).is_ok(), "pristine file must verify");
@@ -238,7 +238,7 @@ fn store_falls_back_past_a_torn_checkpoint_and_still_resumes_exactly() {
 
     let mut runner = MissionRunner::new(&scenario, &config);
     for w in 1..=3u64 {
-        runner.step_window().expect("window");
+        runner.step_window().window_stat().expect("window");
         let payload = runner.save().expect("checkpointable");
         store.save(seed, w, &payload).expect("write checkpoint");
     }
@@ -257,7 +257,7 @@ fn store_falls_back_past_a_torn_checkpoint_and_still_resumes_exactly() {
 
     let mut resumed =
         MissionRunner::resume(&scenario, &config, &payload).expect("resume from fallback");
-    while resumed.step_window().is_some() {}
+    while let StepOutcome::WindowClosed { .. } = resumed.step_window() {}
     assert_eq!(resumed.finish().digest, baseline.digest);
 
     let _ = std::fs::remove_dir_all(&dir);
