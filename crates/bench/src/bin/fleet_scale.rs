@@ -13,16 +13,28 @@
 //! cargo run -p iobt-bench --release --bin fleet_scale -- --json
 //! # CI determinism smoke (no timing in the output):
 //! cargo run -p iobt-bench --release --bin fleet_scale -- --missions 1000 --fingerprint
+//! # Supervision smoke: injected checkpoint-IO faults, then a mid-drain
+//! # kill (exit 17) and a manifest recovery whose fingerprint must match
+//! # the clean run's:
+//! cargo run -p iobt-bench --release --bin fleet_scale -- \
+//!     --supervise --missions 64 --fail-one-in 5 --fingerprint
+//! cargo run -p iobt-bench --release --bin fleet_scale -- \
+//!     --supervise --missions 64 --durable --dir /tmp/d --halt-slices 40
+//! cargo run -p iobt-bench --release --bin fleet_scale -- \
+//!     --supervise --missions 64 --recover --dir /tmp/d --fingerprint
 //! ```
 //!
 //! Wall-clock use here is reporting-only: it never feeds back into the
 //! scheduler or any mission, whose results are pure functions of their
 //! seeds.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use iobt_core::{persistent_surveillance, RunConfig};
-use iobt_fleet::FleetBuilder;
+use iobt_core::{persistent_surveillance, RunConfig, Scenario};
+use iobt_fleet::{
+    DiskStore, FailingStore, FaultProfile, Fleet, FleetBuilder, MissionStatus, MissionTicket,
+};
 use iobt_netsim::SimDuration;
 
 /// Nodes per mission (small: the point is mission count, not field size).
@@ -131,6 +143,119 @@ fn run_size(missions: usize, workers: usize, seed: u64) -> SizeResult {
     }
 }
 
+/// The mission list for a supervised run: pure function of
+/// `(missions, seed)`, so the kill run and the recover run rebuild the
+/// exact scenarios the manifest fingerprints expect.
+fn supervised_batch(missions: usize, seed: u64) -> Vec<Scenario> {
+    (0..missions)
+        .map(|i| persistent_surveillance(MISSION_NODES, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// Fingerprint over every completed mission's end state, ticket order.
+fn combined_fingerprint(fleet: &Fleet, tickets: &[MissionTicket]) -> u64 {
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    for &t in tickets {
+        let d = fleet.digest(t).expect("completed mission has a digest");
+        let m = fleet
+            .metrics_fingerprint(t)
+            .expect("mission metrics are on by default");
+        fnv1a(&mut fp, &m.to_le_bytes());
+        for v in [d.sent, d.delivered, d.dropped] {
+            fnv1a(&mut fp, &v.to_le_bytes());
+        }
+        fnv1a(&mut fp, &d.energy_spent_j.to_bits().to_le_bytes());
+        fnv1a(&mut fp, &d.mean_utility.to_bits().to_le_bytes());
+    }
+    fp
+}
+
+/// Supervision smoke: run `missions` with optional injected
+/// checkpoint-IO faults, a durable manifest, and a mid-drain kill; or
+/// recover a previous kill's manifest and drain it to completion.
+/// Exits 17 on a halted (killed) drain so the caller can assert the
+/// crash actually happened; otherwise prints the combined fingerprint,
+/// which must be identical across clean, faulty, and recovered runs.
+#[allow(clippy::too_many_arguments)]
+fn run_supervised(
+    missions: usize,
+    workers: usize,
+    seed: u64,
+    fail_one_in: u64,
+    durable: bool,
+    halt_slices: Option<u64>,
+    dir: PathBuf,
+    recover: bool,
+) {
+    let scenarios = supervised_batch(missions, seed);
+    let (mut fleet, tickets) = if recover {
+        let fleet = FleetBuilder::new()
+            .workers(workers)
+            .checkpoint_root(&dir)
+            .recover(scenarios)
+            .expect("manifest under --dir rebuilds the fleet");
+        let tickets = fleet.tickets();
+        (fleet, tickets)
+    } else {
+        let mut builder = FleetBuilder::new()
+            .workers(workers)
+            .evict_every_slice(true)
+            .checkpoint_root(&dir)
+            .durable_manifest(durable)
+            .retry_limit(64);
+        if fail_one_in > 0 {
+            builder = builder.store(FailingStore::new(
+                DiskStore::new(&dir),
+                FaultProfile::uniform(seed ^ 0xf417, fail_one_in),
+            ));
+        }
+        if let Some(halt) = halt_slices {
+            builder = builder.halt_after_slices(halt);
+        }
+        let mut fleet = builder.build().expect("supervised fleet config is valid");
+        let mut tickets = Vec::with_capacity(missions);
+        for scenario in scenarios {
+            let cfg = RunConfig::builder()
+                .duration(SimDuration::from_secs_f64(MISSION_SECONDS))
+                .window(SimDuration::from_secs_f64(WINDOW_SECONDS))
+                .build()
+                .expect("bench run config is valid");
+            tickets.push(fleet.submit(scenario, cfg).expect("admissible mission"));
+        }
+        (fleet, tickets)
+    };
+
+    let summary = fleet.drain();
+    if halt_slices.is_some() && summary.completed < missions {
+        eprintln!(
+            "halted mid-drain: completed={} of {} (slices={}, retries={}) — manifest left under {}",
+            summary.completed,
+            missions,
+            summary.slices,
+            summary.retries,
+            dir.display()
+        );
+        std::process::exit(17);
+    }
+    // `summary.completed` counts only missions finished during THIS
+    // drain; a recovered fleet may have restored some as already Done,
+    // so the invariant is on terminal status, not the drain delta.
+    let done = tickets
+        .iter()
+        .filter(|&&t| fleet.poll(t) == Some(MissionStatus::Done))
+        .count();
+    assert_eq!(
+        done, missions,
+        "every mission must end Done (quarantined={})",
+        summary.quarantined
+    );
+    let fp = combined_fingerprint(&fleet, &tickets);
+    println!(
+        "supervise missions={} workers={} seed={} fail_one_in={} retries={} recovered={} fingerprint={:016x}",
+        missions, workers, seed, fail_one_in, summary.retries, recover, fp
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
@@ -157,6 +282,46 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| vec![1_000, 10_000]);
+
+    if args.iter().any(|a| a == "--supervise") {
+        // Supervision smoke mode: one size (default 64 — the point is
+        // fault/crash coverage, not saturation).
+        let missions = if args.iter().any(|a| a == "--missions") {
+            sizes.first().copied().unwrap_or(64)
+        } else {
+            64
+        };
+        let fail_one_in: u64 = args
+            .iter()
+            .position(|a| a == "--fail-one-in")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let halt_slices: Option<u64> = args
+            .iter()
+            .position(|a| a == "--halt-slices")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok());
+        let dir: PathBuf = args
+            .iter()
+            .position(|a| a == "--dir")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("iobt-fleet-supervise-{}", std::process::id()))
+            });
+        run_supervised(
+            missions,
+            workers,
+            seed,
+            fail_one_in,
+            args.iter().any(|a| a == "--durable"),
+            halt_slices,
+            dir,
+            args.iter().any(|a| a == "--recover"),
+        );
+        return;
+    }
 
     let mut rows = Vec::new();
     for &n in &sizes {

@@ -33,7 +33,7 @@
 use iobt_ckpt::{CkptError, Dec, DecodeError, Enc};
 use iobt_netsim::{SimDuration, SimTime};
 use iobt_obs::{HistogramSnapshot, MetricsDigest, Recorder, RecorderCheckpoint, Subsystem};
-use iobt_synthesis::CompositionResult;
+use iobt_synthesis::{CompositionResult, Solver};
 use iobt_types::NodeId;
 
 use crate::behaviors::{
@@ -41,7 +41,8 @@ use crate::behaviors::{
 };
 use crate::resilience::{DegradationLadder, FailureDetector};
 use crate::runtime::{
-    build_sim, degraded_problem, prologue, MissionRunner, ResilienceReport, RunConfig, WindowStat,
+    build_sim, degraded_problem, prologue, EndStateDigest, MissionRunner, PortableRunConfig,
+    ResilienceReport, RunConfig, WindowStat,
 };
 use crate::scenario::Scenario;
 
@@ -326,6 +327,282 @@ fn dec_digest(d: &mut Dec<'_>) -> Result<MetricsDigest, DecodeError> {
         counters,
         gauges,
         histograms,
+    })
+}
+
+fn enc_solver(e: &mut Enc, solver: &Solver) {
+    match solver {
+        Solver::Greedy => e.u8(0),
+        Solver::Anneal { iterations, seed } => {
+            e.u8(1);
+            e.usize(*iterations);
+            e.u64(*seed);
+        }
+        Solver::Random { seed } => {
+            e.u8(2);
+            e.u64(*seed);
+        }
+        Solver::Exhaustive => e.u8(3),
+        Solver::Portfolio { iterations, seed } => {
+            e.u8(4);
+            e.usize(*iterations);
+            e.u64(*seed);
+        }
+    }
+}
+
+fn dec_solver(d: &mut Dec<'_>) -> Result<Solver, DecodeError> {
+    match d.u8()? {
+        0 => Ok(Solver::Greedy),
+        1 => Ok(Solver::Anneal {
+            iterations: d.usize()?,
+            seed: d.u64()?,
+        }),
+        2 => Ok(Solver::Random { seed: d.u64()? }),
+        3 => Ok(Solver::Exhaustive),
+        4 => Ok(Solver::Portfolio {
+            iterations: d.usize()?,
+            seed: d.u64()?,
+        }),
+        tag => Err(DecodeError::UnknownTag {
+            what: "solver",
+            tag,
+        }),
+    }
+}
+
+/// Encodes a [`PortableRunConfig`] into `e` with the fixed-order layout
+/// [`decode_portable_config`] reads back. Used by schedulers (the fleet
+/// manifest) that must persist a mission's execution parameters across a
+/// process death and re-admit it bit-identically.
+pub fn encode_portable_config(e: &mut Enc, config: &PortableRunConfig) {
+    // Exhaustive destructure (R6): a field added to the portable carrier
+    // fails this lint until its manifest story is written.
+    let PortableRunConfig {
+        duration,
+        window,
+        report_period,
+        adaptive,
+        repair_threshold,
+        grid,
+        solver,
+        require_reachability,
+        early_repair,
+        detector_ticks,
+        suspicion_periods,
+        degradation_ladder,
+        shed_threshold,
+        restore_threshold,
+        ladder_patience,
+        acked_tasking,
+        task_attempts,
+        task_retry_base,
+        reference_mode,
+    } = config;
+    e.u64(duration.as_micros());
+    e.u64(window.as_micros());
+    e.u64(report_period.as_micros());
+    e.bool(*adaptive);
+    e.f64(*repair_threshold);
+    e.usize(*grid);
+    enc_solver(e, solver);
+    e.bool(*require_reachability);
+    e.bool(*early_repair);
+    e.u32(*detector_ticks);
+    e.f64(*suspicion_periods);
+    e.bool(*degradation_ladder);
+    e.f64(*shed_threshold);
+    e.f64(*restore_threshold);
+    e.u32(*ladder_patience);
+    e.bool(*acked_tasking);
+    e.u32(*task_attempts);
+    e.u64(task_retry_base.as_micros());
+    e.bool(*reference_mode);
+}
+
+/// Decodes a [`PortableRunConfig`] written by [`encode_portable_config`].
+pub fn decode_portable_config(d: &mut Dec<'_>) -> Result<PortableRunConfig, DecodeError> {
+    let duration = SimDuration::from_micros(d.u64()?);
+    let window = SimDuration::from_micros(d.u64()?);
+    let report_period = SimDuration::from_micros(d.u64()?);
+    let adaptive = d.bool()?;
+    let repair_threshold = d.f64()?;
+    let grid = d.usize()?;
+    let solver = dec_solver(d)?;
+    let require_reachability = d.bool()?;
+    let early_repair = d.bool()?;
+    let detector_ticks = d.u32()?;
+    let suspicion_periods = d.f64()?;
+    let degradation_ladder = d.bool()?;
+    let shed_threshold = d.f64()?;
+    let restore_threshold = d.f64()?;
+    let ladder_patience = d.u32()?;
+    let acked_tasking = d.bool()?;
+    let task_attempts = d.u32()?;
+    let task_retry_base = SimDuration::from_micros(d.u64()?);
+    let reference_mode = d.bool()?;
+    Ok(PortableRunConfig {
+        duration,
+        window,
+        report_period,
+        adaptive,
+        repair_threshold,
+        grid,
+        solver,
+        require_reachability,
+        early_repair,
+        detector_ticks,
+        suspicion_periods,
+        degradation_ladder,
+        shed_threshold,
+        restore_threshold,
+        ladder_patience,
+        acked_tasking,
+        task_attempts,
+        task_retry_base,
+        reference_mode,
+    })
+}
+
+/// Encodes an [`EndStateDigest`] (with its nested [`ResilienceReport`]
+/// and [`TaskingStats`]) into `e`, bit-exactly: every `f64` travels as
+/// its IEEE-754 pattern, so a digest restored by
+/// [`decode_end_state_digest`] compares equal to the one saved. Used by
+/// the fleet manifest to keep completed missions' results across a
+/// scheduler crash.
+pub fn encode_end_state_digest(e: &mut Enc, digest: &EndStateDigest) {
+    // Exhaustive destructures (R6): a new digest field fails this lint
+    // until it is encoded (and decoded, in order).
+    let EndStateDigest {
+        sent,
+        delivered,
+        dropped,
+        dropped_no_route,
+        dropped_channel,
+        dropped_dead,
+        dropped_asleep,
+        retransmits,
+        tampered,
+        energy_spent_j,
+        node_energy_j,
+        mean_utility,
+        repairs,
+        final_selection,
+        resilience,
+    } = digest;
+    let ResilienceReport {
+        suspected,
+        early_repairs,
+        sheds,
+        restores,
+        final_ladder_level,
+        tasking,
+    } = resilience;
+    let TaskingStats {
+        assigned,
+        acked,
+        retries,
+        abandoned,
+        tampered_rejected,
+    } = tasking;
+    e.u64(*sent);
+    e.u64(*delivered);
+    e.u64(*dropped);
+    e.u64(*dropped_no_route);
+    e.u64(*dropped_channel);
+    e.u64(*dropped_dead);
+    e.u64(*dropped_asleep);
+    e.u64(*retransmits);
+    e.u64(*tampered);
+    e.f64(*energy_spent_j);
+    e.usize(node_energy_j.len());
+    for (node, energy) in node_energy_j {
+        e.u64(node.raw());
+        e.f64(*energy);
+    }
+    e.f64(*mean_utility);
+    e.usize(*repairs);
+    e.usize(final_selection.len());
+    for &i in final_selection {
+        e.usize(i);
+    }
+    e.u64(*suspected);
+    e.u64(*early_repairs);
+    e.u64(*sheds);
+    e.u64(*restores);
+    e.u64(*final_ladder_level);
+    e.u64(*assigned);
+    e.u64(*acked);
+    e.u64(*retries);
+    e.u64(*abandoned);
+    e.u64(*tampered_rejected);
+}
+
+/// Decodes an [`EndStateDigest`] written by [`encode_end_state_digest`].
+pub fn decode_end_state_digest(d: &mut Dec<'_>) -> Result<EndStateDigest, DecodeError> {
+    let sent = d.u64()?;
+    let delivered = d.u64()?;
+    let dropped = d.u64()?;
+    let dropped_no_route = d.u64()?;
+    let dropped_channel = d.u64()?;
+    let dropped_dead = d.u64()?;
+    let dropped_asleep = d.u64()?;
+    let retransmits = d.u64()?;
+    let tampered = d.u64()?;
+    let energy_spent_j = d.f64()?;
+    let n = d.usize()?;
+    let mut node_energy_j = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let node = NodeId::new(d.u64()?);
+        let energy = d.f64()?;
+        node_energy_j.push((node, energy));
+    }
+    let mean_utility = d.f64()?;
+    let repairs = d.usize()?;
+    let n = d.usize()?;
+    let mut final_selection = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        final_selection.push(d.usize()?);
+    }
+    let suspected = d.u64()?;
+    let early_repairs = d.u64()?;
+    let sheds = d.u64()?;
+    let restores = d.u64()?;
+    let final_ladder_level = d.u64()?;
+    let assigned = d.u64()?;
+    let acked = d.u64()?;
+    let retries = d.u64()?;
+    let abandoned = d.u64()?;
+    let tampered_rejected = d.u64()?;
+    Ok(EndStateDigest {
+        sent,
+        delivered,
+        dropped,
+        dropped_no_route,
+        dropped_channel,
+        dropped_dead,
+        dropped_asleep,
+        retransmits,
+        tampered,
+        energy_spent_j,
+        node_energy_j,
+        mean_utility,
+        repairs,
+        final_selection,
+        resilience: ResilienceReport {
+            suspected,
+            early_repairs,
+            sheds,
+            restores,
+            final_ladder_level,
+            tasking: TaskingStats {
+                assigned,
+                acked,
+                retries,
+                abandoned,
+                tampered_rejected,
+            },
+        },
     })
 }
 

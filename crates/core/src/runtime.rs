@@ -375,27 +375,27 @@ impl RunConfigBuilder {
 ///
 /// The split/rebuild round trip is exact: rebuilding with the original
 /// recorder yields a config equivalent to the one that was split.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PortableRunConfig {
-    duration: SimDuration,
-    window: SimDuration,
-    report_period: SimDuration,
-    adaptive: bool,
-    repair_threshold: f64,
-    grid: usize,
-    solver: Solver,
-    require_reachability: bool,
-    early_repair: bool,
-    detector_ticks: u32,
-    suspicion_periods: f64,
-    degradation_ladder: bool,
-    shed_threshold: f64,
-    restore_threshold: f64,
-    ladder_patience: u32,
-    acked_tasking: bool,
-    task_attempts: u32,
-    task_retry_base: SimDuration,
-    reference_mode: bool,
+    pub(crate) duration: SimDuration,
+    pub(crate) window: SimDuration,
+    pub(crate) report_period: SimDuration,
+    pub(crate) adaptive: bool,
+    pub(crate) repair_threshold: f64,
+    pub(crate) grid: usize,
+    pub(crate) solver: Solver,
+    pub(crate) require_reachability: bool,
+    pub(crate) early_repair: bool,
+    pub(crate) detector_ticks: u32,
+    pub(crate) suspicion_periods: f64,
+    pub(crate) degradation_ladder: bool,
+    pub(crate) shed_threshold: f64,
+    pub(crate) restore_threshold: f64,
+    pub(crate) ladder_patience: u32,
+    pub(crate) acked_tasking: bool,
+    pub(crate) task_attempts: u32,
+    pub(crate) task_retry_base: SimDuration,
+    pub(crate) reference_mode: bool,
 }
 
 // The whole point of the carrier: it must stay `Send` even as `RunConfig`

@@ -44,14 +44,44 @@
 //! stable; the number of evict/resume events, however, reflects the
 //! actual schedule and is only reproducible under a deterministic
 //! schedule (one worker, or `evict_every_slice`).
+//!
+//! # Supervision and recovery
+//!
+//! The scheduler supervises its missions rather than trusting them:
+//!
+//! - **Panic isolation** — every slice runs under `catch_unwind`; a
+//!   panicking mission is [`MissionStatus::Quarantined`] with its
+//!   payload captured in a typed [`MissionError`], the worker survives,
+//!   and every other mission's digest is bit-identical to a panic-free
+//!   run.
+//! - **Checkpoint-IO fault tolerance** — storage is abstracted behind
+//!   [`Store`] ([`DiskStore`] in production, [`FailingStore`] for
+//!   deterministic fault injection); transient faults retry up to
+//!   [`FleetBuilder::retry_limit`] with capped exponential backoff
+//!   measured in scheduler slices, never wall time.
+//! - **Deadlines and backpressure** — [`FleetBuilder::slice_budget`]
+//!   quarantines runaway missions;
+//!   [`FleetBuilder::max_queued`] sheds new admissions with
+//!   [`SubmitError::QueueFull`] instead of growing without bound.
+//! - **Whole-fleet crash recovery** — with
+//!   [`FleetBuilder::durable_manifest`] on, a versioned, checksummed
+//!   manifest records every durable state transition and
+//!   [`Fleet::recover`] rebuilds the fleet after a process death; the
+//!   completed batch's digests are bit-identical to an uninterrupted
+//!   run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
+mod error;
+mod manifest;
 mod scheduler;
+mod store;
 mod ticket;
 
 pub use config::{FleetBuilder, FleetConfigError};
+pub use error::{MissionError, MissionErrorKind, RecoverError};
 pub use scheduler::{Fleet, FleetSummary};
+pub use store::{DiskStore, FailingStore, FaultProfile, Store};
 pub use ticket::{MissionStatus, MissionTicket, SubmitError};

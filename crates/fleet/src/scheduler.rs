@@ -1,5 +1,7 @@
 //! The fleet scheduler: admission queue, `std::thread::scope` worker
-//! pool, per-mission state machine, and checkpoint-eviction.
+//! pool, per-mission state machine, checkpoint-eviction, and the
+//! supervision layer (panic isolation, retry/backoff on checkpoint-IO
+//! faults, quarantine, deadlines, and whole-fleet crash recovery).
 //!
 //! # Scheduling model
 //!
@@ -16,13 +18,30 @@
 //! count exceeds its threshold, the least-recently-sliced resident is
 //! checkpointed to disk and its ticket returned to the global queue for
 //! any worker to resume.
+//!
+//! # Supervision model
+//!
+//! Every slice runs under `catch_unwind`: a panicking mission is
+//! [`Quarantined`](MissionStatus::Quarantined) with its payload
+//! captured, the worker survives, and — because missions share no
+//! mutable state — every other mission's digest is bit-identical to a
+//! panic-free run. Checkpoint-IO faults are classified by
+//! [`MissionError::retryable`]: transient faults retry up to
+//! [`FleetBuilder::retry_limit`] times with capped exponential backoff
+//! measured in *scheduler slices* (the fleet's only clock — wall time
+//! never reaches a scheduling decision, so a faulty run is exactly
+//! reproducible); exhausted or non-retryable faults quarantine. With
+//! [`FleetBuilder::durable_manifest`] on, every durable state
+//! transition is recorded in a checksummed manifest *after* its
+//! checkpoint write, and [`Fleet::recover`] rebuilds the whole fleet
+//! from the newest good manifest generation.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use iobt_ckpt::CheckpointStore;
 use iobt_core::{
     EndStateDigest, MissionReport, MissionRunner, PortableRunConfig, RunConfig, Scenario,
     StepOutcome,
@@ -30,6 +49,8 @@ use iobt_core::{
 use iobt_obs::{Recorder, TraceEvent};
 
 use crate::config::FleetConfig;
+use crate::error::{ckpt_fault_is_retryable, MissionError, MissionErrorKind, RecoverError};
+use crate::manifest::{scenario_fingerprint, ManifestFile, ManifestState, TicketRecord};
 use crate::{FleetBuilder, MissionStatus, MissionTicket, SubmitError};
 
 /// Locks a mutex, recovering the data on poisoning: a worker that
@@ -48,12 +69,18 @@ enum SliceEvent {
     Slice { from_window: u64, windows: u64 },
     Evict { window: u64, bytes: u64 },
     Resume { window: u64 },
+    Retry { window: u64, attempt: u64, backoff_slices: u64 },
+    Quarantine { window: u64, kind: &'static str, attempts: u64 },
     Complete { windows: u64, repairs: u64 },
 }
 
 /// Everything the fleet knows about one submitted mission.
 struct Slot {
     scenario: Scenario,
+    /// FNV fingerprint of the scenario's `Debug` rendering (scenarios
+    /// are not serialisable; the manifest stores this so recovery can
+    /// validate re-supplied scenarios).
+    scenario_hash: u64,
     portable: PortableRunConfig,
     seed: u64,
     window_us: u64,
@@ -62,8 +89,15 @@ struct Slot {
     /// Window boundary of the newest on-disk checkpoint while evicted.
     ckpt_window: Option<u64>,
     report: Option<MissionReport>,
+    /// End-state digest once `Done`. Held separately from the report so
+    /// it survives crash recovery (the full report does not).
+    digest: Option<EndStateDigest>,
     metrics_fp: Option<u64>,
-    error: Option<String>,
+    error: Option<MissionError>,
+    /// Checkpoint-IO attempts consumed so far.
+    retries: u32,
+    /// Scheduler slices consumed so far (deadline accounting).
+    slices_used: u64,
     events: Vec<SliceEvent>,
 }
 
@@ -75,20 +109,51 @@ const _: fn() = || {
     assert_send::<Slot>();
 };
 
+/// The shared runnable-work pool: `ready` tickets any worker may take
+/// now, and `deferred` tickets waiting out a retry backoff (promoted to
+/// `ready` when the slice clock reaches their time).
+struct QueueState {
+    ready: VecDeque<u64>,
+    deferred: Vec<(u64, u64)>,
+}
+
+/// Moves every deferred ticket whose backoff has elapsed into `ready`.
+fn promote_due(q: &mut QueueState, now: u64) {
+    let mut i = 0;
+    while i < q.deferred.len() {
+        if q.deferred[i].0 <= now {
+            let (_, ticket) = q.deferred.remove(i);
+            q.ready.push_back(ticket);
+        } else {
+            i += 1;
+        }
+    }
+}
+
 /// Shared state for one `drain` run.
 struct DrainCtx<'a> {
     cfg: &'a FleetConfig,
     cells: &'a [Mutex<&'a mut Slot>],
-    /// Tickets runnable by any worker: fresh admissions and evicted
-    /// missions.
-    queue: Mutex<VecDeque<u64>>,
+    /// Tickets runnable by any worker: fresh admissions, evicted
+    /// missions, and backoff-deferred retries.
+    queue: Mutex<QueueState>,
     /// Wakes parked workers when the queue grows or the drain finishes.
     cv: Condvar,
-    /// Missions not yet `Done`/`Failed`.
+    /// Missions not yet `Done`/`Quarantined`.
     remaining: AtomicUsize,
+    /// The fleet's logical clock: total slices executed this drain.
+    /// Retry backoff is measured against this — never wall time — so
+    /// faulty runs stay deterministic. Fast-forwarded when only
+    /// deferred work remains.
+    slice_clock: AtomicU64,
+    /// Set when `halt_after_slices` trips: workers stop taking work and
+    /// unfinished missions stay wherever they are.
+    halted: AtomicBool,
     /// Wall-clock slice latencies, milliseconds. Reporting only — never
     /// feeds back into scheduling decisions or results.
     latencies: Mutex<Vec<f64>>,
+    /// The durable manifest, when enabled.
+    manifest: Option<&'a Mutex<ManifestState>>,
 }
 
 /// Aggregate outcome of one [`Fleet::drain`] call.
@@ -103,8 +168,11 @@ pub struct FleetSummary {
     pub submitted: usize,
     /// Missions that finished every window.
     pub completed: usize,
-    /// Missions that failed in checkpoint save or resume.
-    pub failed: usize,
+    /// Missions isolated after a panic, exhausted checkpoint-IO
+    /// retries, a blown slice budget, or an unrecoverable checkpoint.
+    pub quarantined: usize,
+    /// Checkpoint-IO retry attempts across all missions.
+    pub retries: u64,
     /// Scheduler quanta executed.
     pub slices: u64,
     /// Utility windows executed across all missions.
@@ -130,6 +198,9 @@ pub struct Fleet {
     cfg: FleetConfig,
     recorder: Recorder,
     slots: Vec<Slot>,
+    /// In-memory mirror of the on-disk ticket table, when durability is
+    /// on.
+    manifest: Option<Mutex<ManifestState>>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -141,19 +212,131 @@ impl std::fmt::Debug for Fleet {
     }
 }
 
+/// The slot's durable image: what recovery needs to rebuild it.
+fn record_of(slot: &Slot) -> TicketRecord {
+    TicketRecord {
+        scenario_hash: slot.scenario_hash,
+        seed: slot.seed,
+        window_us: slot.window_us,
+        total_windows: slot.total_windows,
+        status: slot.status,
+        ckpt_window: slot.ckpt_window,
+        retries: slot.retries,
+        slices_used: slot.slices_used,
+        digest: slot.digest.clone(),
+        metrics_fp: slot.metrics_fp,
+        error: slot.error.clone(),
+        portable: slot.portable.clone(),
+    }
+}
+
 impl Fleet {
     pub(crate) fn from_parts(cfg: FleetConfig, recorder: Recorder) -> Self {
+        let manifest = cfg
+            .durable_manifest
+            .then(|| Mutex::new(ManifestState::open(&cfg.checkpoint_root)));
         Fleet {
             cfg,
             recorder,
             slots: Vec::new(),
+            manifest,
         }
+    }
+
+    /// Rebuilds this (empty) fleet's ticket table from the newest good
+    /// manifest generation under the checkpoint root. Called by
+    /// [`FleetBuilder::recover`].
+    pub(crate) fn restore_from_manifest(
+        &mut self,
+        scenarios: Vec<Scenario>,
+    ) -> Result<(), RecoverError> {
+        let loaded = match ManifestFile::load_latest(&self.cfg.checkpoint_root) {
+            Ok(Some(loaded)) => loaded,
+            Ok(None) => return Err(RecoverError::NoManifest),
+            Err(e) => return Err(RecoverError::Load(e)),
+        };
+        if loaded.records.len() != scenarios.len() {
+            return Err(RecoverError::ScenarioCount {
+                expected: loaded.records.len(),
+                got: scenarios.len(),
+            });
+        }
+        let mut slots = Vec::with_capacity(scenarios.len());
+        for (i, (record, scenario)) in loaded.records.into_iter().zip(scenarios).enumerate() {
+            let ticket = i as u64;
+            let hash = scenario_fingerprint(&format!("{scenario:?}"));
+            if hash != record.scenario_hash {
+                return Err(RecoverError::ScenarioMismatch { ticket });
+            }
+            // Terminal states are final; anything in flight re-enters
+            // as `Evicted` (resume from its newest good checkpoint) or
+            // `Queued` (deterministic replay from scratch) — either way
+            // the completed batch's digests are bit-identical to an
+            // uninterrupted run.
+            let (status, ckpt_window) = match record.status {
+                MissionStatus::Done => (MissionStatus::Done, None),
+                MissionStatus::Quarantined => (MissionStatus::Quarantined, None),
+                MissionStatus::Queued => (MissionStatus::Queued, None),
+                MissionStatus::Running | MissionStatus::Idle | MissionStatus::Evicted => {
+                    match record.ckpt_window {
+                        Some(window) => (MissionStatus::Evicted, Some(window)),
+                        None => (MissionStatus::Queued, None),
+                    }
+                }
+            };
+            if !status.is_terminal() {
+                self.recorder.record_at(
+                    ckpt_window.unwrap_or(0) * record.window_us,
+                    TraceEvent::FleetRecover {
+                        ticket,
+                        window: ckpt_window.unwrap_or(0),
+                    },
+                );
+            }
+            slots.push(Slot {
+                scenario_hash: record.scenario_hash,
+                scenario,
+                portable: record.portable,
+                seed: record.seed,
+                window_us: record.window_us,
+                total_windows: record.total_windows,
+                status,
+                ckpt_window,
+                report: None,
+                digest: record.digest,
+                metrics_fp: record.metrics_fp,
+                error: record.error,
+                retries: record.retries,
+                slices_used: record.slices_used,
+                events: Vec::new(),
+            });
+        }
+        self.recorder.flush();
+        self.slots = slots;
+        if let Some(manifest) = &self.manifest {
+            lock(manifest).replace(self.slots.iter().map(record_of).collect());
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a fleet from the durable manifest under `dir` with the
+    /// default configuration: the one-call crash-recovery entry point.
+    /// Scenarios are re-supplied in ticket order (they are not
+    /// serialisable) and validated against the recorded fingerprints;
+    /// see [`FleetBuilder::recover`] to recover with custom settings.
+    pub fn recover(
+        dir: impl Into<std::path::PathBuf>,
+        scenarios: Vec<Scenario>,
+    ) -> Result<Fleet, RecoverError> {
+        FleetBuilder::new().checkpoint_root(dir).recover(scenarios)
     }
 
     /// Admits a mission and returns its ticket. The config must not
     /// carry an enabled recorder (recorders are thread-bound); per-
     /// mission metrics come from
-    /// [`FleetBuilder::mission_metrics`] instead.
+    /// [`FleetBuilder::mission_metrics`] instead. Sheds with
+    /// [`SubmitError::QueueFull`] when the fleet already holds
+    /// [`FleetBuilder::max_queued`] non-terminal missions.
     pub fn submit(
         &mut self,
         scenario: Scenario,
@@ -165,14 +348,29 @@ impl Fleet {
         if scenario.catalog.is_empty() {
             return Err(SubmitError::EmptyCatalog);
         }
+        if self.cfg.max_queued > 0 {
+            let queued = self.slots.iter().filter(|s| !s.status.is_terminal()).count();
+            if queued >= self.cfg.max_queued {
+                self.recorder.record_at(
+                    0,
+                    TraceEvent::FleetShed {
+                        ticket: self.slots.len() as u64,
+                        queued: queued as u64,
+                    },
+                );
+                return Err(SubmitError::QueueFull { queued });
+            }
+        }
         let total_windows =
             (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as u64;
         let window_us = config.window.as_micros();
         let seed = scenario.seed;
         let (portable, _disabled) = config.into_portable();
         let ticket = MissionTicket(self.slots.len() as u64);
+        let scenario_hash = scenario_fingerprint(&format!("{scenario:?}"));
         self.slots.push(Slot {
             scenario,
+            scenario_hash,
             portable,
             seed,
             window_us,
@@ -180,10 +378,17 @@ impl Fleet {
             status: MissionStatus::Queued,
             ckpt_window: None,
             report: None,
+            digest: None,
             metrics_fp: None,
             error: None,
+            retries: 0,
+            slices_used: 0,
             events: Vec::new(),
         });
+        if let Some(manifest) = &self.manifest {
+            let record = record_of(&self.slots[ticket.0 as usize]);
+            lock(manifest).update(ticket.0, record);
+        }
         self.recorder.record_at(
             0,
             TraceEvent::FleetAdmit {
@@ -201,7 +406,9 @@ impl Fleet {
         self.slots.get(ticket.0 as usize).map(|s| s.status)
     }
 
-    /// The completed mission's full report (`None` until `Done`).
+    /// The completed mission's full report (`None` until `Done`, and
+    /// `None` after crash recovery — only the digest and metrics
+    /// fingerprint survive the manifest).
     pub fn report(&self, ticket: MissionTicket) -> Option<&MissionReport> {
         self.slots
             .get(ticket.0 as usize)
@@ -210,7 +417,9 @@ impl Fleet {
 
     /// The completed mission's end-state digest (`None` until `Done`).
     pub fn digest(&self, ticket: MissionTicket) -> Option<&EndStateDigest> {
-        self.report(ticket).map(|r| &r.digest)
+        self.slots
+            .get(ticket.0 as usize)
+            .and_then(|s| s.digest.as_ref())
     }
 
     /// The completed mission's metrics fingerprint (`None` until `Done`,
@@ -219,11 +428,12 @@ impl Fleet {
         self.slots.get(ticket.0 as usize).and_then(|s| s.metrics_fp)
     }
 
-    /// Why a `Failed` mission failed (`None` otherwise).
-    pub fn error(&self, ticket: MissionTicket) -> Option<&str> {
+    /// Why a [`Quarantined`](MissionStatus::Quarantined) mission was
+    /// isolated (`None` otherwise).
+    pub fn error(&self, ticket: MissionTicket) -> Option<&MissionError> {
         self.slots
             .get(ticket.0 as usize)
-            .and_then(|s| s.error.as_deref())
+            .and_then(|s| s.error.as_ref())
     }
 
     /// Every ticket this fleet has issued, in submission order.
@@ -239,7 +449,10 @@ impl Fleet {
 
     /// Runs every non-terminal mission to completion across the worker
     /// pool and returns the batch summary. Safe to call repeatedly:
-    /// missions submitted after a drain are picked up by the next one.
+    /// missions submitted after a drain are picked up by the next one,
+    /// and a drain stopped early by [`FleetBuilder::halt_after_slices`]
+    /// leaves unfinished missions resumable by the next drain (or by
+    /// [`Fleet::recover`] in a new process).
     pub fn drain(&mut self) -> FleetSummary {
         let pending: Vec<u64> = self
             .slots
@@ -252,14 +465,21 @@ impl Fleet {
         let start = Instant::now(); // lint: allow(wall-clock) — reporting only; lands in FleetSummary.wall_s, never in a decision or digest
         let mut latencies: Vec<f64> = Vec::new();
         if submitted > 0 {
+            let manifest = self.manifest.as_ref();
             let cells: Vec<Mutex<&mut Slot>> = self.slots.iter_mut().map(Mutex::new).collect();
             let ctx = DrainCtx {
                 cfg: &self.cfg,
                 cells: &cells,
-                queue: Mutex::new(pending.iter().copied().collect()),
+                queue: Mutex::new(QueueState {
+                    ready: pending.iter().copied().collect(),
+                    deferred: Vec::new(),
+                }),
                 cv: Condvar::new(),
                 remaining: AtomicUsize::new(submitted),
+                slice_clock: AtomicU64::new(0),
+                halted: AtomicBool::new(false),
                 latencies: Mutex::new(Vec::new()),
+                manifest,
             };
             std::thread::scope(|s| {
                 for _ in 0..self.cfg.workers {
@@ -303,6 +523,17 @@ impl Fleet {
                         summary.resumes += 1;
                         (window * window_us, TraceEvent::FleetResume { ticket, window })
                     }
+                    SliceEvent::Retry { window, attempt, backoff_slices } => {
+                        summary.retries += 1;
+                        (
+                            window * window_us,
+                            TraceEvent::FleetRetry { ticket, window, attempt, backoff_slices },
+                        )
+                    }
+                    SliceEvent::Quarantine { window, kind, attempts } => (
+                        window * window_us,
+                        TraceEvent::FleetQuarantine { ticket, kind, attempts },
+                    ),
                     SliceEvent::Complete { windows, repairs } => (
                         windows * window_us,
                         TraceEvent::FleetComplete { ticket, windows, repairs },
@@ -314,7 +545,7 @@ impl Fleet {
         for &i in &pending {
             match self.slots[i as usize].status {
                 MissionStatus::Done => summary.completed += 1,
-                MissionStatus::Failed => summary.failed += 1,
+                MissionStatus::Quarantined => summary.quarantined += 1,
                 _ => {}
             }
         }
@@ -340,22 +571,47 @@ fn worker_loop(ctx: &DrainCtx<'_>) {
     let mut resident: VecDeque<u64> = VecDeque::new();
     let mut runners: BTreeMap<u64, (MissionRunner, Recorder)> = BTreeMap::new();
     loop {
-        if ctx.remaining.load(Ordering::SeqCst) == 0 {
+        if ctx.remaining.load(Ordering::SeqCst) == 0 || ctx.halted.load(Ordering::SeqCst) {
             break;
         }
         // Admission-first: prefer the global queue so every submitted
         // mission keeps progressing; fall back to our own residents.
-        let next = lock(&ctx.queue).pop_front().or_else(|| resident.pop_front());
+        let next = {
+            let mut q = lock(&ctx.queue);
+            promote_due(&mut q, ctx.slice_clock.load(Ordering::SeqCst));
+            q.ready.pop_front()
+        }
+        .or_else(|| resident.pop_front());
         match next {
             Some(ticket) => run_slice(ctx, ticket, &mut resident, &mut runners),
             None => {
-                // Nothing runnable on this worker. Park until the queue
-                // changes; the timeout bounds any missed-notify window.
-                let q = lock(&ctx.queue);
-                if q.is_empty() && ctx.remaining.load(Ordering::SeqCst) != 0 {
+                let mut q = lock(&ctx.queue);
+                if !q.ready.is_empty() {
+                    continue;
+                }
+                if !q.deferred.is_empty() {
+                    // Only backoff-deferred work is left anywhere this
+                    // worker can see: fast-forward the slice clock to
+                    // the earliest due time instead of spinning.
+                    // Backoff paces retries relative to fleet progress;
+                    // when there is no other progress to wait behind,
+                    // waiting has no meaning — and the clock is never
+                    // digest-visible.
+                    let due = q.deferred.iter().map(|&(at, _)| at).min().unwrap_or(0);
+                    ctx.slice_clock.fetch_max(due, Ordering::SeqCst);
+                    promote_due(&mut q, ctx.slice_clock.load(Ordering::SeqCst));
+                    ctx.cv.notify_all();
+                } else if ctx.remaining.load(Ordering::SeqCst) != 0
+                    && !ctx.halted.load(Ordering::SeqCst)
+                {
+                    // Nothing runnable on this worker. Park until
+                    // notified (evictions, retries, and completion all
+                    // notify); the long timeout is only a liveness
+                    // backstop against a lost wakeup, not a poll
+                    // interval.
                     let _ = ctx
                         .cv
-                        .wait_timeout(q, Duration::from_millis(1))
+                        .wait_timeout(q, Duration::from_millis(100))
                         .unwrap_or_else(|e| e.into_inner());
                 }
             }
@@ -363,9 +619,28 @@ fn worker_loop(ctx: &DrainCtx<'_>) {
     }
 }
 
-/// Executes one scheduling quantum for `ticket` on this worker:
-/// materialize (fresh or resumed) if needed, step up to
-/// `quantum_windows` windows, then complete, keep resident, or evict.
+/// How a slice left its mission, as seen by `run_slice`'s unwind guard.
+/// The runner is boxed so the settled arm doesn't pay for the largest
+/// variant.
+enum SliceOutcome {
+    /// The mission stays materialized on this worker.
+    Resident(Box<(MissionRunner, Recorder)>),
+    /// The mission completed, evicted, deferred, or quarantined; no
+    /// runner survives on this worker.
+    Settled,
+}
+
+/// A classified fault on the slice path, before retry accounting.
+struct Fault {
+    kind: MissionErrorKind,
+    retryable: bool,
+    detail: String,
+}
+
+/// Executes one scheduling quantum for `ticket` on this worker under an
+/// unwind guard: a panic anywhere in materialization, stepping, or
+/// completion quarantines *this* mission and leaves the worker — and
+/// every other mission — untouched.
 fn run_slice(
     ctx: &DrainCtx<'_>,
     ticket: u64,
@@ -374,14 +649,42 @@ fn run_slice(
 ) {
     let mut guard = lock(&ctx.cells[ticket as usize]);
     let slot: &mut Slot = &mut guard;
+    let existing = runners.remove(&ticket);
+    // The cell guard is held *outside* the unwind boundary, so a panic
+    // can never poison the slot's mutex.
+    let outcome = catch_unwind(AssertUnwindSafe(|| slice_body(ctx, slot, ticket, existing)));
+    match outcome {
+        Ok(SliceOutcome::Resident(pair)) => {
+            slot.status = MissionStatus::Idle;
+            resident.push_back(ticket);
+            runners.insert(ticket, *pair);
+            drop(guard);
+            enforce_residency(ctx, resident, runners);
+        }
+        Ok(SliceOutcome::Settled) => {}
+        Err(payload) => {
+            let error = MissionError::new(MissionErrorKind::Panic, false, panic_detail(payload));
+            quarantine(ctx, slot, ticket, error);
+        }
+    }
+}
 
-    let (mut runner, recorder) = match runners.remove(&ticket) {
+/// The fallible/panicky part of a slice: materialize (fresh or
+/// resumed), step up to `quantum_windows` windows, then complete, keep
+/// resident, or evict.
+fn slice_body(
+    ctx: &DrainCtx<'_>,
+    slot: &mut Slot,
+    ticket: u64,
+    existing: Option<(MissionRunner, Recorder)>,
+) -> SliceOutcome {
+    let (mut runner, recorder) = match existing {
         Some(pair) => pair,
         None => match materialize(ctx, slot, ticket) {
             Ok(pair) => pair,
-            Err(msg) => {
-                fail(ctx, slot, msg);
-                return;
+            Err(fault) => {
+                mission_fault(ctx, slot, ticket, fault);
+                return SliceOutcome::Settled;
             }
         },
     };
@@ -391,6 +694,14 @@ fn run_slice(
     let t0 = Instant::now(); // lint: allow(wall-clock) — reporting only; slice latency lands in FleetSummary, never in a decision or digest
     let mut ran = 0u64;
     while ran < u64::from(ctx.cfg.quantum_windows) {
+        if let Some((target, window)) = ctx.cfg.inject_panic {
+            if target == ticket && runner.window_index() as u64 == window {
+                // Deliberate chaos injection behind the test-only
+                // inject_panic knob; the supervision layer under test
+                // catches this unwind.
+                panic!("injected panic in mission m-{ticket:06} at window {window}");
+            }
+        }
         match runner.step_window() {
             StepOutcome::WindowClosed { .. } => ran += 1,
             // `Finished`, and conservatively any future non-progress
@@ -401,6 +712,8 @@ fn run_slice(
     }
     lock(&ctx.latencies).push(t0.elapsed().as_secs_f64() * 1_000.0);
     slot.events.push(SliceEvent::Slice { from_window, windows: ran });
+    slot.slices_used += 1;
+    tick_clock(ctx);
 
     if runner.is_finished() {
         let windows = runner.total_windows() as u64;
@@ -412,36 +725,88 @@ fn run_slice(
         slot.metrics_fp = recorder
             .is_enabled()
             .then(|| recorder.metrics_digest().fingerprint());
+        slot.digest = Some(report.digest.clone());
         slot.report = Some(report);
         slot.ckpt_window = None;
         slot.status = MissionStatus::Done;
         // The mission's checkpoints are no longer needed; reclaim the
         // disk space (best-effort — a leftover directory is harmless).
-        let _ = std::fs::remove_dir_all(mission_dir(ctx.cfg, ticket));
+        ctx.cfg.store.clear(ticket);
+        persist_slot(ctx, ticket, slot);
         finish_one(ctx);
-        return;
+        return SliceOutcome::Settled;
+    }
+
+    if let Some(budget) = ctx.cfg.slice_budget {
+        if slot.slices_used >= budget {
+            let attempts = slot.retries + 1;
+            drop(runner);
+            quarantine(
+                ctx,
+                slot,
+                ticket,
+                MissionError {
+                    kind: MissionErrorKind::DeadlineExceeded,
+                    retryable: false,
+                    attempts,
+                    detail: format!(
+                        "mission still at window {} of {} after {budget} slices",
+                        from_window + ran,
+                        slot.total_windows
+                    ),
+                },
+            );
+            return SliceOutcome::Settled;
+        }
     }
 
     if ctx.cfg.evict_every_slice {
-        evict(ctx, slot, ticket, runner);
-        return;
+        match evict(ctx, slot, ticket, runner, recorder) {
+            Some(pair) => SliceOutcome::Resident(Box::new(pair)),
+            None => SliceOutcome::Settled,
+        }
+    } else {
+        SliceOutcome::Resident(Box::new((runner, recorder)))
     }
+}
 
-    slot.status = MissionStatus::Idle;
-    resident.push_back(ticket);
-    runners.insert(ticket, (runner, recorder));
-    // Residency cap: checkpoint the least-recently-sliced mission out.
+/// Advances the global slice clock and trips the halt latch when the
+/// configured kill point is reached.
+fn tick_clock(ctx: &DrainCtx<'_>) {
+    let now = ctx.slice_clock.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(halt) = ctx.cfg.halt_after_slices {
+        if now >= halt && !ctx.halted.swap(true, Ordering::SeqCst) {
+            ctx.cv.notify_all();
+        }
+    }
+}
+
+/// Residency cap: checkpoint the least-recently-sliced missions out
+/// until this worker is back under its threshold.
+fn enforce_residency(
+    ctx: &DrainCtx<'_>,
+    resident: &mut VecDeque<u64>,
+    runners: &mut BTreeMap<u64, (MissionRunner, Recorder)>,
+) {
     while resident.len() > ctx.cfg.max_resident {
         let Some(victim) = resident.pop_front() else {
             break;
         };
-        let Some((victim_runner, _victim_rec)) = runners.remove(&victim) else {
+        let Some((victim_runner, victim_rec)) = runners.remove(&victim) else {
             continue;
         };
-        // Only this worker owns `victim`, so locking its cell while
-        // holding `ticket`'s cannot contend with another worker.
+        // Only this worker owns `victim`, so locking its cell here
+        // cannot contend with another worker.
         let mut vguard = lock(&ctx.cells[victim as usize]);
-        evict(ctx, &mut vguard, victim, victim_runner);
+        if let Some(pair) = evict(ctx, &mut vguard, victim, victim_runner, victim_rec) {
+            // The checkpoint write failed retryably: keep the runner
+            // resident (dropping it would strand live state) and stop
+            // evicting this round; the next slice retries the save.
+            vguard.status = MissionStatus::Idle;
+            resident.push_back(victim);
+            runners.insert(victim, pair);
+            break;
+        }
     }
 }
 
@@ -451,7 +816,7 @@ fn materialize(
     ctx: &DrainCtx<'_>,
     slot: &mut Slot,
     ticket: u64,
-) -> Result<(MissionRunner, Recorder), String> {
+) -> Result<(MissionRunner, Recorder), Fault> {
     let recorder = if ctx.cfg.mission_metrics {
         Recorder::null()
     } else {
@@ -461,54 +826,187 @@ fn materialize(
     match slot.ckpt_window {
         None => Ok((MissionRunner::new(&slot.scenario, &config), recorder)),
         Some(_) => {
-            let store = CheckpointStore::open(mission_dir(ctx.cfg, ticket))
-                .map_err(|e| format!("open checkpoint store: {e}"))?;
-            let latest = store
-                .load_latest_good(slot.seed)
-                .map_err(|e| format!("scan checkpoints: {e}"))?;
-            let (window, payload) = latest
-                .loaded
-                .ok_or_else(|| "evicted mission has no good checkpoint on disk".to_string())?;
-            let runner = MissionRunner::resume(&slot.scenario, &config, &payload)
-                .map_err(|e| format!("resume from window {window}: {e}"))?;
+            let latest = ctx
+                .cfg
+                .store
+                .load_latest(ticket, slot.seed)
+                .map_err(|e| Fault {
+                    kind: MissionErrorKind::CheckpointLoad,
+                    retryable: ckpt_fault_is_retryable(&e),
+                    detail: format!("scan checkpoints: {e}"),
+                })?;
+            let (window, payload) = latest.ok_or_else(|| Fault {
+                kind: MissionErrorKind::NoCheckpoint,
+                retryable: false,
+                detail: "evicted mission has no good checkpoint on disk".to_string(),
+            })?;
+            let runner =
+                MissionRunner::resume(&slot.scenario, &config, &payload).map_err(|e| Fault {
+                    kind: MissionErrorKind::Resume,
+                    retryable: ckpt_fault_is_retryable(&e),
+                    detail: format!("resume from window {window}: {e}"),
+                })?;
             slot.events.push(SliceEvent::Resume { window });
             Ok((runner, recorder))
         }
     }
 }
 
+/// Backoff before attempt `attempts + 1`, in scheduler slices: capped
+/// exponential on the attempt count — pure arithmetic, no clock, no
+/// jitter, so faulty runs replay exactly.
+fn backoff_for(cfg: &FleetConfig, attempts: u32) -> u64 {
+    let exp = attempts.saturating_sub(1).min(32);
+    cfg.retry_backoff_base
+        .checked_shl(exp)
+        .unwrap_or(u64::MAX)
+        .min(cfg.retry_backoff_cap)
+}
+
+/// Supervises a classified fault on a mission with no live runner
+/// (materialization failed): retryable faults within budget are
+/// backoff-deferred; everything else quarantines.
+fn mission_fault(ctx: &DrainCtx<'_>, slot: &mut Slot, ticket: u64, fault: Fault) {
+    let attempts = slot.retries + 1;
+    if fault.retryable && attempts < ctx.cfg.retry_limit {
+        slot.retries = attempts;
+        let backoff = backoff_for(ctx.cfg, attempts);
+        slot.events.push(SliceEvent::Retry {
+            window: slot.ckpt_window.unwrap_or(0),
+            attempt: u64::from(attempts),
+            backoff_slices: backoff,
+        });
+        persist_slot(ctx, ticket, slot);
+        let ready_at = ctx.slice_clock.load(Ordering::SeqCst) + backoff;
+        lock(&ctx.queue).deferred.push((ready_at, ticket));
+        ctx.cv.notify_all();
+    } else {
+        quarantine(
+            ctx,
+            slot,
+            ticket,
+            MissionError {
+                kind: fault.kind,
+                retryable: fault.retryable,
+                attempts,
+                detail: fault.detail,
+            },
+        );
+    }
+}
+
 /// Checkpoints `runner` to the mission's store, drops it, and returns
-/// the ticket to the global queue for any worker to resume.
-fn evict(ctx: &DrainCtx<'_>, slot: &mut Slot, ticket: u64, runner: MissionRunner) {
+/// the ticket to the global queue for any worker to resume. On a
+/// retryable store fault within budget, hands the runner back to the
+/// caller (`Some`) so the mission stays resident and retries the save
+/// on its next slice; otherwise quarantines and returns `None`.
+fn evict(
+    ctx: &DrainCtx<'_>,
+    slot: &mut Slot,
+    ticket: u64,
+    runner: MissionRunner,
+    recorder: Recorder,
+) -> Option<(MissionRunner, Recorder)> {
     let window = runner.window_index() as u64;
     let payload = match runner.save() {
         Ok(p) => p,
         Err(e) => {
-            fail(ctx, slot, format!("checkpoint mission state: {e}"));
-            return;
+            // Serialization failure is a bug in mission state, not a
+            // storage fault; retrying cannot fix it.
+            let attempts = slot.retries + 1;
+            quarantine(
+                ctx,
+                slot,
+                ticket,
+                MissionError {
+                    kind: MissionErrorKind::CheckpointSave,
+                    retryable: false,
+                    attempts,
+                    detail: format!("serialize mission state: {e}"),
+                },
+            );
+            return None;
         }
     };
-    let saved = CheckpointStore::open(mission_dir(ctx.cfg, ticket))
-        .and_then(|store| store.save(slot.seed, window, &payload));
-    if let Err(e) = saved {
-        fail(ctx, slot, format!("write checkpoint to disk: {e}"));
-        return;
+    match ctx.cfg.store.save(ticket, slot.seed, window, &payload) {
+        Ok(()) => {
+            slot.events.push(SliceEvent::Evict {
+                window,
+                bytes: payload.len() as u64,
+            });
+            slot.ckpt_window = Some(window);
+            slot.status = MissionStatus::Evicted;
+            persist_slot(ctx, ticket, slot);
+            lock(&ctx.queue).ready.push_back(ticket);
+            ctx.cv.notify_one();
+            None
+        }
+        Err(e) => {
+            let attempts = slot.retries + 1;
+            let retryable = ckpt_fault_is_retryable(&e);
+            if retryable && attempts < ctx.cfg.retry_limit {
+                slot.retries = attempts;
+                // The mission stays resident with its live runner, so
+                // the retry happens at its next natural slice — no
+                // deferral needed (backoff_slices: 0 in the event).
+                slot.events.push(SliceEvent::Retry {
+                    window,
+                    attempt: u64::from(attempts),
+                    backoff_slices: 0,
+                });
+                persist_slot(ctx, ticket, slot);
+                Some((runner, recorder))
+            } else {
+                quarantine(
+                    ctx,
+                    slot,
+                    ticket,
+                    MissionError {
+                        kind: MissionErrorKind::CheckpointSave,
+                        retryable,
+                        attempts,
+                        detail: format!("write checkpoint: {e}"),
+                    },
+                );
+                None
+            }
+        }
     }
-    slot.events.push(SliceEvent::Evict {
-        window,
-        bytes: payload.len() as u64,
-    });
-    slot.ckpt_window = Some(window);
-    slot.status = MissionStatus::Evicted;
-    lock(&ctx.queue).push_back(ticket);
-    ctx.cv.notify_one();
 }
 
-/// Marks a mission `Failed` and accounts for its termination.
-fn fail(ctx: &DrainCtx<'_>, slot: &mut Slot, msg: String) {
-    slot.error = Some(msg);
-    slot.status = MissionStatus::Failed;
+/// Isolates a mission terminally: records the typed error, marks the
+/// slot `Quarantined`, persists the transition, and accounts for the
+/// termination. Every other mission is unaffected.
+fn quarantine(ctx: &DrainCtx<'_>, slot: &mut Slot, ticket: u64, error: MissionError) {
+    slot.events.push(SliceEvent::Quarantine {
+        window: slot.ckpt_window.unwrap_or(0),
+        kind: error.kind.as_str(),
+        attempts: u64::from(error.attempts),
+    });
+    slot.error = Some(error);
+    slot.status = MissionStatus::Quarantined;
+    persist_slot(ctx, ticket, slot);
     finish_one(ctx);
+}
+
+/// Renders a caught panic payload for the quarantine record.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Mirrors the slot's durable image into the manifest (no-op unless
+/// durability is on). Best-effort: a manifest write failure degrades
+/// recoverability, never the running batch.
+fn persist_slot(ctx: &DrainCtx<'_>, ticket: u64, slot: &Slot) {
+    if let Some(manifest) = ctx.manifest {
+        lock(manifest).update(ticket, record_of(slot));
+    }
 }
 
 /// One mission reached a terminal state; wake everyone when it was the
@@ -517,11 +1015,6 @@ fn finish_one(ctx: &DrainCtx<'_>) {
     if ctx.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
         ctx.cv.notify_all();
     }
-}
-
-/// The per-mission checkpoint directory under the fleet's root.
-fn mission_dir(cfg: &FleetConfig, ticket: u64) -> std::path::PathBuf {
-    cfg.checkpoint_root.join(format!("m-{ticket:06}"))
 }
 
 impl Default for Fleet {
@@ -575,7 +1068,8 @@ mod tests {
         let summary = fleet.drain();
         assert_eq!(summary.submitted, 4);
         assert_eq!(summary.completed, 4);
-        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.quarantined, 0);
+        assert_eq!(summary.retries, 0);
         assert_eq!(summary.windows, 4 * 3, "3 windows each");
         for &t in &tickets {
             assert_eq!(fleet.poll(t), Some(MissionStatus::Done));
@@ -645,6 +1139,32 @@ mod tests {
         assert_eq!(fleet.poll(stranger), None);
         assert!(fleet.report(stranger).is_none());
         assert_eq!(fleet.total_windows(stranger), None);
+    }
+
+    #[test]
+    fn admission_bound_sheds_new_work() {
+        let mut fleet = FleetBuilder::new()
+            .max_queued(2)
+            .build()
+            .expect("valid");
+        fleet
+            .submit(persistent_surveillance(60, 1), quick_config())
+            .expect("admissible");
+        fleet
+            .submit(persistent_surveillance(60, 2), quick_config())
+            .expect("admissible");
+        assert_eq!(
+            fleet
+                .submit(persistent_surveillance(60, 3), quick_config())
+                .err(),
+            Some(crate::SubmitError::QueueFull { queued: 2 })
+        );
+        // Draining the backlog reopens admission.
+        let summary = fleet.drain();
+        assert_eq!(summary.completed, 2);
+        fleet
+            .submit(persistent_surveillance(60, 3), quick_config())
+            .expect("admissible after drain");
     }
 
     #[test]

@@ -24,7 +24,7 @@ impl fmt::Display for MissionTicket {
 }
 
 /// Where a mission is in the scheduler's lifecycle:
-/// `Queued → Running → Idle ⇄ Evicted → Done`/`Failed`.
+/// `Queued → Running → Idle ⇄ Evicted → Done`/`Quarantined`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum MissionStatus {
@@ -39,16 +39,18 @@ pub enum MissionStatus {
     Evicted,
     /// Every window executed; the report is available.
     Done,
-    /// Checkpoint save or resume failed; see
-    /// [`Fleet::error`](crate::Fleet::error).
-    Failed,
+    /// Isolated after a panic, exhausted checkpoint-IO retries, a blown
+    /// slice budget, or an unrecoverable checkpoint; the rest of the
+    /// fleet keeps running. See [`Fleet::error`](crate::Fleet::error)
+    /// for the typed [`MissionError`](crate::MissionError).
+    Quarantined,
 }
 
 impl MissionStatus {
     /// `true` once the mission will never run again (`Done` or
-    /// `Failed`).
+    /// `Quarantined`).
     pub fn is_terminal(self) -> bool {
-        matches!(self, MissionStatus::Done | MissionStatus::Failed)
+        matches!(self, MissionStatus::Done | MissionStatus::Quarantined)
     }
 }
 
@@ -67,6 +69,14 @@ pub enum SubmitError {
     /// The scenario's node catalog was empty; the mission could never
     /// recruit, and a seed over zero nodes identifies nothing.
     EmptyCatalog,
+    /// The fleet already holds
+    /// [`FleetBuilder::max_queued`](crate::FleetBuilder::max_queued)
+    /// non-terminal missions: overload sheds *new* work instead of
+    /// stalling the missions already admitted. Resubmit after a drain.
+    QueueFull {
+        /// Non-terminal missions the fleet held at rejection time.
+        queued: usize,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -80,6 +90,10 @@ impl fmt::Display for SubmitError {
             SubmitError::EmptyCatalog => {
                 write!(f, "scenario catalog is empty; nothing to recruit")
             }
+            SubmitError::QueueFull { queued } => write!(
+                f,
+                "admission queue is full ({queued} missions pending); drain before resubmitting"
+            ),
         }
     }
 }

@@ -412,6 +412,45 @@ pub enum TraceEvent {
         /// Composition repairs performed over the mission's life.
         repairs: u64,
     },
+    /// A retryable checkpoint-IO failure was absorbed: the mission was
+    /// deferred and will be retried after a backoff.
+    FleetRetry {
+        /// Mission ticket.
+        ticket: u64,
+        /// Window boundary the mission was at when the fault hit.
+        window: u64,
+        /// 1-based attempt number of the failed operation.
+        attempt: u64,
+        /// Scheduler slices the mission waits before its next attempt.
+        backoff_slices: u64,
+    },
+    /// A mission was quarantined: panicked, exhausted its retries, blew
+    /// its slice budget, or hit a non-retryable fault. The worker and
+    /// every other mission survive.
+    FleetQuarantine {
+        /// Mission ticket.
+        ticket: u64,
+        /// Stable error-kind name (`"panic"`, `"checkpoint_save"`, …).
+        kind: &'static str,
+        /// Attempts consumed before quarantine.
+        attempts: u64,
+    },
+    /// An admission was shed: the queue was at its `max_queued` bound,
+    /// so the fleet rejected new work instead of stalling residents.
+    FleetShed {
+        /// The ticket index the mission would have received.
+        ticket: u64,
+        /// Missions queued (non-terminal) at rejection time.
+        queued: u64,
+    },
+    /// A mission was re-admitted from the durable fleet manifest after
+    /// a scheduler crash.
+    FleetRecover {
+        /// Mission ticket.
+        ticket: u64,
+        /// Window boundary execution restarts from (0 = from scratch).
+        window: u64,
+    },
 }
 
 impl TraceEvent {
@@ -450,7 +489,11 @@ impl TraceEvent {
             | TraceEvent::FleetSlice { .. }
             | TraceEvent::FleetEvict { .. }
             | TraceEvent::FleetResume { .. }
-            | TraceEvent::FleetComplete { .. } => Subsystem::Fleet,
+            | TraceEvent::FleetComplete { .. }
+            | TraceEvent::FleetRetry { .. }
+            | TraceEvent::FleetQuarantine { .. }
+            | TraceEvent::FleetShed { .. }
+            | TraceEvent::FleetRecover { .. } => Subsystem::Fleet,
         }
     }
 
@@ -492,6 +535,10 @@ impl TraceEvent {
             TraceEvent::FleetEvict { .. } => "fleet_evict",
             TraceEvent::FleetResume { .. } => "fleet_resume",
             TraceEvent::FleetComplete { .. } => "fleet_complete",
+            TraceEvent::FleetRetry { .. } => "fleet_retry",
+            TraceEvent::FleetQuarantine { .. } => "fleet_quarantine",
+            TraceEvent::FleetShed { .. } => "fleet_shed",
+            TraceEvent::FleetRecover { .. } => "fleet_recover",
         }
     }
 }
@@ -769,6 +816,34 @@ impl TraceRecord {
                 push_kv_u64(out, "ticket", *ticket);
                 push_kv_u64(out, "windows", *windows);
                 push_kv_u64(out, "repairs", *repairs);
+            }
+            TraceEvent::FleetRetry {
+                ticket,
+                window,
+                attempt,
+                backoff_slices,
+            } => {
+                push_kv_u64(out, "ticket", *ticket);
+                push_kv_u64(out, "window", *window);
+                push_kv_u64(out, "attempt", *attempt);
+                push_kv_u64(out, "backoff_slices", *backoff_slices);
+            }
+            TraceEvent::FleetQuarantine {
+                ticket,
+                kind,
+                attempts,
+            } => {
+                push_kv_u64(out, "ticket", *ticket);
+                push_kv_str(out, "error", kind);
+                push_kv_u64(out, "attempts", *attempts);
+            }
+            TraceEvent::FleetShed { ticket, queued } => {
+                push_kv_u64(out, "ticket", *ticket);
+                push_kv_u64(out, "queued", *queued);
+            }
+            TraceEvent::FleetRecover { ticket, window } => {
+                push_kv_u64(out, "ticket", *ticket);
+                push_kv_u64(out, "window", *window);
             }
         }
         out.push_str("}\n");

@@ -387,6 +387,10 @@ fn update_metrics(m: &mut MetricsRegistry, event: &TraceEvent) {
         }
         TraceEvent::FleetResume { .. } => m.inc("fleet.resumes", 1),
         TraceEvent::FleetComplete { .. } => m.inc("fleet.completed", 1),
+        TraceEvent::FleetRetry { .. } => m.inc("fleet.retries", 1),
+        TraceEvent::FleetQuarantine { .. } => m.inc("fleet.quarantined", 1),
+        TraceEvent::FleetShed { .. } => m.inc("fleet.shed", 1),
+        TraceEvent::FleetRecover { .. } => m.inc("fleet.recovers", 1),
     }
 }
 

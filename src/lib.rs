@@ -52,7 +52,8 @@ pub use iobt_core::{
 };
 pub use iobt_fleet as fleet;
 pub use iobt_fleet::{
-    Fleet, FleetBuilder, FleetConfigError, FleetSummary, MissionStatus, MissionTicket, SubmitError,
+    DiskStore, FailingStore, FaultProfile, Fleet, FleetBuilder, FleetConfigError, FleetSummary,
+    MissionError, MissionErrorKind, MissionStatus, MissionTicket, RecoverError, Store, SubmitError,
 };
 pub use iobt_obs::Recorder;
 
@@ -75,8 +76,9 @@ pub mod prelude {
     };
     // Multi-tenant mission scheduling (iobt-fleet).
     pub use iobt_fleet::{
-        Fleet, FleetBuilder, FleetConfigError, FleetSummary, MissionStatus, MissionTicket,
-        SubmitError,
+        DiskStore, FailingStore, FaultProfile, Fleet, FleetBuilder, FleetConfigError,
+        FleetSummary, MissionError, MissionErrorKind, MissionStatus, MissionTicket, RecoverError,
+        Store, SubmitError,
     };
     // Crash-safe checkpointing (iobt-ckpt).
     pub use iobt_core::ckpt::{

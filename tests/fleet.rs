@@ -86,7 +86,7 @@ fn run_and_check(
     let summary = fleet.drain();
     assert_eq!(summary.submitted, scenarios.len(), "{label}");
     assert_eq!(summary.completed, scenarios.len(), "{label}");
-    assert_eq!(summary.failed, 0, "{label}");
+    assert_eq!(summary.quarantined, 0, "{label}");
     for &(i, t) in &tickets {
         assert_eq!(fleet.poll(t), Some(MissionStatus::Done), "{label}: {t}");
         assert!(fleet.error(t).is_none(), "{label}: {t}");
