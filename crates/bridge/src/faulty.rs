@@ -1,0 +1,290 @@
+//! Deterministic chaos wrapper for any [`Transport`].
+//!
+//! [`FaultyTransport`] interposes on every connect/send/recv and
+//! injects faults from the shared `iobt_faults::failpoint` trigger —
+//! the same FNV-1a schedule `iobt-fleet`'s `FailingStore` uses — so a
+//! fault profile is a pure function of `(seed, domain, connection
+//! generation, op counter)` and completely independent of scheduling.
+//! That is what lets the chaos matrix assert *bit-identical* mission
+//! digests with the bridge attached under every profile: the faults
+//! land on the same operations every run.
+//!
+//! Injected fault classes:
+//!
+//! * **connect failure** — the dial itself is refused;
+//! * **disconnect** — a send tears the connection down (the frame is
+//!   not delivered);
+//! * **partial write** — a truncated copy of the frame reaches the
+//!   peer, then the connection drops: the consumer sees a torn frame
+//!   and the bridge resends after reconnect (at-least-once);
+//! * **stall** — a send returns [`TransportError::Busy`] without
+//!   losing the connection (transient back-pressure);
+//! * **duplicate** — the frame is delivered twice (consumers must
+//!   dedupe by `seq`).
+//!
+//! `disconnect_at_send` additionally arms a one-shot disconnect at an
+//! exact cumulative send index, which is how the chaos matrix walks a
+//! disconnect across *every* flush boundary.
+
+use iobt_faults::failpoint::fires;
+
+use crate::transport::{Transport, TransportError};
+
+/// Failpoint domain words (must not collide with other crates' domains
+/// only within a shared seed+key space; the `key` here is the bridge
+/// connection generation, so these are bridge-local).
+const DOMAIN_CONNECT: u64 = 0x42_01;
+const DOMAIN_DISCONNECT: u64 = 0x42_02;
+const DOMAIN_PARTIAL: u64 = 0x42_03;
+const DOMAIN_STALL: u64 = 0x42_04;
+const DOMAIN_DUP: u64 = 0x42_05;
+
+/// Declarative fault schedule for a [`FaultyTransport`]. All rates are
+/// `1-in-N` (`0` disables the class); `seed` pins the whole schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportFaultProfile {
+    /// Seed for the failpoint hash; same seed ⇒ same fault schedule.
+    pub seed: u64,
+    /// 1-in-N connect attempts are refused.
+    pub connect_fail_one_in: u64,
+    /// 1-in-N sends tear the connection down (frame lost).
+    pub disconnect_one_in: u64,
+    /// 1-in-N sends deliver a torn prefix, then disconnect.
+    pub partial_one_in: u64,
+    /// 1-in-N sends stall with `Busy` (no connection loss).
+    pub stall_one_in: u64,
+    /// 1-in-N sends are delivered twice.
+    pub duplicate_one_in: u64,
+    /// One-shot: disconnect exactly at this cumulative send index
+    /// (0-based, counted across reconnects). Used to walk a disconnect
+    /// across every flush boundary.
+    pub disconnect_at_send: Option<u64>,
+}
+
+impl TransportFaultProfile {
+    /// A profile that injects nothing (pass-through wrapper).
+    pub fn benign(seed: u64) -> Self {
+        TransportFaultProfile {
+            seed,
+            connect_fail_one_in: 0,
+            disconnect_one_in: 0,
+            partial_one_in: 0,
+            stall_one_in: 0,
+            duplicate_one_in: 0,
+            disconnect_at_send: None,
+        }
+    }
+
+    /// The kitchen-sink chaos profile used by tests: every fault class
+    /// armed at moderate rates.
+    pub fn chaos(seed: u64) -> Self {
+        TransportFaultProfile {
+            seed,
+            connect_fail_one_in: 3,
+            disconnect_one_in: 7,
+            partial_one_in: 11,
+            stall_one_in: 5,
+            duplicate_one_in: 6,
+            disconnect_at_send: None,
+        }
+    }
+}
+
+/// Counters for how many faults actually fired, for test assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Connect attempts refused.
+    pub connect_failures: u64,
+    /// Sends that tore the connection down.
+    pub disconnects: u64,
+    /// Sends that delivered a torn prefix then disconnected.
+    pub partials: u64,
+    /// Sends that stalled with `Busy`.
+    pub stalls: u64,
+    /// Sends delivered twice.
+    pub duplicates: u64,
+}
+
+/// A [`Transport`] wrapper that injects deterministic faults per the
+/// profile. Generic over the inner transport so the same chaos harness
+/// drives in-memory pairs in tests and (in principle) real sockets.
+#[derive(Debug)]
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    profile: TransportFaultProfile,
+    /// Successful connects so far; the failpoint `key`, so each
+    /// connection generation gets an independent fault schedule.
+    generation: u64,
+    connect_ops: u64,
+    send_ops: u64,
+    /// Cumulative sends across all generations (for
+    /// `disconnect_at_send`).
+    total_sends: u64,
+    /// One-shot latch for `disconnect_at_send`.
+    armed_disconnect: Option<u64>,
+    connected: bool,
+    stats: FaultStats,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with the given fault profile.
+    pub fn new(inner: T, profile: TransportFaultProfile) -> Self {
+        FaultyTransport {
+            inner,
+            profile,
+            generation: 0,
+            connect_ops: 0,
+            send_ops: 0,
+            total_sends: 0,
+            armed_disconnect: profile.disconnect_at_send,
+            connected: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Counters for faults that actually fired.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn connect(&mut self) -> Result<(), TransportError> {
+        let op = self.connect_ops;
+        self.connect_ops += 1;
+        if fires(
+            self.profile.seed,
+            DOMAIN_CONNECT,
+            self.profile.connect_fail_one_in,
+            self.generation,
+            op,
+        ) {
+            self.stats.connect_failures += 1;
+            return Err(TransportError::Refused);
+        }
+        self.inner.connect()?;
+        self.generation += 1;
+        self.send_ops = 0;
+        self.connected = true;
+        Ok(())
+    }
+
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if !self.connected {
+            return Err(TransportError::Disconnected);
+        }
+        let op = self.send_ops;
+        self.send_ops += 1;
+        let total = self.total_sends;
+        self.total_sends += 1;
+
+        if self.armed_disconnect == Some(total) {
+            self.armed_disconnect = None;
+            self.stats.disconnects += 1;
+            self.connected = false;
+            self.inner.close();
+            return Err(TransportError::Disconnected);
+        }
+        let seed = self.profile.seed;
+        let key = self.generation;
+        if fires(seed, DOMAIN_DISCONNECT, self.profile.disconnect_one_in, key, op) {
+            self.stats.disconnects += 1;
+            self.connected = false;
+            self.inner.close();
+            return Err(TransportError::Disconnected);
+        }
+        if fires(seed, DOMAIN_PARTIAL, self.profile.partial_one_in, key, op) {
+            self.stats.partials += 1;
+            // Deliver a torn prefix, then drop the link: the consumer
+            // must survive the corrupt frame, and the bridge resends
+            // the full frame after reconnecting.
+            let cut = frame.len() / 2;
+            let _ = self.inner.send(&frame[..cut]);
+            self.connected = false;
+            self.inner.close();
+            return Err(TransportError::Disconnected);
+        }
+        if fires(seed, DOMAIN_STALL, self.profile.stall_one_in, key, op) {
+            self.stats.stalls += 1;
+            return Err(TransportError::Busy);
+        }
+        self.inner.send(frame)?;
+        if fires(seed, DOMAIN_DUP, self.profile.duplicate_one_in, key, op) {
+            self.stats.duplicates += 1;
+            self.inner.send(frame)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if !self.connected {
+            return Err(TransportError::Disconnected);
+        }
+        self.inner.recv()
+    }
+
+    fn close(&mut self) {
+        self.connected = false;
+        self.inner.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::memory_pair;
+
+    #[test]
+    fn benign_profile_is_pass_through() {
+        let (t, peer) = memory_pair();
+        let mut f = FaultyTransport::new(t, TransportFaultProfile::benign(1));
+        f.connect().expect("connect");
+        f.send(b"frame").expect("send");
+        assert_eq!(peer.take_frames(), vec![b"frame".to_vec()]);
+        assert_eq!(f.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn chaos_profile_is_deterministic() {
+        let run = |seed: u64| {
+            let (t, _peer) = memory_pair();
+            let mut f = FaultyTransport::new(t, TransportFaultProfile::chaos(seed));
+            let mut outcomes = Vec::new();
+            for i in 0..64u64 {
+                if !matches!(f.connect(), Ok(())) {
+                    outcomes.push(2u8);
+                    continue;
+                }
+                for _ in 0..4 {
+                    outcomes.push(match f.send(&i.to_le_bytes()) {
+                        Ok(()) => 0,
+                        Err(TransportError::Busy) => 1,
+                        Err(_) => 3,
+                    });
+                }
+            }
+            (outcomes, f.stats())
+        };
+        assert_eq!(run(42), run(42), "same seed, same fault schedule");
+        assert_ne!(run(42).0, run(43).0, "different seeds diverge");
+    }
+
+    #[test]
+    fn armed_disconnect_fires_exactly_once_at_index() {
+        let (t, peer) = memory_pair();
+        let mut profile = TransportFaultProfile::benign(7);
+        profile.disconnect_at_send = Some(2);
+        let mut f = FaultyTransport::new(t, profile);
+        f.connect().expect("connect");
+        f.send(b"0").expect("send 0");
+        f.send(b"1").expect("send 1");
+        assert_eq!(f.send(b"2"), Err(TransportError::Disconnected));
+        f.connect().expect("reconnect");
+        f.send(b"2").expect("resend 2");
+        assert_eq!(
+            peer.take_frames(),
+            vec![b"0".to_vec(), b"1".to_vec(), b"2".to_vec()]
+        );
+        assert_eq!(f.stats().disconnects, 1);
+    }
+}

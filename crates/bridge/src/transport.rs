@@ -1,0 +1,391 @@
+//! Pluggable bridge transports.
+//!
+//! The bridge never talks to a socket directly; it drives a
+//! [`Transport`], which is any byte-frame channel with explicit
+//! connection state. Two implementations ship in-tree:
+//!
+//! * [`MemoryTransport`] — an in-process pair used by every test and by
+//!   the chaos harness (wrapped in `FaultyTransport`). The peer end is
+//!   a [`MemoryEndpoint`] the test drives directly.
+//! * [`TcpTransport`] — a length-framed (`u32` little-endian prefix)
+//!   TCP client for real consumers. Reads are non-blocking so the
+//!   bridge's pump loop never stalls the mission thread.
+//!
+//! Every operation returns a typed [`TransportError`]; transports never
+//! panic on peer misbehaviour.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::rc::Rc;
+
+/// Hard upper bound on a single frame (1 MiB). A length prefix above
+/// this is treated as a protocol violation, not an allocation request —
+/// the guard that keeps a corrupt or hostile peer from OOMing the edge
+/// daemon.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Typed transport failure. The bridge's connection state machine keys
+/// off these: `Busy` degrades (retry next tick, same connection),
+/// `Disconnected` and `Refused` trigger the reconnect/backoff path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The connection is down (peer closed, send failed, link cut).
+    Disconnected,
+    /// The transport is temporarily unable to make progress; the same
+    /// operation may succeed on a later tick without reconnecting.
+    Busy,
+    /// A connection attempt was rejected outright.
+    Refused,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "transport disconnected"),
+            TransportError::Busy => write!(f, "transport busy"),
+            TransportError::Refused => write!(f, "connection refused"),
+        }
+    }
+}
+
+/// A byte-frame channel with explicit connection state.
+///
+/// Frame boundaries are preserved: one `send` on this side is one
+/// `recv` on the peer (modulo injected faults). Implementations must
+/// not block indefinitely in `recv` — return `Ok(None)` when no frame
+/// is pending.
+pub trait Transport {
+    /// Establishes (or re-establishes) the connection.
+    fn connect(&mut self) -> Result<(), TransportError>;
+
+    /// Sends one frame. On error the frame is NOT considered delivered;
+    /// the caller decides whether to retry (at-least-once egress).
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Polls for one inbound frame. `Ok(None)` means no frame pending.
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Tears the connection down. Idempotent.
+    fn close(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// In-memory pair
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MemoryLink {
+    /// Frames travelling bridge → consumer.
+    egress: VecDeque<Vec<u8>>,
+    /// Frames travelling consumer → bridge (tasking commands).
+    ingress: VecDeque<Vec<u8>>,
+    connected: bool,
+    /// When true, the next (and every subsequent) connect is refused
+    /// until the test lifts it.
+    refuse_connect: bool,
+    connects: u64,
+}
+
+/// Bridge-side end of an in-memory transport pair.
+#[derive(Debug)]
+pub struct MemoryTransport(Rc<RefCell<MemoryLink>>);
+
+/// Consumer-side end of an in-memory transport pair: what the "cloud"
+/// sees. Tests read egress frames, push tasking commands, and cut the
+/// link from here.
+#[derive(Debug, Clone)]
+pub struct MemoryEndpoint(Rc<RefCell<MemoryLink>>);
+
+/// Creates a connected-in-potential in-memory pair. The bridge side
+/// still has to call [`Transport::connect`] before frames flow.
+pub fn memory_pair() -> (MemoryTransport, MemoryEndpoint) {
+    let link = Rc::new(RefCell::new(MemoryLink::default()));
+    (MemoryTransport(Rc::clone(&link)), MemoryEndpoint(link))
+}
+
+impl Transport for MemoryTransport {
+    fn connect(&mut self) -> Result<(), TransportError> {
+        let mut link = self.0.borrow_mut();
+        if link.refuse_connect {
+            return Err(TransportError::Refused);
+        }
+        link.connected = true;
+        link.connects += 1;
+        Ok(())
+    }
+
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        let mut link = self.0.borrow_mut();
+        if !link.connected {
+            return Err(TransportError::Disconnected);
+        }
+        link.egress.push_back(frame.to_vec());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut link = self.0.borrow_mut();
+        if !link.connected {
+            return Err(TransportError::Disconnected);
+        }
+        Ok(link.ingress.pop_front())
+    }
+
+    fn close(&mut self) {
+        self.0.borrow_mut().connected = false;
+    }
+}
+
+impl MemoryEndpoint {
+    /// Drains every egress frame the bridge has delivered so far.
+    pub fn take_frames(&self) -> Vec<Vec<u8>> {
+        self.0.borrow_mut().egress.drain(..).collect()
+    }
+
+    /// Number of egress frames waiting to be taken.
+    pub fn pending(&self) -> usize {
+        self.0.borrow().egress.len()
+    }
+
+    /// Queues a tasking command for the bridge's next ingress poll.
+    pub fn push_command(&self, frame: &[u8]) {
+        self.0.borrow_mut().ingress.push_back(frame.to_vec());
+    }
+
+    /// Cuts the link: the bridge's next send/recv fails with
+    /// `Disconnected` until it reconnects.
+    pub fn drop_link(&self) {
+        self.0.borrow_mut().connected = false;
+    }
+
+    /// True while the bridge side holds an open connection.
+    pub fn is_connected(&self) -> bool {
+        self.0.borrow().connected
+    }
+
+    /// When `refuse` is set, every subsequent connect attempt is
+    /// rejected with `Refused` until lifted.
+    pub fn refuse_connects(&self, refuse: bool) {
+        self.0.borrow_mut().refuse_connect = refuse;
+    }
+
+    /// Number of successful connects the bridge has made on this link.
+    pub fn connects(&self) -> u64 {
+        self.0.borrow().connects
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Length-framed TCP
+// ---------------------------------------------------------------------------
+
+/// Encodes one frame for the TCP wire: `u32` little-endian payload
+/// length, then the payload. Shared by [`TcpTransport`] and any
+/// consumer that writes commands back.
+pub fn encode_framed(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Blocking read of one length-framed frame from any reader — the
+/// consumer-side helper (the bridge itself polls non-blocking).
+/// Returns `Ok(None)` on clean EOF at a frame boundary; a length
+/// prefix above [`MAX_FRAME_LEN`] is an `InvalidData` error.
+pub fn read_framed<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Length-framed TCP client transport.
+///
+/// Writes are blocking (a partially written frame would desync the
+/// peer's framing); reads flip the socket to non-blocking for the
+/// duration of the poll and accumulate partial reads in an internal
+/// buffer, only surfacing complete frames — a slow or torn sender can
+/// never hand the bridge half a frame.
+#[derive(Debug)]
+pub struct TcpTransport {
+    addr: String,
+    stream: Option<TcpStream>,
+    /// Reassembly buffer for partially received frames.
+    rx: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Creates a transport that will dial `addr` (e.g. `"127.0.0.1:7070"`)
+    /// on every [`Transport::connect`].
+    pub fn new(addr: impl Into<String>) -> Self {
+        TcpTransport {
+            addr: addr.into(),
+            stream: None,
+            rx: Vec::new(),
+        }
+    }
+
+    /// Drains whatever the socket has ready right now (it is already
+    /// in non-blocking mode) and surfaces the first complete frame.
+    fn poll_nonblocking(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut buf = [0u8; 4096];
+        loop {
+            let stream = self.stream.as_mut().ok_or(TransportError::Disconnected)?;
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    self.close();
+                    return Err(TransportError::Disconnected);
+                }
+                Ok(n) => {
+                    self.rx.extend_from_slice(&buf[..n]);
+                    if let Some(frame) = self.pop_frame()? {
+                        return Ok(Some(frame));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close();
+                    return Err(TransportError::Disconnected);
+                }
+            }
+        }
+    }
+
+    /// Pops one complete frame out of the reassembly buffer, if any.
+    fn pop_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if self.rx.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.rx[0], self.rx[1], self.rx[2], self.rx[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            // Protocol violation: resynchronising is hopeless, drop the
+            // connection rather than trust the stream again.
+            self.close();
+            return Err(TransportError::Disconnected);
+        }
+        if self.rx.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.rx[4..4 + len].to_vec();
+        self.rx.drain(..4 + len);
+        Ok(Some(payload))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn connect(&mut self) -> Result<(), TransportError> {
+        self.close();
+        let stream = TcpStream::connect(&self.addr).map_err(|e| match e.kind() {
+            io::ErrorKind::ConnectionRefused => TransportError::Refused,
+            _ => TransportError::Disconnected,
+        })?;
+        self.stream = Some(stream);
+        self.rx.clear();
+        Ok(())
+    }
+
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        let stream = self.stream.as_mut().ok_or(TransportError::Disconnected)?;
+        let wire = encode_framed(frame);
+        match stream.write_all(&wire) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Err(TransportError::Busy),
+            Err(_) => {
+                self.close();
+                Err(TransportError::Disconnected)
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if self.stream.is_none() {
+            return Err(TransportError::Disconnected);
+        }
+        if let Some(frame) = self.pop_frame()? {
+            return Ok(Some(frame));
+        }
+        // Poll without blocking, then restore blocking mode so sends
+        // keep their whole-frame write guarantee.
+        if let Some(s) = self.stream.as_ref() {
+            if s.set_nonblocking(true).is_err() {
+                self.close();
+                return Err(TransportError::Disconnected);
+            }
+        }
+        let polled = self.poll_nonblocking();
+        if let Some(s) = self.stream.as_ref() {
+            if s.set_nonblocking(false).is_err() {
+                self.close();
+                return Err(TransportError::Disconnected);
+            }
+        }
+        polled
+    }
+
+    fn close(&mut self) {
+        self.stream = None;
+        self.rx.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_pair_round_trips_frames_in_order() {
+        let (mut t, peer) = memory_pair();
+        assert_eq!(t.send(b"early"), Err(TransportError::Disconnected));
+        t.connect().expect("connect");
+        t.send(b"a").expect("send a");
+        t.send(b"b").expect("send b");
+        assert_eq!(peer.take_frames(), vec![b"a".to_vec(), b"b".to_vec()]);
+        peer.push_command(b"cmd");
+        assert_eq!(t.recv().expect("recv"), Some(b"cmd".to_vec()));
+        assert_eq!(t.recv().expect("recv"), None);
+    }
+
+    #[test]
+    fn memory_pair_link_cut_and_refusal() {
+        let (mut t, peer) = memory_pair();
+        t.connect().expect("connect");
+        peer.drop_link();
+        assert_eq!(t.send(b"x"), Err(TransportError::Disconnected));
+        peer.refuse_connects(true);
+        assert_eq!(t.connect(), Err(TransportError::Refused));
+        peer.refuse_connects(false);
+        t.connect().expect("reconnect");
+        assert_eq!(peer.connects(), 2);
+    }
+
+    #[test]
+    fn framed_codec_round_trips_and_guards_length() {
+        let wire = encode_framed(b"hello");
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(
+            read_framed(&mut cursor).expect("read"),
+            Some(b"hello".to_vec())
+        );
+        assert_eq!(read_framed(&mut cursor).expect("eof"), None);
+
+        let mut bogus = io::Cursor::new((u32::MAX).to_le_bytes().to_vec());
+        assert!(read_framed(&mut bogus).is_err());
+    }
+}

@@ -5,7 +5,7 @@
 //! | offset | size | field                                    |
 //! |--------|------|------------------------------------------|
 //! | 0      | 8    | magic `b"IOBTCKPT"`                      |
-//! | 8      | 4    | format version (`u32`, currently 2)      |
+//! | 8      | 4    | format version (`u32`, see below)        |
 //! | 12     | 8    | mission seed (`u64`)                     |
 //! | 20     | 8    | window index (`u64`, windows completed)  |
 //! | 28     | 8    | payload length (`u64`)                   |
@@ -38,8 +38,9 @@ pub const MAGIC: [u8; 8] = *b"IOBTCKPT";
 /// maintenance, so v1 readers would misparse v2 payloads; v3 widened
 /// the recorder's per-subsystem emission-counter array from 5 to 6
 /// slots when the `fleet` subsystem was added, shifting every field
-/// after it.
-pub const FORMAT_VERSION: u32 = 3;
+/// after it; v4 widened it again from 6 to 7 slots for the `bridge`
+/// subsystem.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Fixed header size in bytes (magic + version + seed + window + len).
 pub const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;

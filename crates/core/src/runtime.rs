@@ -1243,6 +1243,16 @@ impl MissionRunner {
         StepOutcome::WindowClosed { window: w, stats: stat }
     }
 
+    /// Shared handle to the runner's task board. External tasking
+    /// front-ends (e.g. the edge bridge's command ingress) queue
+    /// assignments here; they enter the mission through the same acked
+    /// [`TaskingSink`] dissemination path as runtime-originated tasks,
+    /// so an externally injected task is retried, acked, and counted
+    /// exactly like a native one.
+    pub fn task_board(&self) -> TaskBoard {
+        self.board.clone()
+    }
+
     /// Builds the final [`MissionReport`] from the runner's state
     /// (normally called after stepping every window).
     pub fn finish(self) -> MissionReport {

@@ -19,6 +19,10 @@
 //! * [`generate_campaign`] — a seeded random campaign generator: one
 //!   `u64` seed reproduces the whole campaign, which is what makes the
 //!   chaos harness's same-seed digest assertions possible.
+//! * [`failpoint`] — the deterministic FNV-1a failpoint trigger shared
+//!   by `iobt-fleet`'s `FailingStore` and `iobt-bridge`'s
+//!   `FaultyTransport`: per-operation fault decisions as a pure
+//!   function of `(seed, domain, key, op)`.
 //!
 //! Everything here is pure data until `schedule` is called; no wall
 //! clock, no ambient entropy.
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+pub mod failpoint;
 mod plan;
 
 pub use campaign::{generate_campaign, CampaignConfig};

@@ -17,6 +17,7 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 
 use iobt_ckpt::{encode_checkpoint, CheckpointStore, CkptError};
+use iobt_faults::failpoint::fires;
 
 /// Per-ticket checkpoint storage as the scheduler sees it. All methods
 /// take the ticket explicitly so one store serves the whole fleet and
@@ -74,8 +75,8 @@ impl Store for DiskStore {
 }
 
 /// Failure schedule for a [`FailingStore`]: each fault domain fires
-/// when a deterministic per-operation hash lands on a `1-in-N` slot
-/// (`0` disables the domain).
+/// when the shared [`iobt_faults::failpoint`] trigger lands on a
+/// `1-in-N` slot (`0` disables the domain).
 ///
 /// Decisions are a pure function of `(seed, domain, ticket, per-ticket
 /// operation counter)` — never of wall clock, thread id, or global
@@ -109,24 +110,6 @@ impl FaultProfile {
             read_error_one_in: one_in,
         }
     }
-}
-
-/// FNV-1a over a few words — the failpoint hash. Deterministic and
-/// domain-separated; not cryptographic, which is fine for a failure
-/// schedule.
-fn failpoint_hash(seed: u64, domain: u64, ticket: u64, op: u64) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for word in [seed, domain, ticket, op] {
-        for b in word.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    h
-}
-
-fn fires(profile_seed: u64, domain: u64, one_in: u64, ticket: u64, op: u64) -> bool {
-    one_in != 0 && failpoint_hash(profile_seed, domain, ticket, op).is_multiple_of(one_in)
 }
 
 /// Deterministic failpoint wrapper around another [`Store`].

@@ -4,12 +4,17 @@
 //! ```text
 //! iobt-trace [FILE|-] [--sub NAME] [--kind NAME] [--node ID]
 //!            [--summary] [--per-node] [--per-window WIDTH_US]
+//!            [--topics [--mission ID]]
 //! ```
 //!
 //! With no rollup flag the matching lines are echoed verbatim (a trace
 //! `grep`). `--summary` prints per-subsystem/kind counts and the time
-//! span; `--per-node` counts events touching each node id; and
-//! `--per-window` buckets events into fixed sim-time windows.
+//! span; `--per-node` counts events touching each node id;
+//! `--per-window` buckets events into fixed sim-time windows; and
+//! `--topics` rolls records up by bridge topic
+//! (`iobt/<mission>/<node>/<kind>`) — frames captured off the wire use
+//! their embedded `topic` key, raw trace lines derive one
+//! (`--mission` sets the mission segment, default 0).
 
 use std::collections::BTreeMap;
 use std::io::{self, Read};
@@ -189,11 +194,12 @@ enum Mode {
     Summary,
     PerNode,
     PerWindow(u64),
+    Topics,
 }
 
 fn usage() -> String {
     "usage: iobt-trace [FILE|-] [--sub NAME] [--kind NAME] [--node ID] \
-     [--summary] [--per-node] [--per-window WIDTH_US]"
+     [--summary] [--per-node] [--per-window WIDTH_US] [--topics [--mission ID]]"
         .to_owned()
 }
 
@@ -201,17 +207,29 @@ struct Options {
     input: Option<String>,
     filters: Filters,
     mode: Mode,
+    /// Mission id used when deriving topics for raw trace lines.
+    mission: u64,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut input = None;
     let mut filters = Filters::default();
     let mut mode = Mode::Echo;
+    let mut mission = 0u64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--summary" => mode = Mode::Summary,
             "--per-node" => mode = Mode::PerNode,
+            "--topics" => mode = Mode::Topics,
+            "--mission" => {
+                let m = it
+                    .next()
+                    .ok_or_else(|| format!("--mission needs ID\n{}", usage()))?;
+                mission = m.parse().map_err(|_| {
+                    format!("--mission ID must be a non-negative integer, got {m:?}")
+                })?;
+            }
             "--per-window" => {
                 let w = it
                     .next()
@@ -258,6 +276,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         input,
         filters,
         mode,
+        mission,
     })
 }
 
@@ -299,8 +318,39 @@ fn run(opts: &Options, text: &str) -> (String, u64) {
         Mode::Summary => render_summary(&mut out, &kept),
         Mode::PerNode => render_per_node(&mut out, &kept),
         Mode::PerWindow(width) => render_per_window(&mut out, &kept, width),
+        Mode::Topics => render_topics(&mut out, &kept, opts.mission),
     }
     (out, malformed)
+}
+
+/// The topic one record maps onto: captured bridge frames carry it
+/// verbatim in a `topic` key; raw trace lines derive
+/// `iobt/<mission>/<node>/<kind>` exactly the way the bridge does
+/// (first of `node`/`from`/`requester`, `-` when nodeless).
+fn record_topic(rec: &BTreeMap<String, Value>, mission: u64) -> String {
+    if let Some(topic) = rec.get("topic").and_then(Value::as_str) {
+        return topic.to_owned();
+    }
+    let kind = rec.get("kind").and_then(Value::as_str).unwrap_or("?");
+    let node = ["node", "from", "requester"]
+        .iter()
+        .find_map(|k| rec.get(*k).and_then(Value::as_u64));
+    match node {
+        Some(n) => format!("iobt/{mission}/{n}/{kind}"),
+        None => format!("iobt/{mission}/-/{kind}"),
+    }
+}
+
+fn render_topics(out: &mut String, kept: &[(String, BTreeMap<String, Value>)], mission: u64) {
+    use std::fmt::Write as _;
+    let mut by_topic: BTreeMap<String, u64> = BTreeMap::new();
+    for (_, rec) in kept {
+        *by_topic.entry(record_topic(rec, mission)).or_insert(0) += 1;
+    }
+    let _ = writeln!(out, "topics: {}", by_topic.len());
+    for (topic, n) in &by_topic {
+        let _ = writeln!(out, "  {topic:<40} {n}");
+    }
 }
 
 fn render_summary(out: &mut String, kept: &[(String, BTreeMap<String, Value>)]) {
@@ -411,6 +461,7 @@ mod tests {
             input: None,
             filters,
             mode,
+            mission: 0,
         }
     }
 
@@ -477,6 +528,39 @@ mod tests {
                 assert!(false, "parse failed: {e}");
             }
         }
+    }
+
+    #[test]
+    fn topics_rollup_derives_and_honors_embedded_topic() {
+        let mixed = concat!(
+            "{\"seq\":0,\"t_us\":0,\"sub\":\"netsim\",\"kind\":\"msg_sent\",\"from\":3,\"to\":9}\n",
+            "{\"seq\":1,\"t_us\":5,\"sub\":\"netsim\",\"kind\":\"msg_sent\",\"from\":3,\"to\":9}\n",
+            "{\"topic\":\"iobt/7/3/msg_sent\",\"seq\":2,\"t_us\":9,\"sub\":\"netsim\",\"kind\":\"msg_sent\",\"from\":3,\"to\":9}\n",
+            "{\"seq\":3,\"t_us\":12,\"sub\":\"core\",\"kind\":\"window_closed\",\"window\":0}\n",
+        );
+        let mut o = opts(Mode::Topics, Filters::default());
+        o.mission = 4;
+        let (out, malformed) = run(&o, mixed);
+        assert_eq!(malformed, 0);
+        assert!(out.contains("topics: 3"), "got: {out}");
+        assert!(out.contains("iobt/4/3/msg_sent"));
+        assert!(out.contains("iobt/7/3/msg_sent"));
+        assert!(out.contains("iobt/4/-/window_closed"));
+    }
+
+    #[test]
+    fn sub_filter_selects_bridge_events() {
+        let mixed = concat!(
+            "{\"seq\":0,\"t_us\":0,\"sub\":\"bridge\",\"kind\":\"bridge_retry\",\"attempt\":1,\"backoff_ticks\":2}\n",
+            "{\"seq\":1,\"t_us\":1,\"sub\":\"netsim\",\"kind\":\"msg_sent\",\"from\":3,\"to\":9}\n",
+        );
+        let f = Filters {
+            sub: Some("bridge".to_owned()),
+            ..Filters::default()
+        };
+        let (out, _) = run(&opts(Mode::Echo, f), mixed);
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("bridge_retry"));
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub enum Subsystem {
     Faults,
     /// The multi-tenant mission scheduler (`iobt-fleet`).
     Fleet,
+    /// The fault-tolerant edge-streaming daemon (`iobt-bridge`).
+    Bridge,
 }
 
 impl Subsystem {
@@ -38,6 +40,7 @@ impl Subsystem {
             Subsystem::Adapt => "adapt",
             Subsystem::Faults => "faults",
             Subsystem::Fleet => "fleet",
+            Subsystem::Bridge => "bridge",
         }
     }
 
@@ -50,13 +53,14 @@ impl Subsystem {
             "adapt" => Some(Subsystem::Adapt),
             "faults" => Some(Subsystem::Faults),
             "fleet" => Some(Subsystem::Fleet),
+            "bridge" => Some(Subsystem::Bridge),
             _ => None,
         }
     }
 
     /// Number of subsystems (the length of every per-subsystem slot
     /// array: sampling strides, emitted counters, checkpoints).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All subsystems, in sampling-slot order.
     pub const ALL: [Subsystem; Subsystem::COUNT] = [
@@ -66,6 +70,7 @@ impl Subsystem {
         Subsystem::Adapt,
         Subsystem::Faults,
         Subsystem::Fleet,
+        Subsystem::Bridge,
     ];
 
     pub(crate) fn slot(self) -> usize {
@@ -76,6 +81,7 @@ impl Subsystem {
             Subsystem::Adapt => 3,
             Subsystem::Faults => 4,
             Subsystem::Fleet => 5,
+            Subsystem::Bridge => 6,
         }
     }
 }
@@ -451,6 +457,50 @@ pub enum TraceEvent {
         /// Window boundary execution restarts from (0 = from scratch).
         window: u64,
     },
+
+    // -- bridge ----------------------------------------------------------
+    /// The edge bridge (re)established its transport connection.
+    BridgeConnect {
+        /// Reconnect attempts consumed before this connection came up
+        /// (0 = first dial succeeded).
+        attempt: u64,
+    },
+    /// A transport connection was lost or a reconnect attempt failed;
+    /// the bridge backs off before dialling again.
+    BridgeRetry {
+        /// 1-based reconnect attempt that will run after the backoff.
+        attempt: u64,
+        /// Pump ticks the bridge waits before that attempt.
+        backoff_ticks: u64,
+    },
+    /// Egress frames were dropped — at the bounded ring (overflow or a
+    /// blocked-push deadline) or at detach.
+    BridgeDrop {
+        /// Stable cause name (`"overflow_oldest"`, `"overflow_newest"`,
+        /// `"block_timeout"`, `"gave_up"`).
+        cause: &'static str,
+        /// Frames dropped by this occurrence.
+        frames: u64,
+    },
+    /// The bridge exhausted its reconnect budget, discarded its buffer,
+    /// and detached for good; the mission continues unaffected.
+    BridgeGaveUp {
+        /// Reconnect attempts consumed before giving up.
+        attempts: u64,
+        /// Buffered frames discarded at detach.
+        discarded: u64,
+    },
+    /// An inbound tasking command was rejected as a duplicate or stale
+    /// sequence (idempotent ingress).
+    BridgeCmdDup {
+        /// Command source id.
+        src: u64,
+        /// Sequence number of the rejected command.
+        seq: u64,
+        /// True when the sequence was older than the newest applied one
+        /// (stale); false when it repeated a seen sequence exactly.
+        stale: bool,
+    },
 }
 
 impl TraceEvent {
@@ -494,6 +544,36 @@ impl TraceEvent {
             | TraceEvent::FleetQuarantine { .. }
             | TraceEvent::FleetShed { .. }
             | TraceEvent::FleetRecover { .. } => Subsystem::Fleet,
+            TraceEvent::BridgeConnect { .. }
+            | TraceEvent::BridgeRetry { .. }
+            | TraceEvent::BridgeDrop { .. }
+            | TraceEvent::BridgeGaveUp { .. }
+            | TraceEvent::BridgeCmdDup { .. } => Subsystem::Bridge,
+        }
+    }
+
+    /// The node id an event is primarily *about*, when it has one: the
+    /// source of a message, the subject of a node-lifecycle or suspicion
+    /// event, the requester of an actuation. Events about the run as a
+    /// whole (windows, solves, fleet scheduling, bridge transport) have
+    /// none. This is the `<node>` segment of the edge bridge's
+    /// `iobt/<mission>/<node>/<kind>` topic hierarchy, and the same
+    /// mapping backs `iobt-trace --topics`.
+    pub fn primary_node(&self) -> Option<u64> {
+        match self {
+            TraceEvent::MsgSent { from, .. }
+            | TraceEvent::MsgDelivered { from, .. }
+            | TraceEvent::MsgDropped { from, .. }
+            | TraceEvent::RouteFallback { from, .. }
+            | TraceEvent::MsgTampered { from, .. } => Some(*from),
+            TraceEvent::NodeDepleted { node }
+            | TraceEvent::NodeDown { node }
+            | TraceEvent::NodeUp { node }
+            | TraceEvent::Suspected { node, .. }
+            | TraceEvent::TaskRetry { node, .. }
+            | TraceEvent::TaskAbandoned { node, .. } => Some(*node),
+            TraceEvent::Actuation { requester, .. } => Some(*requester),
+            _ => None,
         }
     }
 
@@ -539,6 +619,11 @@ impl TraceEvent {
             TraceEvent::FleetQuarantine { .. } => "fleet_quarantine",
             TraceEvent::FleetShed { .. } => "fleet_shed",
             TraceEvent::FleetRecover { .. } => "fleet_recover",
+            TraceEvent::BridgeConnect { .. } => "bridge_connect",
+            TraceEvent::BridgeRetry { .. } => "bridge_retry",
+            TraceEvent::BridgeDrop { .. } => "bridge_drop",
+            TraceEvent::BridgeGaveUp { .. } => "bridge_gave_up",
+            TraceEvent::BridgeCmdDup { .. } => "bridge_cmd_dup",
         }
     }
 }
@@ -844,6 +929,32 @@ impl TraceRecord {
             TraceEvent::FleetRecover { ticket, window } => {
                 push_kv_u64(out, "ticket", *ticket);
                 push_kv_u64(out, "window", *window);
+            }
+            TraceEvent::BridgeConnect { attempt } => {
+                push_kv_u64(out, "attempt", *attempt);
+            }
+            TraceEvent::BridgeRetry {
+                attempt,
+                backoff_ticks,
+            } => {
+                push_kv_u64(out, "attempt", *attempt);
+                push_kv_u64(out, "backoff_ticks", *backoff_ticks);
+            }
+            TraceEvent::BridgeDrop { cause, frames } => {
+                push_kv_str(out, "cause", cause);
+                push_kv_u64(out, "frames", *frames);
+            }
+            TraceEvent::BridgeGaveUp {
+                attempts,
+                discarded,
+            } => {
+                push_kv_u64(out, "attempts", *attempts);
+                push_kv_u64(out, "discarded", *discarded);
+            }
+            TraceEvent::BridgeCmdDup { src, seq, stale } => {
+                push_kv_u64(out, "src", *src);
+                push_kv_u64(out, "seq", *seq);
+                push_kv_bool(out, "stale", *stale);
             }
         }
         out.push_str("}\n");

@@ -391,6 +391,11 @@ fn update_metrics(m: &mut MetricsRegistry, event: &TraceEvent) {
         TraceEvent::FleetQuarantine { .. } => m.inc("fleet.quarantined", 1),
         TraceEvent::FleetShed { .. } => m.inc("fleet.shed", 1),
         TraceEvent::FleetRecover { .. } => m.inc("fleet.recovers", 1),
+        TraceEvent::BridgeConnect { .. } => m.inc("bridge.connects", 1),
+        TraceEvent::BridgeRetry { .. } => m.inc("bridge.retries", 1),
+        TraceEvent::BridgeDrop { frames, .. } => m.inc("bridge.dropped", *frames),
+        TraceEvent::BridgeGaveUp { .. } => m.inc("bridge.gave_up", 1),
+        TraceEvent::BridgeCmdDup { .. } => m.inc("bridge.cmd_dup", 1),
     }
 }
 

@@ -25,9 +25,10 @@
 //!
 //! The individual subsystems remain addressable by module for anything the
 //! prelude does not cover: [`mod@core`] (mission runtime), [`fleet`]
-//! (multi-tenant mission scheduling), [`netsim`] (simulator),
-//! [`synthesis`], [`adapt`], [`discovery`], [`truth`] (social sensing),
-//! [`learning`], [`tomography`], [`obs`] (observability), and [`types`].
+//! (multi-tenant mission scheduling), [`bridge`] (edge streaming),
+//! [`netsim`] (simulator), [`synthesis`], [`adapt`], [`discovery`],
+//! [`truth`] (social sensing), [`learning`], [`tomography`], [`obs`]
+//! (observability), and [`types`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +50,11 @@ pub use iobt_core::{
     run_mission, EndStateDigest, MissionReport, MissionRunner, PortableRunConfig,
     ResilienceReport, RunConfig, RunConfigBuilder, RunConfigError, StepOutcome, WallClockReport,
     WindowStat,
+};
+pub use iobt_bridge as bridge;
+pub use iobt_bridge::{
+    Bridge, BridgeConfig, BridgeError, BridgeReport, ConnState, FaultyTransport, OverflowPolicy,
+    TcpTransport, Transport, TransportError, TransportFaultProfile,
 };
 pub use iobt_fleet as fleet;
 pub use iobt_fleet::{
@@ -79,6 +85,11 @@ pub mod prelude {
         DiskStore, FailingStore, FaultProfile, Fleet, FleetBuilder, FleetConfigError,
         FleetSummary, MissionError, MissionErrorKind, MissionStatus, MissionTicket, RecoverError,
         Store, SubmitError,
+    };
+    // Edge streaming bridge (iobt-bridge).
+    pub use iobt_bridge::{
+        memory_pair, Bridge, BridgeConfig, BridgeError, BridgeReport, ConnState, FaultyTransport,
+        OverflowPolicy, TcpTransport, Transport, TransportError, TransportFaultProfile,
     };
     // Crash-safe checkpointing (iobt-ckpt).
     pub use iobt_core::ckpt::{
